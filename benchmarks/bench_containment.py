@@ -1,0 +1,104 @@
+"""E7 — Section 4's containment theorems, measured at scale.
+
+The paper proves TSO ⊆ PC and asserts SC ⊂ TSO ⊂ {PC, Causal} ⊂ PRAM.
+This experiment sweeps the claims over (a) the litmus catalog, (b) a
+random-history sample, and (c) machine-generated traces, counting
+agreement; a single violation anywhere fails the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import machine_history, random_history
+from repro.checking import check
+from repro.lattice import FIGURE5_EDGES
+from repro.litmus import CATALOG
+from repro.machines import PCMachine, PRAMMachine, SCMachine, TSOMachine
+
+EXTRA_EDGES = (
+    ("SC", "Coherence"),
+    ("SC", "RC_sc"),
+    ("RC_sc", "RC_pc"),
+    ("SC", "CoherentCausal"),
+    ("CoherentCausal", "Causal"),
+)
+
+N_RANDOM = 60
+
+
+def _edge_violations(histories, edges):
+    bad = 0
+    for h in histories:
+        verdicts = {}
+
+        def v(m):
+            if m not in verdicts:
+                verdicts[m] = check(h, m).allowed
+            return verdicts[m]
+
+        for stronger, weaker in edges:
+            if v(stronger) and not v(weaker):
+                bad += 1
+    return bad
+
+
+def _random_histories():
+    rng = np.random.default_rng(31)
+    return [
+        random_history(rng, procs=2, ops_per_proc=3, locations=("x", "y"))
+        for _ in range(N_RANDOM)
+    ]
+
+
+def test_containment_claims(record_claims, benchmark):
+    record_claims.set_title("E7 / Section 4: containment theorems")
+    benchmark.group = "claims"
+
+    def verify():
+        catalog = [t.history for t in CATALOG.values()]
+        random_hs = _random_histories()
+        # Machine hierarchy: a stronger machine's traces satisfy weaker models.
+        rng = np.random.default_rng(37)
+        bad = 0
+        for machine_cls, models in (
+            (SCMachine, ("SC", "TSO", "PC", "Causal", "PRAM", "Coherence")),
+            (PCMachine, ("PC", "Coherence", "PRAM")),
+            (PRAMMachine, ("PRAM",)),
+        ):
+            for _ in range(10):
+                h = machine_history(machine_cls(("p0", "p1")), rng, ops_per_proc=3)
+                for model in models:
+                    if not check(h, model).allowed:
+                        bad += 1
+        return [
+            ("Figure 5 edges violated on catalog", 0,
+             _edge_violations(catalog, FIGURE5_EDGES)),
+            ("extra edges violated on catalog", 0,
+             _edge_violations(catalog, EXTRA_EDGES)),
+            (f"Figure 5 edges violated on {N_RANDOM} random histories", 0,
+             _edge_violations(random_hs, FIGURE5_EDGES)),
+            ("machine-trace model violations", 0, bad),
+        ]
+
+    for claim, paper, measured in benchmark.pedantic(verify, rounds=1, iterations=1):
+        record_claims(claim, paper, measured)
+
+
+def test_bench_containment_sweep_random(benchmark):
+    histories = _random_histories()
+    bad = benchmark(lambda: _edge_violations(histories, FIGURE5_EDGES))
+    assert bad == 0
+
+
+def test_bench_tso_subset_pc_proof_check(benchmark, fig1=None):
+    """The TSO ⊆ PC direction on the catalog, as a repeatable measurement."""
+    histories = [t.history for t in CATALOG.values()]
+
+    def sweep():
+        return sum(
+            1
+            for h in histories
+            if check(h, "TSO").allowed and not check(h, "PC").allowed
+        )
+
+    assert benchmark(sweep) == 0

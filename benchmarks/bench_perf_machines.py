@@ -1,0 +1,108 @@
+"""E10b — machine throughput and program-layer overhead.
+
+Measures raw operation throughput of every machine (the substrate cost of
+all operational experiments), delivery-event costs, and the end-to-end
+cost of a scheduled Bakery run per machine class.
+"""
+
+import pytest
+
+from repro.machines import (
+    CausalMachine,
+    CoherentMachine,
+    PCMachine,
+    PRAMMachine,
+    RCMachine,
+    SCMachine,
+    TSOMachine,
+)
+from repro.programs import RandomScheduler, run
+from repro.programs.mutex import bakery_program
+
+MACHINES = {
+    "SC": lambda procs: SCMachine(procs),
+    "TSO": lambda procs: TSOMachine(procs),
+    "PC": lambda procs: PCMachine(procs),
+    "PRAM": lambda procs: PRAMMachine(procs),
+    "Causal": lambda procs: CausalMachine(procs),
+    "Coherent": lambda procs: CoherentMachine(procs),
+}
+
+PROCS = ("p0", "p1", "p2", "p3")
+OPS = 250
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_bench_write_read_throughput(benchmark, name):
+    """1000 operations (alternating write/read) across 4 processors."""
+    benchmark.group = "machine op throughput (1000 ops)"
+    factory = MACHINES[name]
+
+    def workload():
+        m = factory(PROCS)
+        for i in range(OPS):
+            proc = PROCS[i % len(PROCS)]
+            m.write(proc, f"x{i % 8}", i + 1)
+            m.read(proc, f"x{(i + 3) % 8}")
+            m.read(proc, f"x{i % 8}")
+            m.write(proc, f"y{i % 4}", i + 1000)
+        return m.operation_count()
+
+    assert benchmark(workload) == OPS * 4
+
+
+@pytest.mark.parametrize("name", ["PRAM", "Causal", "PC", "Coherent"])
+def test_bench_delivery_drain(benchmark, name):
+    """Cost of draining the in-flight updates of a write burst."""
+    benchmark.group = "delivery drain (200 writes, 4 procs)"
+    factory = MACHINES[name]
+
+    def workload():
+        m = factory(PROCS)
+        for i in range(200):
+            m.write(PROCS[i % len(PROCS)], f"x{i % 8}", i + 1)
+        m.drain()
+        return m.quiescent()
+
+    assert benchmark(workload)
+
+
+@pytest.mark.parametrize(
+    "mode", ["sc", "pc"], ids=["RC_sc-machine", "RC_pc-machine"]
+)
+def test_bench_bakery_end_to_end(benchmark, mode):
+    benchmark.group = "Bakery run end to end (2 procs)"
+
+    def workload():
+        return run(
+            RCMachine(("p0", "p1"), labeled_mode=mode),
+            bakery_program(2),
+            RandomScheduler(5),
+            max_steps=6000,
+        )
+
+    result = benchmark(workload)
+    assert result.completed
+
+
+def test_bench_scheduler_overhead(benchmark):
+    """Program layer on the cheapest machine isolates runner overhead."""
+    benchmark.group = "runner overhead"
+    from repro.programs import Read, Write
+
+    def thread():
+        for i in range(100):
+            yield Write("x", i + 1)
+            yield Read("x")
+
+    def workload():
+        m = SCMachine(("p0", "p1"))
+        return run(
+            m,
+            {"p0": thread, "p1": thread},
+            RandomScheduler(9),
+            max_steps=10_000,
+        )
+
+    result = benchmark(workload)
+    assert result.completed

@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one of the paper's figures or claims
+(experiment index in DESIGN.md) and doubles as a performance benchmark of
+the code paths involved.  ``report`` prints paper-vs-measured rows that
+EXPERIMENTS.md records verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table (shown under ``pytest -s``)."""
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"\n== {title}")
+    print(f"   {'claim'.ljust(width)}  {'paper':>10}  {'measured':>10}")
+    for claim, paper, measured in rows:
+        flag = "" if paper == measured or paper == "-" else "  <-- MISMATCH"
+        print(f"   {claim.ljust(width)}  {paper:>10}  {measured:>10}{flag}")
+
+
+@pytest.fixture
+def record_claims():
+    """Collect (claim, paper, measured) rows; printed at teardown."""
+    rows: list[tuple[str, str, str]] = []
+    holder = {"title": "experiment"}
+
+    def add(claim: str, paper, measured) -> None:
+        rows.append((claim, str(paper), str(measured)))
+        assert str(paper) in (str(measured), "-"), (
+            f"paper-vs-measured mismatch for {claim!r}: "
+            f"paper={paper} measured={measured}"
+        )
+
+    add.set_title = lambda t: holder.__setitem__("title", t)  # type: ignore[attr-defined]
+    yield add
+    report(holder["title"], rows)

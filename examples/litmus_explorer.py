@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Explore litmus tests: classify the catalog, or any history you type.
+
+Without arguments: sweeps the built-in catalog (the paper's Figures 1-4
+plus classic shapes) across every registered memory model and prints the
+verdict matrix, flagging any divergence from the catalog's expectations.
+
+With an argument: classifies your history, e.g.
+
+    python examples/litmus_explorer.py "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"
+
+Notation: ``w(loc)v`` write, ``r(loc)v`` read returning v, ``u(loc)a->b``
+atomic read-modify-write, ``*`` suffix on the kind marks a labeled
+(synchronization) operation; rows are ``proc: ops`` separated by ``|``.
+"""
+
+import sys
+
+from repro.checking import MODELS, check
+from repro.litmus import CATALOG, parse_history
+from repro.viz import render_history, render_views
+
+SWEEP_MODELS = (
+    "SC", "TSO", "TSO-axiomatic", "PC", "PC-G", "Causal",
+    "Coherence", "CoherentCausal", "PRAM",
+)
+
+
+def classify_one(text: str) -> None:
+    history = parse_history(text)
+    print(render_history(history, title="History:"))
+    print("\nVerdicts:")
+    witness = None
+    for model in SWEEP_MODELS:
+        try:
+            result = check(history, model)
+        except Exception as exc:  # e.g. axiomatic TSO on RMW histories
+            print(f"  {model:16s} (not applicable: {exc})")
+            continue
+        print(f"  {model:16s} {'allowed' if result.allowed else 'NOT allowed'}")
+        if result.allowed and result.views and witness is None:
+            witness = result
+    if witness is not None:
+        print(f"\nWitness views from the {witness.model} checker:")
+        print(render_views(witness.views))
+    from repro.analysis.spectrum import strength_frontier
+
+    frontier = strength_frontier(history)
+    if frontier:
+        print(f"\nStrength frontier (strongest models allowing it): "
+              f"{', '.join(frontier)}")
+
+
+def sweep_catalog() -> None:
+    print(
+        f"{'test':22s}" + "".join(f"{m:>9s}" for m in SWEEP_MODELS)
+        + "   (Y allowed, N rejected, ! differs from catalog)"
+    )
+    for name, test in CATALOG.items():
+        history = test.history
+        cells = [f"{name:22s}"]
+        for model in SWEEP_MODELS:
+            try:
+                got = check(history, model).allowed
+            except Exception:
+                cells.append(f"{'-':>9s}")
+                continue
+            mark = "Y" if got else "N"
+            expected = test.expected.get(model)
+            if expected is not None and expected != got:
+                mark += "!"
+            cells.append(f"{mark:>9s}")
+        print("".join(cells))
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        classify_one(" ".join(sys.argv[1:]))
+    else:
+        sweep_catalog()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The reproduction's one finding against the paper: TSO and forwarding.
+
+Section 3.2 claims the view characterization of TSO "is equivalent to the
+axiomatic definition" of SPARC.  This script walks the counterexample:
+
+1. the store-buffer machine the paper itself describes (reads may return
+   "the most recently written value from the local buffer") reaches the
+   ``sb-fwd`` outcome;
+2. the independent axiomatic checker (Sindhu et al.'s axioms, with the
+   Value axiom's forwarding clause) allows that history;
+3. the paper's view-based TSO rejects it — its partial program order
+   keeps the same-location write→read edge that forwarding breaks;
+4. disabling forwarding in the machine (reads drain the buffer first)
+   removes the outcome, and that machine's traces always satisfy the
+   paper's TSO: the paper characterized the buffer machine *without*
+   forwarding.
+
+Run:  python examples/tso_divergence.py
+"""
+
+from repro.checking import check_axiomatic_tso, check_tso
+from repro.litmus import format_history
+from repro.machines import TSOMachine
+
+
+def drive(machine: TSOMachine) -> tuple:
+    """Both processors write, read their own location, then the other's."""
+    machine.write("p", "x", 1)
+    machine.write("q", "y", 1)
+    outcome = (
+        machine.read("p", "x"),
+        machine.read("p", "y"),
+        machine.read("q", "y"),
+        machine.read("q", "x"),
+    )
+    machine.drain()
+    return outcome
+
+
+def main() -> None:
+    print("1. the paper's own operational machine (buffers WITH forwarding):")
+    m = TSOMachine(("p", "q"), forwarding=True)
+    outcome = drive(m)
+    history = m.history()
+    print(f"   outcome (p:x, p:y, q:y, q:x) = {outcome}")
+    print("   " + format_history(history, oneline=True))
+
+    axio = check_axiomatic_tso(history)
+    view = check_tso(history)
+    print(f"\n2. axiomatic TSO (Sindhu et al., independent implementation): "
+          f"{'allowed' if axio.allowed else 'rejected'}")
+    print(f"3. the paper's view-based TSO: "
+          f"{'allowed' if view.allowed else 'REJECTED'}")
+    print(f"   reason: {view.reason}")
+
+    print("\n4. the machine WITHOUT forwarding (reads drain the buffer):")
+    m2 = TSOMachine(("p", "q"), forwarding=False)
+    outcome2 = drive(m2)
+    history2 = m2.history()
+    print(f"   outcome = {outcome2}  (the divergent (1, 0, 1, 0) is gone)")
+    verdict = check_tso(history2)
+    print(f"   paper's TSO on this trace: "
+          f"{'allowed' if verdict.allowed else 'rejected'}")
+
+    print(
+        "\nConclusion: view-TSO ⊊ axiomatic-TSO; the gap is exactly store-"
+        "\nbuffer forwarding, and the machine matching the paper's"
+        "\ncharacterization is the buffer machine with forwarding disabled."
+        "\n(Full sweep evidence: benchmarks/bench_tso_axiomatic.py.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Which memory preserves which programming idiom?
+
+Runs the classic DSM communication skeletons (producer/consumer hand-off,
+barrier, test-and-set work queue) across the simulated machines and
+reports whether each idiom's correctness condition survived — the
+application-level face of the paper's consistency spectrum:
+
+* the flag hand-off needs write-order preservation: safe on SC/TSO/PRAM/
+  causal machines, leaky on the coherent-only machine;
+* the read/write barrier likewise;
+* the RMW-based work queue is safe everywhere (atomic operations
+  serialize at the location regardless of the memory's weakness —
+  the paper's footnote 4 in action).
+
+Run:  python examples/workloads_demo.py [runs]
+"""
+
+import sys
+
+from repro.machines import (
+    CausalMachine,
+    CoherentMachine,
+    PRAMMachine,
+    SCMachine,
+    TSOMachine,
+)
+from repro.programs import RandomScheduler, run
+from repro.programs.workloads import (
+    barrier_program,
+    producer_consumer,
+    stale_reads,
+    work_queue,
+)
+
+MACHINES = {
+    "SC": SCMachine,
+    "TSO": TSOMachine,
+    "PRAM": PRAMMachine,
+    "Causal": CausalMachine,
+    "Coherent": CoherentMachine,
+}
+
+
+def producer_consumer_stales(machine_cls, runs: int) -> int:
+    stale = 0
+    for seed in range(runs):
+        m = machine_cls(("prod", "cons"))
+        result = run(m, producer_consumer(3), RandomScheduler(seed), max_steps=4000)
+        if result.completed:
+            stale += stale_reads(result.history, 3)
+    return stale
+
+
+def barrier_stales(machine_cls, runs: int) -> int:
+    stale = 0
+    for seed in range(runs):
+        m = machine_cls(("p0", "p1"))
+        result = run(m, barrier_program(2), RandomScheduler(seed), max_steps=20_000)
+        if not result.completed:
+            continue
+        for op in result.history.operations:
+            if op.is_read and op.location.startswith("pre["):
+                j = int(op.location[4:-1])
+                if op.value_read != 10 + j:
+                    stale += 1
+    return stale
+
+
+def queue_collisions(machine_cls, runs: int) -> int:
+    collisions = 0
+    for seed in range(runs):
+        m = machine_cls(("w0", "w1"))
+        result = run(m, work_queue(2, 4), RandomScheduler(seed), max_steps=5000)
+        for i in range(4):
+            winners = [
+                op
+                for op in result.history.operations
+                if op.kind.value == "u"
+                and op.location == f"claim[{i}]"
+                and op.read_value == 0
+            ]
+            if len(winners) != 1:
+                collisions += 1
+    return collisions
+
+
+def main() -> None:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    print(f"{runs} random schedules per cell (counts of correctness breaches)\n")
+    print(f"{'machine':10s} {'prod/cons stale':>16s} {'barrier stale':>14s} {'queue collide':>14s}")
+    for name, cls in MACHINES.items():
+        pc = producer_consumer_stales(cls, runs)
+        ba = barrier_stales(cls, runs)
+        qc = queue_collisions(cls, runs)
+        print(f"{name:10s} {pc:16d} {ba:14d} {qc:14d}")
+    print(
+        "\nReading: zeros in the first two columns for every machine that"
+        "\npreserves one processor's write order (SC, TSO, PRAM, causal);"
+        "\nthe coherent-only machine leaks stale data.  The RMW work queue"
+        "\nnever collides anywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Generators and analyses supporting the experiments."""
+
+from repro.analysis.labeling import (
+    bracketing_violations,
+    find_races,
+    is_properly_labeled,
+    location_discipline_violations,
+)
+from repro.analysis.random_histories import (
+    machine_history,
+    random_history,
+    random_program_ops,
+)
+from repro.analysis.spectrum import (
+    KNOWN_EDGES,
+    SPECTRUM_MODELS,
+    accepting_models,
+    strength_frontier,
+)
+from repro.analysis.stats import Timer, format_counts, fraction, verdict_table
+from repro.analysis.trace import TraceStats, streaming_legality, trace_stats
+
+__all__ = [
+    "accepting_models",
+    "KNOWN_EDGES",
+    "SPECTRUM_MODELS",
+    "strength_frontier",
+    "bracketing_violations",
+    "find_races",
+    "format_counts",
+    "fraction",
+    "is_properly_labeled",
+    "location_discipline_violations",
+    "machine_history",
+    "random_history",
+    "random_program_ops",
+    "Timer",
+    "TraceStats",
+    "streaming_legality",
+    "trace_stats",
+    "verdict_table",
+]

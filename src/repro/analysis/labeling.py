@@ -1,0 +1,124 @@
+"""Proper labeling and data-race analysis (paper Sections 3.4 and 5).
+
+Release consistency promises SC behavior only for *properly labeled*
+programs — ones whose ordinary operations are bracketed by acquire and
+release operations on synchronization variables, leaving no data races.
+The paper assumes (Section 5) that synchronization variables are accessed
+only outside the critical/remainder sections and ordinary shared variables
+only inside.
+
+This module provides the corresponding checks on histories:
+
+* :func:`location_discipline_violations` — locations touched by both
+  labeled and ordinary operations (breaking the Section 5 assumption);
+* :func:`bracketing_violations` — ordinary operations not preceded by an
+  acquire or not followed by a release in their processor's program order;
+* :func:`find_races` — conflicting ordinary operation pairs unordered by
+  the synchronization happens-before order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.history import SystemHistory
+from repro.core.operation import Operation
+from repro.orders.relation import Relation
+from repro.orders.writes_before import reads_from_candidates
+
+__all__ = [
+    "location_discipline_violations",
+    "bracketing_violations",
+    "find_races",
+    "is_properly_labeled",
+]
+
+
+def location_discipline_violations(history: SystemHistory) -> dict[str, list[Operation]]:
+    """Locations accessed by both labeled and ordinary operations."""
+    labeled_locs: dict[str, list[Operation]] = {}
+    ordinary_locs: dict[str, list[Operation]] = {}
+    for op in history.operations:
+        (labeled_locs if op.labeled else ordinary_locs).setdefault(
+            op.location, []
+        ).append(op)
+    return {
+        loc: labeled_locs[loc] + ordinary_locs[loc]
+        for loc in labeled_locs
+        if loc in ordinary_locs
+    }
+
+
+def bracketing_violations(history: SystemHistory) -> list[Operation]:
+    """Ordinary operations lacking an acquire before or a release after.
+
+    This is the syntactic core of "properly labeled": every ordinary
+    access must sit between a labeled read (acquire) earlier and a labeled
+    write (release) later in its processor's program order.  Processors
+    with no ordinary operations are trivially fine.
+    """
+    bad: list[Operation] = []
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for op in ops:
+            if op.labeled:
+                continue
+            has_acquire = any(o.is_acquire for o in ops[: op.index])
+            has_release = any(o.is_release for o in ops[op.index + 1:])
+            if not (has_acquire and has_release):
+                bad.append(op)
+    return bad
+
+
+def _sync_happens_before(history: SystemHistory) -> Relation[Operation]:
+    """Program order plus release→acquire reads-from, transitively closed.
+
+    The standard happens-before of a properly-labeled execution.  When a
+    labeled read has several candidate release writers, every candidate
+    edge is included (conservative: may under-report races, never
+    fabricates an ordering that no attribution supports — suitable for the
+    discipline-checking role it plays here).
+    """
+    rel: Relation[Operation] = Relation(history.operations)
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for a, b in zip(ops, ops[1:]):
+            rel.add(a, b)
+    for read_op, cands in reads_from_candidates(history).items():
+        if not read_op.is_acquire:
+            continue
+        for src in cands:
+            if src is not None and src.is_release:
+                rel.add(src, read_op)
+    return rel.transitive_closure()
+
+
+def find_races(history: SystemHistory) -> list[tuple[Operation, Operation]]:
+    """Conflicting ordinary operation pairs unordered by happens-before.
+
+    Two operations conflict when they are by different processors, touch
+    the same location, and at least one writes.  A properly-labeled
+    program has no races on any SC execution; races found here are exactly
+    what disqualifies a program from RC's SC guarantee.
+    """
+    hb = _sync_happens_before(history)
+    ordinary = [op for op in history.operations if not op.labeled]
+    races: list[tuple[Operation, Operation]] = []
+    for i, a in enumerate(ordinary):
+        for b in ordinary[i + 1:]:
+            if a.proc == b.proc or a.location != b.location:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if not hb.orders(a, b) and not hb.orders(b, a):
+                races.append((a, b))
+    return races
+
+
+def is_properly_labeled(history: SystemHistory) -> bool:
+    """The conjunction of all three checks (on this execution)."""
+    return (
+        not location_discipline_violations(history)
+        and not bracketing_violations(history)
+        and not find_races(history)
+    )

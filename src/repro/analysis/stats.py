@@ -1,0 +1,74 @@
+"""Small reporting utilities shared by the benchmarks and examples.
+
+Kept intentionally minimal: a monotonic timer, verdict-table formatting
+(paper-expected vs measured), and fraction summaries for the containment
+experiments.  Everything prints plain ASCII so benchmark output diffs
+cleanly into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["Timer", "verdict_table", "fraction", "format_counts"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def verdict_table(
+    rows: Sequence[tuple[str, Mapping[str, bool], Mapping[str, bool]]],
+    models: Sequence[str],
+) -> str:
+    """Tabulate paper-expected vs measured verdicts.
+
+    Each row is ``(name, expected, measured)``; expected entries may be
+    missing (the paper takes no stance).  Cells show ``Y``/``N`` with a
+    ``!`` suffix on any mismatch.
+    """
+    header = ["history".ljust(22)] + [m.rjust(10) for m in models]
+    lines = ["".join(header)]
+    for name, expected, measured in rows:
+        cells = [name.ljust(22)]
+        for m in models:
+            got = measured.get(m)
+            cell = "-" if got is None else ("Y" if got else "N")
+            exp = expected.get(m)
+            if exp is not None and got is not None and exp != got:
+                cell += "!"
+            cells.append(cell.rjust(10))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def fraction(numerator: int, denominator: int) -> str:
+    """``'17/20 (85.0%)'``-style fraction formatting (safe on zero)."""
+    pct = 100.0 * numerator / denominator if denominator else 0.0
+    return f"{numerator}/{denominator} ({pct:.1f}%)"
+
+
+def format_counts(counts: Mapping[str, int], total: int) -> str:
+    """One line per model: allowed-history counts out of a total."""
+    return "\n".join(
+        f"  {name:16s} {fraction(count, total)}"
+        for name, count in counts.items()
+    )

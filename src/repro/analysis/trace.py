@@ -1,0 +1,127 @@
+"""Trace-scale analysis: streaming legality and history statistics.
+
+The checkers decide NP-hard questions and are meant for litmus-sized
+histories; this module covers the complementary regime — long machine
+traces — with linear-time tools:
+
+* :func:`streaming_legality` — verify a long *sequential* trace (e.g. a
+  machine's per-processor application log, or an SC machine's global
+  order) in O(n) with O(locations) memory, accepting any iterable;
+* :func:`trace_stats` — structural statistics of a history (operation
+  mix, locations, reads-from composition, sharing degree), used by the
+  workload generators' sanity checks and the performance benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.history import SystemHistory
+from repro.core.operation import INITIAL_VALUE, Operation
+from repro.orders.writes_before import reads_from_candidates
+
+__all__ = ["streaming_legality", "trace_stats", "TraceStats"]
+
+
+def streaming_legality(
+    ops: Iterable[Operation], *, initial: int = INITIAL_VALUE
+) -> tuple[int, Operation] | None:
+    """First legality violation of a (possibly huge) sequential trace.
+
+    Unlike :func:`repro.core.view.first_legality_violation` this consumes
+    any iterable lazily, so multi-million-operation traces stream through
+    without being materialized.  Returns ``(position, operation)`` of the
+    first read observing the wrong value, or ``None``.
+    """
+    state: dict[str, int] = {}
+    for i, op in enumerate(ops):
+        if op.is_read and op.value_read != state.get(op.location, initial):
+            return (i, op)
+        if op.is_write:
+            state[op.location] = op.value_written
+    return None
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Structural statistics of a system history.
+
+    Attributes
+    ----------
+    operations, reads, writes, rmws:
+        Operation counts (RMWs count once, in ``rmws``; their halves are
+        included in neither ``reads`` nor ``writes``).
+    labeled:
+        Labeled (synchronization) operation count.
+    processors, locations:
+        Entity counts.
+    shared_locations:
+        Locations accessed by more than one processor — the communication
+        footprint.
+    reads_of_initial, reads_local, reads_remote, reads_ambiguous:
+        Reads-from composition: reads that can only have observed the
+        initial value, only their own processor's write, only a remote
+        write, or that have multiple candidate sources.
+    """
+
+    operations: int
+    reads: int
+    writes: int
+    rmws: int
+    labeled: int
+    processors: int
+    locations: int
+    shared_locations: int
+    reads_of_initial: int
+    reads_local: int
+    reads_remote: int
+    reads_ambiguous: int
+
+    @property
+    def communication_ratio(self) -> float:
+        """Fraction of read-half operations observing a remote write."""
+        read_halves = self.reads + self.rmws
+        return self.reads_remote / read_halves if read_halves else 0.0
+
+
+def trace_stats(history: SystemHistory) -> TraceStats:
+    """Compute :class:`TraceStats` for a history (one pass + rf analysis)."""
+    reads = writes = rmws = labeled = 0
+    touched: dict[str, set] = {}
+    for op in history.operations:
+        if op.kind.value == "u":
+            rmws += 1
+        elif op.is_read:
+            reads += 1
+        else:
+            writes += 1
+        if op.labeled:
+            labeled += 1
+        touched.setdefault(op.location, set()).add(op.proc)
+
+    of_initial = local = remote = ambiguous = 0
+    for op, cands in reads_from_candidates(history).items():
+        if len(cands) > 1:
+            ambiguous += 1
+        elif not cands or cands[0] is None:
+            of_initial += 1
+        elif cands[0].proc == op.proc:
+            local += 1
+        else:
+            remote += 1
+
+    return TraceStats(
+        operations=len(history.operations),
+        reads=reads,
+        writes=writes,
+        rmws=rmws,
+        labeled=labeled,
+        processors=len(history.procs),
+        locations=len(history.locations),
+        shared_locations=sum(1 for procs in touched.values() if len(procs) > 1),
+        reads_of_initial=of_initial,
+        reads_local=local,
+        reads_remote=remote,
+        reads_ambiguous=ambiguous,
+    )

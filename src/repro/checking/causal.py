@@ -1,0 +1,32 @@
+"""Causal memory checker (paper Section 3.5).
+
+Causal memory strengthens PRAM by requiring views to respect the causal
+order ``->co = (->po ∪ ->wb)+`` rather than just program order.  There is
+still no mutual consistency requirement, so processors may disagree on the
+order of causally unrelated writes.
+
+This wrapper delegates to the generic solver with the causal spec; the
+separation exists so client code reads ``check_causal(h)`` and so the
+cross-validation tests can target the model by name.
+"""
+
+from __future__ import annotations
+
+from repro.checking.result import CheckResult
+from repro.checking.solver import SearchBudget, check_with_spec
+from repro.core.history import SystemHistory
+from repro.spec.registry import CAUSAL_SPEC
+
+__all__ = ["check_causal", "is_causal"]
+
+
+def check_causal(
+    history: SystemHistory, budget: SearchBudget | None = None
+) -> CheckResult:
+    """Decide causal-memory membership, with witness views on success."""
+    return check_with_spec(CAUSAL_SPEC, history, budget)
+
+
+def is_causal(history: SystemHistory) -> bool:
+    """Convenience boolean form of :func:`check_causal`."""
+    return check_causal(history).allowed

@@ -1,0 +1,28 @@
+"""Plain coherence checker (paper Sections 2 and 3.3).
+
+Coherence alone: views contain own operations plus all remote writes,
+respect the partial program order, and all views agree on the order of
+writes *to each location* — the mutual-consistency example of Section 2.
+Every model in the paper except PRAM and causal memory implies it.
+"""
+
+from __future__ import annotations
+
+from repro.checking.result import CheckResult
+from repro.checking.solver import SearchBudget, check_with_spec
+from repro.core.history import SystemHistory
+from repro.spec.registry import COHERENCE_SPEC
+
+__all__ = ["check_coherence", "is_coherent"]
+
+
+def check_coherence(
+    history: SystemHistory, budget: SearchBudget | None = None
+) -> CheckResult:
+    """Decide coherence, with witness views on success."""
+    return check_with_spec(COHERENCE_SPEC, history, budget)
+
+
+def is_coherent(history: SystemHistory) -> bool:
+    """Convenience boolean form of :func:`check_coherence`."""
+    return check_coherence(history).allowed

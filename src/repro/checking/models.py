@@ -1,0 +1,150 @@
+"""The checker registry: one :class:`MemoryModel` per memory in the paper.
+
+Each model pairs a declarative spec with the preferred decision procedure
+(a fast path where one exists, the generic solver otherwise).  ``check``
+and ``classify`` are the top-level entry points most client code uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.checking.axiomatic_tso import check_axiomatic_tso
+from repro.checking.causal import check_causal
+from repro.checking.coherence import check_coherence
+from repro.checking.pc import check_pc, check_pc_goodman
+from repro.checking.pram import check_pram
+from repro.checking.rc import check_rc_pc, check_rc_sc
+from repro.checking.result import CheckResult
+from repro.checking.sc import check_sc
+from repro.checking.solver import SearchBudget, check_with_spec
+from repro.checking.tso import check_tso
+from repro.core.errors import CheckerError
+from repro.core.history import SystemHistory
+from repro.spec.model_spec import MemoryModelSpec
+from repro.spec.registry import (
+    CAUSAL_SPEC,
+    HYBRID_SPEC,
+    COHERENCE_SPEC,
+    COHERENT_CAUSAL_SPEC,
+    COHERENT_PRAM_SPEC,
+    PC_SPEC,
+    PRAM_SPEC,
+    RC_PC_SPEC,
+    RC_SC_SPEC,
+    SC_SPEC,
+    SLOW_SPEC,
+    TSO_SPEC,
+)
+
+__all__ = ["MemoryModel", "MODELS", "PAPER_MODELS", "check", "classify", "model_names"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """A named memory model bound to its decision procedure.
+
+    Attributes
+    ----------
+    name:
+        Canonical model name (matches the spec's name where one exists).
+    spec:
+        The declarative three-parameter description, or ``None`` for the
+        axiomatic TSO reference model which lives outside the framework.
+    checker:
+        The preferred decision procedure.
+    """
+
+    name: str
+    spec: MemoryModelSpec | None
+    checker: Callable[[SystemHistory], CheckResult]
+
+    def check(self, history: SystemHistory) -> CheckResult:
+        """Decide whether ``history`` is allowed by this model."""
+        return self.checker(history)
+
+    def allows(self, history: SystemHistory) -> bool:
+        """Boolean form of :meth:`check`."""
+        return self.checker(history).allowed
+
+    def check_generic(
+        self, history: SystemHistory, budget: SearchBudget | None = None
+    ) -> CheckResult:
+        """Decide via the generic spec-driven solver (for cross-validation).
+
+        Raises
+        ------
+        CheckerError
+            For models with no framework spec (axiomatic TSO).
+        """
+        if self.spec is None:
+            raise CheckerError(f"{self.name} has no framework specification")
+        return check_with_spec(self.spec, history, budget)
+
+
+def _wrap(fn: Callable[[SystemHistory], CheckResult]) -> Callable[[SystemHistory], CheckResult]:
+    return fn
+
+
+MODELS: dict[str, MemoryModel] = {
+    m.name: m
+    for m in (
+        MemoryModel("SC", SC_SPEC, _wrap(check_sc)),
+        MemoryModel("TSO", TSO_SPEC, _wrap(check_tso)),
+        MemoryModel("PC", PC_SPEC, _wrap(check_pc)),
+        MemoryModel("PRAM", PRAM_SPEC, _wrap(check_pram)),
+        MemoryModel("Causal", CAUSAL_SPEC, _wrap(check_causal)),
+        MemoryModel("Coherence", COHERENCE_SPEC, _wrap(check_coherence)),
+        MemoryModel("RC_sc", RC_SC_SPEC, _wrap(check_rc_sc)),
+        MemoryModel("RC_pc", RC_PC_SPEC, _wrap(check_rc_pc)),
+        MemoryModel("PC-G", COHERENT_PRAM_SPEC, _wrap(check_pc_goodman)),
+        MemoryModel(
+            "CoherentCausal",
+            COHERENT_CAUSAL_SPEC,
+            lambda h: check_with_spec(COHERENT_CAUSAL_SPEC, h),
+        ),
+        MemoryModel(
+            "Hybrid",
+            HYBRID_SPEC,
+            lambda h: check_with_spec(HYBRID_SPEC, h),
+        ),
+        MemoryModel(
+            "Slow",
+            SLOW_SPEC,
+            lambda h: check_with_spec(SLOW_SPEC, h),
+        ),
+        MemoryModel("TSO-axiomatic", None, _wrap(check_axiomatic_tso)),
+    )
+}
+
+#: The memories Figure 5 relates (the paper's core comparison set).
+PAPER_MODELS: tuple[str, ...] = ("SC", "TSO", "PC", "Causal", "PRAM")
+
+
+def model_names() -> tuple[str, ...]:
+    """Names of every registered model."""
+    return tuple(MODELS)
+
+
+def check(history: SystemHistory, model: str) -> CheckResult:
+    """Decide whether ``history`` is allowed by the named model.
+
+    Raises
+    ------
+    CheckerError
+        If the model name is unknown.
+    """
+    try:
+        return MODELS[model].check(history)
+    except KeyError:
+        known = ", ".join(MODELS)
+        raise CheckerError(f"unknown model {model!r}; known: {known}") from None
+
+
+def classify(
+    history: SystemHistory, models: tuple[str, ...] | None = None
+) -> dict[str, bool]:
+    """Verdicts of several models on one history (default: Figure 5's set)."""
+    names = models if models is not None else PAPER_MODELS
+    return {name: check(history, name).allowed for name in names}

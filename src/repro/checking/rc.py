@@ -1,0 +1,46 @@
+"""Release-consistency checkers: ``RC_sc`` and ``RC_pc`` (paper Section 3.4).
+
+Both models distinguish *labeled* synchronization operations from ordinary
+ones.  Views contain own operations plus all remote writes; all writes are
+coherent; local operations obey ``->ppo``; ordinary operations are
+bracketed by the acquires/releases around them; and the labeled
+subsequences of the views are sequentially consistent (``RC_sc``) or
+processor consistent (``RC_pc``).
+
+The framework assumption, matching the paper's Bakery setup (Section 5):
+synchronization locations are accessed only by labeled operations, and
+ordinary shared locations only by ordinary operations.
+"""
+
+from __future__ import annotations
+
+from repro.checking.result import CheckResult
+from repro.checking.solver import SearchBudget, check_with_spec
+from repro.core.history import SystemHistory
+from repro.spec.registry import RC_PC_SPEC, RC_SC_SPEC
+
+__all__ = ["check_rc_sc", "is_rc_sc", "check_rc_pc", "is_rc_pc"]
+
+
+def check_rc_sc(
+    history: SystemHistory, budget: SearchBudget | None = None
+) -> CheckResult:
+    """Decide ``RC_sc`` membership, with witness views on success."""
+    return check_with_spec(RC_SC_SPEC, history, budget)
+
+
+def is_rc_sc(history: SystemHistory) -> bool:
+    """Convenience boolean form of :func:`check_rc_sc`."""
+    return check_rc_sc(history).allowed
+
+
+def check_rc_pc(
+    history: SystemHistory, budget: SearchBudget | None = None
+) -> CheckResult:
+    """Decide ``RC_pc`` membership, with witness views on success."""
+    return check_with_spec(RC_PC_SPEC, history, budget)
+
+
+def is_rc_pc(history: SystemHistory) -> bool:
+    """Convenience boolean form of :func:`check_rc_pc`."""
+    return check_rc_pc(history).allowed

@@ -1,0 +1,241 @@
+"""Command-line interface: the framework's operations as subcommands.
+
+::
+
+    python -m repro check  "p: w(x)1 r(y)0 | q: w(y)1 r(x)0" --model TSO
+    python -m repro classify "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"
+    python -m repro catalog [--name fig1-sb]
+    python -m repro lattice [--procs 2] [--ops 2] [--dot]
+    python -m repro bakery  [--machine rc_pc] [--runs 100] [--adversarial]
+    python -m repro models
+
+Exit status: 0 on success; for ``check``, 0 when the history is allowed
+and 1 when it is rejected (so the command composes in shell scripts);
+2 on usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.checking import MODELS, check, model_names
+from repro.core.errors import ReproError
+from repro.lattice import (
+    FIGURE5_EDGES,
+    HistorySpace,
+    canonical_key,
+    classify_histories,
+    containment_violations,
+    empirical_hasse,
+    enumerate_histories,
+)
+from repro.litmus import CATALOG, parse_history
+from repro.machines import PRAMMachine, RCMachine, SCMachine, TSOMachine
+from repro.programs import DelayDeliveriesScheduler, RandomScheduler, run
+from repro.programs.mutex import bakery_program
+from repro.viz import lattice_to_dot, render_history, render_lattice, render_views
+
+__all__ = ["main", "build_parser"]
+
+_BAKERY_MACHINES = {
+    "sc": lambda: SCMachine(("p0", "p1")),
+    "tso": lambda: TSOMachine(("p0", "p1")),
+    "pram": lambda: PRAMMachine(("p0", "p1")),
+    "rc_sc": lambda: RCMachine(("p0", "p1"), labeled_mode="sc"),
+    "rc_pc": lambda: RCMachine(("p0", "p1"), labeled_mode="pc"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for shell-completion generators and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Characterization framework for scalable shared memories "
+        "(Kohli, Neiger & Ahamad, ICPP 1993).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="decide one history under one model")
+    p_check.add_argument("history", help="litmus notation, e.g. 'p: w(x)1 | q: r(x)1'")
+    p_check.add_argument("--model", default="SC", help="model name (see `models`)")
+    p_check.add_argument(
+        "--views", action="store_true", help="print witness views when allowed"
+    )
+
+    p_classify = sub.add_parser("classify", help="decide one history under all models")
+    p_classify.add_argument("history")
+
+    p_catalog = sub.add_parser("catalog", help="sweep or show litmus catalog entries")
+    p_catalog.add_argument("--name", help="show just this entry")
+
+    p_lattice = sub.add_parser("lattice", help="reproduce Figure 5 by enumeration")
+    p_lattice.add_argument("--procs", type=int, default=2)
+    p_lattice.add_argument("--ops", type=int, default=2)
+    p_lattice.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_lattice.add_argument(
+        "--report", metavar="FILE", help="write a markdown survey report"
+    )
+
+    p_bakery = sub.add_parser("bakery", help="run the Section 5 Bakery experiment")
+    p_bakery.add_argument(
+        "--machine", choices=sorted(_BAKERY_MACHINES), default="rc_pc"
+    )
+    p_bakery.add_argument("--runs", type=int, default=100)
+    p_bakery.add_argument(
+        "--adversarial",
+        action="store_true",
+        help="use the delivery-delaying scheduler instead of random ones",
+    )
+
+    p_spec = sub.add_parser(
+        "spectrum", help="the strongest models allowing a history"
+    )
+    p_spec.add_argument("history")
+
+    sub.add_parser("models", help="list registered memory models")
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    history = parse_history(args.history)
+    result = check(history, args.model)
+    verdict = "allowed" if result.allowed else "NOT allowed"
+    print(f"{args.model}: {verdict}")
+    if result.allowed and args.views and result.views:
+        print(render_views(result.views))
+    if not result.allowed and result.reason:
+        print(f"reason: {result.reason}")
+    return 0 if result.allowed else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    history = parse_history(args.history)
+    print(render_history(history, title="history:"))
+    for name in model_names():
+        try:
+            allowed = check(history, name).allowed
+        except ReproError as exc:
+            print(f"  {name:16s} not applicable ({exc})")
+            continue
+        print(f"  {name:16s} {'allowed' if allowed else 'NOT allowed'}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    if args.name:
+        test = CATALOG.get(args.name)
+        if test is None:
+            print(f"unknown catalog entry {args.name!r}", file=sys.stderr)
+            return 2
+        print(render_history(test.history, title=f"{test.name}: {test.source}"))
+        for model, expected in test.expected.items():
+            got = check(test.history, model).allowed
+            mark = "" if got == expected else "  <-- DIVERGES"
+            print(f"  {model:16s} expected={expected} measured={got}{mark}")
+        return 0
+    for name, test in CATALOG.items():
+        verdicts = " ".join(
+            f"{m}={'Y' if check(test.history, m).allowed else 'N'}"
+            for m in test.expected
+        )
+        print(f"{name:22s} {verdicts}")
+    return 0
+
+
+def _cmd_lattice(args: argparse.Namespace) -> int:
+    space = HistorySpace(procs=args.procs, ops_per_proc=args.ops)
+    seen: set = set()
+    histories = []
+    for h in enumerate_histories(space):
+        key = canonical_key(h)
+        if key not in seen:
+            seen.add(key)
+            histories.append(h)
+    models = ("SC", "TSO", "PC", "Causal", "PRAM")
+    result = classify_histories(histories, models)
+    print(f"{len(histories)} canonical histories; counts: {result.counts()}")
+    violations = containment_violations(result, FIGURE5_EDGES)
+    print(f"Figure 5 violations: {len(violations)}")
+    g = empirical_hasse(result)
+    print(lattice_to_dot(g) if args.dot else render_lattice(g))
+    if args.report:
+        from repro.lattice import lattice_report
+
+        with open(args.report, "w") as fh:
+            fh.write(lattice_report(result))
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_bakery(args: argparse.Namespace) -> int:
+    factory = _BAKERY_MACHINES[args.machine]
+    labeled = args.machine.startswith("rc_")
+    program = bakery_program(2, labeled=labeled)
+    if args.adversarial:
+        result = run(factory(), program, DelayDeliveriesScheduler(), max_steps=5000)
+        status = "VIOLATED" if result.mutex_violation else "held"
+        print(f"{args.machine} adversarial: mutual exclusion {status}")
+        return 0
+    violations = 0
+    for seed in range(args.runs):
+        result = run(factory(), program, RandomScheduler(seed), max_steps=5000)
+        if result.mutex_violation:
+            violations += 1
+    print(
+        f"{args.machine}: {violations}/{args.runs} random schedules "
+        "violated mutual exclusion"
+    )
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.analysis.spectrum import accepting_models, strength_frontier
+
+    history = parse_history(args.history)
+    print(render_history(history, title="history:"))
+    frontier = strength_frontier(history)
+    accepted = accepting_models(history)
+    if not accepted:
+        print("\nno model allows this history (a read observes an "
+              "impossible value)")
+        return 1
+    print(f"\nstrength frontier: {', '.join(frontier)}")
+    print(f"also allowed by: {', '.join(sorted(accepted - set(frontier))) or '(nothing weaker)'}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in model_names():
+        spec = MODELS[name].spec
+        desc = spec.description if spec else "axiomatic reference model (no spec)"
+        first_sentence = desc.split(". ")[0].strip()
+        print(f"{name:16s} {first_sentence}")
+    return 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "classify": _cmd_classify,
+    "catalog": _cmd_catalog,
+    "lattice": _cmd_lattice,
+    "bakery": _cmd_bakery,
+    "spectrum": _cmd_spectrum,
+    "models": _cmd_models,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

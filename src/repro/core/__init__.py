@@ -1,0 +1,54 @@
+"""Core data model: operations, histories, views, legality.
+
+This subpackage implements Section 2 of the paper — the objects every other
+layer (orders, specs, checkers, machines, programs) is built from.
+"""
+
+from repro.core.errors import (
+    AmbiguousValueError,
+    CheckerError,
+    HistoryError,
+    IllegalViewError,
+    MachineError,
+    MalformedOperationError,
+    ParseError,
+    ProgramError,
+    ReproError,
+    SchedulerError,
+    SpecError,
+)
+from repro.core.history import HistoryBuilder, ProcessorHistory, SystemHistory
+from repro.core.operation import INITIAL_VALUE, Operation, OpKind, read, rmw, write
+from repro.core.view import (
+    View,
+    check_view_contents,
+    first_legality_violation,
+    is_legal_sequence,
+)
+
+__all__ = [
+    "AmbiguousValueError",
+    "CheckerError",
+    "HistoryBuilder",
+    "HistoryError",
+    "IllegalViewError",
+    "INITIAL_VALUE",
+    "is_legal_sequence",
+    "check_view_contents",
+    "first_legality_violation",
+    "MachineError",
+    "MalformedOperationError",
+    "Operation",
+    "OpKind",
+    "ParseError",
+    "ProcessorHistory",
+    "ProgramError",
+    "read",
+    "ReproError",
+    "rmw",
+    "SchedulerError",
+    "SpecError",
+    "SystemHistory",
+    "View",
+    "write",
+]

@@ -1,0 +1,123 @@
+"""Serialization of histories and views to/from JSON-compatible structures.
+
+The benchmark harness and the lattice-enumeration cache persist histories to
+disk; this module provides a stable, versioned wire format.  The compact
+litmus *text* notation (``p: w(x)1 r(y)0 | q: ...``) lives in
+:mod:`repro.litmus.dsl`; this module is the structured counterpart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.errors import ParseError
+from repro.core.history import ProcessorHistory, SystemHistory
+from repro.core.operation import Operation, OpKind
+from repro.core.view import View
+
+__all__ = [
+    "FORMAT_VERSION",
+    "operation_to_dict",
+    "operation_from_dict",
+    "history_to_dict",
+    "history_from_dict",
+    "history_to_json",
+    "history_from_json",
+    "view_to_dict",
+    "view_from_dict",
+]
+
+#: Bumped on any incompatible change to the wire format.
+FORMAT_VERSION = 1
+
+
+def operation_to_dict(op: Operation) -> dict[str, Any]:
+    """Encode one operation as a plain dictionary."""
+    d: dict[str, Any] = {
+        "proc": op.proc,
+        "index": op.index,
+        "kind": op.kind.value,
+        "location": op.location,
+        "value": op.value,
+    }
+    if op.read_value is not None:
+        d["read_value"] = op.read_value
+    if op.labeled:
+        d["labeled"] = True
+    return d
+
+
+def operation_from_dict(d: dict[str, Any]) -> Operation:
+    """Decode one operation from :func:`operation_to_dict` output."""
+    try:
+        return Operation(
+            proc=d["proc"],
+            index=d["index"],
+            kind=OpKind(d["kind"]),
+            location=d["location"],
+            value=d["value"],
+            read_value=d.get("read_value"),
+            labeled=d.get("labeled", False),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ParseError(f"malformed operation record {d!r}: {exc}") from exc
+
+
+def history_to_dict(history: SystemHistory) -> dict[str, Any]:
+    """Encode a system history as a versioned plain dictionary."""
+    return {
+        "version": FORMAT_VERSION,
+        "processors": {
+            str(proc): [operation_to_dict(op) for op in history[proc]]
+            for proc in history.procs
+        },
+    }
+
+
+def history_from_dict(d: dict[str, Any]) -> SystemHistory:
+    """Decode a system history from :func:`history_to_dict` output."""
+    version = d.get("version")
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported history format version {version!r}")
+    try:
+        processors = d["processors"]
+    except KeyError as exc:
+        raise ParseError("history record lacks 'processors'") from exc
+    return SystemHistory(
+        ProcessorHistory(proc, [operation_from_dict(o) for o in ops])
+        for proc, ops in processors.items()
+    )
+
+
+def history_to_json(history: SystemHistory, *, indent: int | None = None) -> str:
+    """Encode a system history as a JSON string."""
+    return json.dumps(history_to_dict(history), indent=indent, sort_keys=True)
+
+
+def history_from_json(text: str) -> SystemHistory:
+    """Decode a system history from :func:`history_to_json` output."""
+    try:
+        d = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    return history_from_dict(d)
+
+
+def view_to_dict(view: View) -> dict[str, Any]:
+    """Encode a view (owner + operation identity sequence)."""
+    return {
+        "version": FORMAT_VERSION,
+        "proc": view.proc,
+        "ops": [operation_to_dict(op) for op in view],
+    }
+
+
+def view_from_dict(d: dict[str, Any], history: SystemHistory | None = None) -> View:
+    """Decode a view; validates against ``history`` when provided."""
+    version = d.get("version")
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported view format version {version!r}")
+    return View(
+        d["proc"], [operation_from_dict(o) for o in d["ops"]], history
+    )

@@ -1,0 +1,196 @@
+"""Processor views: legal sequential histories (paper Section 2).
+
+A *view* ``S_{p+δp}`` for processor ``p`` is a single sequence containing all
+of ``p``'s operations plus a model-specified subset ``δ_p`` of other
+processors' operations.  A view is *legal* when every read returns the value
+written by the most recent preceding write to the same location in the view
+(or the initial value 0 when no such write exists).
+
+The paper's entire framework rests on legality plus three per-model
+parameters; this module implements legality exactly once so that every
+checker, machine and property test shares the same definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.errors import HistoryError, IllegalViewError
+from repro.core.history import SystemHistory
+from repro.core.operation import INITIAL_VALUE, Operation
+
+__all__ = [
+    "View",
+    "first_legality_violation",
+    "is_legal_sequence",
+    "check_view_contents",
+]
+
+
+def first_legality_violation(
+    ops: Sequence[Operation], initial: int = INITIAL_VALUE
+) -> tuple[int, Operation, int] | None:
+    """Return the first legality violation in ``ops`` or ``None``.
+
+    Scans the sequence maintaining the current value of every location.  The
+    read half of an operation must observe the current value; the write half
+    then replaces it.  RMW operations exercise both rules atomically.
+
+    Returns
+    -------
+    ``None`` if the sequence is legal, otherwise ``(position, operation,
+    expected_value)`` identifying the first read that returned the wrong
+    value.
+    """
+    state: dict[str, int] = {}
+    for i, op in enumerate(ops):
+        if op.is_read:
+            expected = state.get(op.location, initial)
+            if op.value_read != expected:
+                return (i, op, expected)
+        if op.is_write:
+            state[op.location] = op.value_written
+    return None
+
+
+def is_legal_sequence(ops: Sequence[Operation], initial: int = INITIAL_VALUE) -> bool:
+    """True when every read in ``ops`` observes the most recent write."""
+    return first_legality_violation(ops, initial) is None
+
+
+def check_view_contents(
+    ops: Sequence[Operation], history: SystemHistory, proc: Any
+) -> None:
+    """Validate that ``ops`` could be the *contents* of a view for ``proc``.
+
+    Checks the paper's set-of-operations requirement: the view must contain
+    every operation of ``proc`` exactly once, and only operations drawn from
+    the history.  (Which *remote* operations must appear is model-specific
+    and checked by the model's spec, not here.)
+
+    Raises
+    ------
+    IllegalViewError
+        If an operation is duplicated, foreign to the history, or one of
+        ``proc``'s operations is missing.
+    """
+    seen: set[tuple[Any, int]] = set()
+    for op in ops:
+        try:
+            known = history.op(op.proc, op.index)
+        except HistoryError:
+            known = None
+        if known != op:
+            raise IllegalViewError(f"{op} is not an operation of the history")
+        if op.uid in seen:
+            raise IllegalViewError(f"{op} appears more than once in the view")
+        seen.add(op.uid)
+    for op in history.ops_of(proc):
+        if op.uid not in seen:
+            raise IllegalViewError(f"view for {proc!r} is missing its own {op}")
+
+
+class View(Sequence[Operation]):
+    """An ordered, legal view ``S_{p+δp}`` of the shared memory for one processor.
+
+    Instances are validated at construction: the sequence must be legal, must
+    contain all of the owner's operations, and must not duplicate or invent
+    operations.  Model-specific requirements (the contents of ``δ_p``,
+    ordering constraints, mutual consistency) are enforced by
+    :mod:`repro.spec` and :mod:`repro.checking`, which *produce* views.
+    """
+
+    __slots__ = ("_proc", "_ops", "_positions")
+
+    def __init__(
+        self,
+        proc: Any,
+        ops: Iterable[Operation],
+        history: SystemHistory | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self._proc = proc
+        self._ops = tuple(ops)
+        self._positions = {op.uid: i for i, op in enumerate(self._ops)}
+        if validate:
+            violation = first_legality_violation(self._ops)
+            if violation is not None:
+                pos, op, expected = violation
+                raise IllegalViewError(
+                    f"view for {proc!r} is not legal: position {pos} {op} "
+                    f"should have read {expected}"
+                )
+            if history is not None:
+                check_view_contents(self._ops, history, proc)
+
+    @property
+    def proc(self) -> Any:
+        """The processor whose perspective this view records."""
+        return self._proc
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._ops[i]
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        return self._proc == other._proc and self._ops == other._ops
+
+    def __hash__(self) -> int:
+        return hash((self._proc, self._ops))
+
+    def __repr__(self) -> str:
+        body = " ".join(str(op) for op in self._ops)
+        return f"S_{{{self._proc}}}: {body}"
+
+    # -- queries -------------------------------------------------------------
+
+    def position(self, op: Operation) -> int:
+        """Index of ``op`` within the view.
+
+        Raises
+        ------
+        IllegalViewError
+            If the operation is not part of the view.
+        """
+        try:
+            return self._positions[op.uid]
+        except KeyError:
+            raise IllegalViewError(f"{op} does not appear in view for {self._proc!r}") from None
+
+    def __contains__(self, op: object) -> bool:
+        return isinstance(op, Operation) and op.uid in self._positions
+
+    def orders(self, first: Operation, second: Operation) -> bool:
+        """True when ``first`` precedes ``second`` in this view."""
+        return self.position(first) < self.position(second)
+
+    def restricted(self, predicate) -> tuple[Operation, ...]:
+        """Subsequence of operations satisfying ``predicate`` (e.g. ``S_p|_w``).
+
+        The paper writes ``S_{p+w}|_w`` for the view with all reads removed
+        and ``S_p|_ℓ`` for its labeled subsequence; this implements that
+        restriction operator.
+        """
+        return tuple(op for op in self._ops if predicate(op))
+
+    @property
+    def writes_only(self) -> tuple[Operation, ...]:
+        """``S|_w``: the view restricted to write-half operations."""
+        return self.restricted(lambda op: op.is_write)
+
+    @property
+    def labeled_only(self) -> tuple[Operation, ...]:
+        """``S|_ℓ``: the view restricted to labeled operations."""
+        return self.restricted(lambda op: op.labeled)
+
+    def writes_to(self, location: str) -> tuple[Operation, ...]:
+        """The view's write order for one location (coherence order slice)."""
+        return self.restricted(lambda op: op.is_write and op.location == location)

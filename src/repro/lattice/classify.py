@@ -1,0 +1,137 @@
+"""Classify enumerated histories under every model: the Figure 5 engine.
+
+Runs the registered checkers over a history collection and derives the
+containment structure empirically.  Containment (``A ⊆ B``: every history
+allowed by A is allowed by B) is checked exhaustively over the collection;
+strictness additionally requires a separating witness (a history in
+``B \\ A``).  The paper's Figure 5 claims both directions for its five
+memories; :data:`FIGURE5_EDGES` records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.checking.models import check
+from repro.core.history import SystemHistory
+
+__all__ = [
+    "FIGURE5_EDGES",
+    "FIGURE5_INCOMPARABLE",
+    "ClassificationResult",
+    "classify_histories",
+    "containment_violations",
+    "separating_witnesses",
+]
+
+#: (stronger, weaker) pairs asserted by the paper's Figure 5: the stronger
+#: memory's history set is strictly contained in the weaker one's.
+FIGURE5_EDGES: tuple[tuple[str, str], ...] = (
+    ("SC", "TSO"),
+    ("TSO", "PC"),
+    ("TSO", "Causal"),
+    ("PC", "PRAM"),
+    ("Causal", "PRAM"),
+)
+
+#: Model pairs Figure 5 shows as incomparable (neither contains the other).
+FIGURE5_INCOMPARABLE: tuple[tuple[str, str], ...] = (("PC", "Causal"),)
+
+
+@dataclass
+class ClassificationResult:
+    """Verdicts of several models over a history collection.
+
+    Attributes
+    ----------
+    models:
+        The model names consulted, in order.
+    histories:
+        The classified histories.
+    allowed:
+        ``allowed[name]`` is the set of history indices the model allows.
+    """
+
+    models: tuple[str, ...]
+    histories: list[SystemHistory]
+    allowed: dict[str, set[int]] = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        """Histories allowed per model (the Venn-diagram region sizes)."""
+        return {name: len(self.allowed[name]) for name in self.models}
+
+    def contains(self, stronger: str, weaker: str) -> bool:
+        """True when every history allowed by ``stronger`` is allowed by ``weaker``."""
+        return self.allowed[stronger] <= self.allowed[weaker]
+
+    def strictly_contains(self, stronger: str, weaker: str) -> bool:
+        """Containment plus a separating witness inside this collection."""
+        return self.contains(stronger, weaker) and bool(
+            self.allowed[weaker] - self.allowed[stronger]
+        )
+
+    def incomparable(self, a: str, b: str) -> bool:
+        """Witnessed incomparability: histories exist in both differences."""
+        return bool(self.allowed[a] - self.allowed[b]) and bool(
+            self.allowed[b] - self.allowed[a]
+        )
+
+    def containment_matrix(self) -> dict[tuple[str, str], bool]:
+        """All pairwise ``⊆`` verdicts over the collection."""
+        return {
+            (a, b): self.contains(a, b)
+            for a in self.models
+            for b in self.models
+            if a != b
+        }
+
+
+def classify_histories(
+    histories: Iterable[SystemHistory],
+    models: Sequence[str],
+) -> ClassificationResult:
+    """Run every named model's checker over every history."""
+    hs = list(histories)
+    result = ClassificationResult(tuple(models), hs)
+    for name in models:
+        result.allowed[name] = {
+            i for i, h in enumerate(hs) if check(h, name).allowed
+        }
+    return result
+
+
+def containment_violations(
+    result: ClassificationResult,
+    edges: Sequence[tuple[str, str]] = FIGURE5_EDGES,
+) -> dict[tuple[str, str], list[SystemHistory]]:
+    """Histories violating the claimed containments (empty = all hold).
+
+    For each claimed edge ``(stronger, weaker)``, lists the histories the
+    stronger model allows but the weaker rejects — each one would be a
+    counterexample to the paper's Figure 5.
+    """
+    out: dict[tuple[str, str], list[SystemHistory]] = {}
+    for stronger, weaker in edges:
+        bad = result.allowed[stronger] - result.allowed[weaker]
+        if bad:
+            out[(stronger, weaker)] = [result.histories[i] for i in sorted(bad)]
+    return out
+
+
+def separating_witnesses(
+    result: ClassificationResult,
+    edges: Sequence[tuple[str, str]] = FIGURE5_EDGES,
+) -> dict[tuple[str, str], SystemHistory | None]:
+    """One history per edge showing strictness (in weaker, not stronger).
+
+    ``None`` for an edge means this collection contains no witness — the
+    benchmark then falls back to the catalog's hand-built separators.
+    """
+    out: dict[tuple[str, str], SystemHistory | None] = {}
+    for stronger, weaker in edges:
+        extra = result.allowed[weaker] - result.allowed[stronger]
+        out[(stronger, weaker)] = (
+            result.histories[min(extra)] if extra else None
+        )
+    return out

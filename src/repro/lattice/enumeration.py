@@ -1,0 +1,153 @@
+"""Exhaustive enumeration of small system execution histories.
+
+The paper relates memories by *set containment* over the histories they
+allow (Section 4, Figure 5).  To check those claims mechanically we
+enumerate every small history — every assignment of operation kinds,
+locations, and read values to a fixed grid of processors × slots — and run
+every checker on each.
+
+To keep the space meaningful and the checkers fast, writes are assigned
+globally distinct values (1, 2, … by slot position), the conventional
+litmus discipline under which reads-from is unambiguous.  Reads range over
+the initial value 0 plus the values written to their location anywhere in
+the history (other values are rejected by every model outright and carry
+no information).
+
+Symmetry reduction: histories equal up to renaming of processors and
+locations (values are canonical already) classify identically under every
+model, so :func:`canonical_key` lets callers deduplicate, typically
+shrinking the space by close to ``procs! × locations!``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.history import HistoryBuilder, SystemHistory
+
+__all__ = ["HistorySpace", "enumerate_histories", "canonical_key", "space_size"]
+
+
+@dataclass(frozen=True)
+class HistorySpace:
+    """A grid of histories: ``procs`` processors issuing ``ops_per_proc`` ops.
+
+    Attributes
+    ----------
+    procs:
+        Number of processors (named ``p0``, ``p1``, …).
+    ops_per_proc:
+        Operations issued by each processor.
+    locations:
+        Location names available to every operation.
+    """
+
+    procs: int = 2
+    ops_per_proc: int = 2
+    locations: tuple[str, ...] = ("x", "y")
+
+    def __post_init__(self) -> None:
+        if self.procs < 1 or self.ops_per_proc < 1 or not self.locations:
+            raise ValueError(f"degenerate history space {self}")
+
+    @property
+    def slots(self) -> int:
+        """Total operation slots in the grid."""
+        return self.procs * self.ops_per_proc
+
+    def proc_names(self) -> tuple[str, ...]:
+        return tuple(f"p{i}" for i in range(self.procs))
+
+
+def enumerate_histories(space: HistorySpace) -> Iterator[SystemHistory]:
+    """Yield every history of the space (writes distinct-valued by slot).
+
+    Slot ``k`` (row-major: processor index × ops_per_proc + op index)
+    writes value ``k + 1`` when it is a write.  Reads enumerate 0 plus all
+    values written to their location by any slot of the current shape.
+    """
+    n_slots = space.slots
+    shape_choices = [
+        (kind, loc) for kind in ("w", "r") for loc in space.locations
+    ]
+    proc_names = space.proc_names()
+    for shape in itertools.product(shape_choices, repeat=n_slots):
+        # Values available per location for this shape.
+        written: dict[str, list[int]] = {loc: [] for loc in space.locations}
+        for k, (kind, loc) in enumerate(shape):
+            if kind == "w":
+                written[loc].append(k + 1)
+        read_slots = [k for k, (kind, _) in enumerate(shape) if kind == "r"]
+        read_options = [
+            [0] + written[shape[k][1]] for k in read_slots
+        ]
+        for combo in itertools.product(*read_options):
+            values = {k: v for k, v in zip(read_slots, combo)}
+            builder = HistoryBuilder()
+            for pi, proc in enumerate(proc_names):
+                builder.proc(proc)
+                for oi in range(space.ops_per_proc):
+                    k = pi * space.ops_per_proc + oi
+                    kind, loc = shape[k]
+                    if kind == "w":
+                        builder.write(loc, k + 1)
+                    else:
+                        builder.read(loc, values[k])
+            yield builder.build()
+
+
+def space_size(space: HistorySpace) -> int:
+    """The exact number of histories :func:`enumerate_histories` yields.
+
+    Computed combinatorially (not by enumeration): for each shape, the
+    product over read slots of ``1 + writes to that slot's location``.
+    """
+    total = 0
+    shape_choices = [
+        (kind, loc) for kind in ("w", "r") for loc in space.locations
+    ]
+    for shape in itertools.product(shape_choices, repeat=space.slots):
+        written: dict[str, int] = {loc: 0 for loc in space.locations}
+        for kind, loc in shape:
+            if kind == "w":
+                written[loc] += 1
+        combos = 1
+        for kind, loc in shape:
+            if kind == "r":
+                combos *= 1 + written[loc]
+        total += combos
+    return total
+
+
+def canonical_key(history: SystemHistory) -> tuple:
+    """A key equal for histories that differ only by proc/location renaming.
+
+    Minimizes, over all processor permutations, the tuple of per-processor
+    operation descriptions with locations renamed in order of first
+    appearance.  Write values are renamed by first appearance as well (the
+    slot-based values of :func:`enumerate_histories` depend on processor
+    position); read values follow the write-value renaming, with 0 fixed.
+    """
+    procs = list(history.procs)
+    best: tuple | None = None
+    for perm in itertools.permutations(procs):
+        loc_names: dict[str, int] = {}
+        val_names: dict[int, int] = {0: 0}
+        rows = []
+        for proc in perm:
+            row = []
+            for op in history.ops_of(proc):
+                loc_id = loc_names.setdefault(op.location, len(loc_names))
+                val = op.value
+                val_id = val_names.setdefault(val, len(val_names))
+                rv = op.read_value
+                rv_id = None if rv is None else val_names.setdefault(rv, len(val_names))
+                row.append((op.kind.value, loc_id, val_id, rv_id, op.labeled))
+            rows.append(tuple(row))
+        key = tuple(rows)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best

@@ -1,0 +1,47 @@
+"""Hasse diagram of memory strength: Figure 5 as a graph.
+
+Builds the strictly-stronger-than relation between models — either the
+paper's asserted edges or an empirically derived one from a
+:class:`~repro.lattice.classify.ClassificationResult` — as a
+:class:`networkx.DiGraph`, transitively reduced so that rendering it gives
+the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.lattice.classify import FIGURE5_EDGES, ClassificationResult
+
+__all__ = ["paper_hasse", "empirical_hasse", "hasse_levels"]
+
+
+def paper_hasse() -> nx.DiGraph:
+    """Figure 5 as asserted by the paper (edges point stronger → weaker)."""
+    g = nx.DiGraph()
+    g.add_edges_from(FIGURE5_EDGES)
+    return nx.transitive_reduction(g)
+
+
+def empirical_hasse(result: ClassificationResult) -> nx.DiGraph:
+    """The strict-containment relation measured over a history collection.
+
+    An edge ``A → B`` means: over the classified collection, every history
+    A allows is allowed by B, and B allows at least one more.  The graph is
+    transitively reduced.  With a rich enough collection this reproduces
+    :func:`paper_hasse` on the paper's five models.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(result.models)
+    for a in result.models:
+        for b in result.models:
+            if a != b and result.strictly_contains(a, b):
+                g.add_edge(a, b)
+    return nx.transitive_reduction(g)
+
+
+def hasse_levels(g: nx.DiGraph) -> list[list[str]]:
+    """Topological layers of the diagram, strongest models first."""
+    return [sorted(layer) for layer in nx.topological_generations(g)]

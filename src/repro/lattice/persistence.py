@@ -1,0 +1,62 @@
+"""Save and load classification results.
+
+Classifying larger spaces takes minutes; the survey scripts persist their
+results so reports and Hasse diagrams can be re-rendered (or extended
+with new models) without re-running the checkers.  The format embeds the
+histories themselves via :mod:`repro.core.serialization`, so a loaded
+result is fully self-contained and re-verifiable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import ParseError
+from repro.core.serialization import FORMAT_VERSION, history_from_dict, history_to_dict
+from repro.lattice.classify import ClassificationResult
+
+__all__ = ["save_classification", "load_classification"]
+
+
+def save_classification(result: ClassificationResult, path: str | Path) -> None:
+    """Write a classification result as JSON."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "models": list(result.models),
+        "histories": [history_to_dict(h) for h in result.histories],
+        "allowed": {name: sorted(idx) for name, idx in result.allowed.items()},
+    }
+    Path(path).write_text(json.dumps(payload, sort_keys=True))
+
+
+def load_classification(path: str | Path) -> ClassificationResult:
+    """Read a classification result written by :func:`save_classification`.
+
+    Raises
+    ------
+    ParseError
+        On version mismatch or structural problems.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid classification file: {exc}") from exc
+    if payload.get("version") != FORMAT_VERSION:
+        raise ParseError(
+            f"unsupported classification version {payload.get('version')!r}"
+        )
+    try:
+        histories = [history_from_dict(d) for d in payload["histories"]]
+        result = ClassificationResult(
+            tuple(payload["models"]), histories
+        )
+        result.allowed = {
+            name: set(idx) for name, idx in payload["allowed"].items()
+        }
+    except KeyError as exc:
+        raise ParseError(f"classification file lacks {exc}") from exc
+    for name in result.models:
+        if name not in result.allowed:
+            raise ParseError(f"classification file lacks verdicts for {name!r}")
+    return result

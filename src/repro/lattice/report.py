@@ -1,0 +1,87 @@
+"""Markdown report generation for lattice surveys.
+
+Turns a :class:`~repro.lattice.classify.ClassificationResult` into a
+self-contained markdown document: per-model counts, the containment
+matrix, strictness witnesses, and the measured Hasse diagram — the
+artifact a survey run leaves behind (and what `python -m repro lattice
+--report` writes).
+"""
+
+from __future__ import annotations
+
+from repro.lattice.classify import (
+    ClassificationResult,
+    FIGURE5_EDGES,
+    containment_violations,
+    separating_witnesses,
+)
+from repro.lattice.hasse import empirical_hasse, hasse_levels
+from repro.litmus.dsl import format_history
+
+__all__ = ["lattice_report"]
+
+
+def lattice_report(
+    result: ClassificationResult,
+    *,
+    title: str = "Memory-model lattice survey",
+    edges=FIGURE5_EDGES,
+) -> str:
+    """A markdown report of the classification (see module docstring)."""
+    total = len(result.histories)
+    lines = [f"# {title}", ""]
+    lines.append(f"Classified **{total}** histories under {len(result.models)} models.")
+    lines.append("")
+
+    lines.append("## Allowed-history counts")
+    lines.append("")
+    lines.append("| model | allowed | fraction |")
+    lines.append("|---|---:|---:|")
+    for name, count in result.counts().items():
+        pct = 100.0 * count / total if total else 0.0
+        lines.append(f"| {name} | {count} | {pct:.1f}% |")
+    lines.append("")
+
+    lines.append("## Claimed containments")
+    lines.append("")
+    violations = containment_violations(result, edges)
+    wits = separating_witnesses(result, edges)
+    lines.append("| claim | holds | strict (witness in survey) |")
+    lines.append("|---|---|---|")
+    for edge in edges:
+        stronger, weaker = edge
+        holds = edge not in violations
+        witness = wits.get(edge)
+        strict = (
+            f"yes — `{format_history(witness, oneline=True)}`"
+            if witness is not None
+            else "no witness found"
+        )
+        lines.append(f"| {stronger} ⊆ {weaker} | {'yes' if holds else '**NO**'} | {strict} |")
+    lines.append("")
+
+    lines.append("## Pairwise containment matrix (row ⊆ column)")
+    lines.append("")
+    lines.append("| ⊆ | " + " | ".join(result.models) + " |")
+    lines.append("|---|" + "---|" * len(result.models))
+    for a in result.models:
+        cells = []
+        for b in result.models:
+            if a == b:
+                cells.append("·")
+            else:
+                cells.append("✓" if result.contains(a, b) else "✗")
+        lines.append(f"| **{a}** | " + " | ".join(cells) + " |")
+    lines.append("")
+
+    lines.append("## Measured Hasse diagram (strongest first)")
+    lines.append("")
+    g = empirical_hasse(result)
+    for depth, layer in enumerate(hasse_levels(g)):
+        lines.append(f"{depth + 1}. {', '.join(layer)}")
+    lines.append("")
+    lines.append("Edges (stronger → weaker): " + ", ".join(
+        f"{a}→{b}" for a, b in sorted(g.edges())
+    ))
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Litmus-test notation and catalog (the paper's figures, machine-checkable)."""
+
+from repro.litmus.catalog import CATALOG, LitmusTest, get_test, paper_figures, catalog_names
+from repro.litmus.dsl import format_history, parse_history, parse_operations
+
+__all__ = [
+    "CATALOG",
+    "format_history",
+    "get_test",
+    "LitmusTest",
+    "paper_figures",
+    "parse_history",
+    "parse_operations",
+    "catalog_names",
+]

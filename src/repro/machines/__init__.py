@@ -1,0 +1,35 @@
+"""Operational memory simulators (the hardware-substitute substrate)."""
+
+from repro.machines.base import EventKey, MemoryMachine
+from repro.machines.causal_machine import CausalMachine
+from repro.machines.coherent_machine import CoherentMachine
+from repro.machines.pc_machine import PCMachine
+from repro.machines.pram_machine import PRAMMachine
+from repro.machines.rc_machine import RCMachine
+from repro.machines.sc_machine import SCMachine
+from repro.machines.tso_machine import TSOMachine
+
+__all__ = [
+    "CausalMachine",
+    "CoherentMachine",
+    "EventKey",
+    "MemoryMachine",
+    "PCMachine",
+    "PRAMMachine",
+    "RCMachine",
+    "SCMachine",
+    "TSOMachine",
+]
+
+#: Machine classes paired with the model every trace must satisfy, used by
+#: the soundness property tests (operational ⊆ declarative).
+MACHINE_MODEL_PAIRS: tuple[tuple[type[MemoryMachine], str], ...] = (
+    (SCMachine, "SC"),
+    (TSOMachine, "TSO-axiomatic"),  # forwarding: see tso_machine docstring
+    (PCMachine, "PC"),
+    (PRAMMachine, "PRAM"),
+    (CausalMachine, "Causal"),
+    (CoherentMachine, "Coherence"),
+)
+
+__all__.append("MACHINE_MODEL_PAIRS")

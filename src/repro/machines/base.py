@@ -1,0 +1,183 @@
+"""Operational memory machines: the systems the paper's models abstract.
+
+The paper defines each memory twice: operationally (store buffers for TSO,
+replicated memories with FIFO channels for PRAM, the DASH protocol for PC
+and RC) and non-operationally (processor views).  We reproduce the
+operational side as simulators so the two directions can be checked against
+each other: every trace a machine can produce must be allowed by the
+corresponding view-based model.
+
+Hardware substitution note: these machines stand in for the SPARC and DASH
+hardware the original memories ran on.  Each machine implements exactly the
+paper's operational description; nondeterminism (message delivery, buffer
+drains) is externalized through :meth:`MemoryMachine.internal_events` /
+:meth:`MemoryMachine.fire` so one scheduler can drive random testing and
+bounded exhaustive exploration alike.
+
+Protocol
+--------
+* ``read/write/rmw`` are invoked synchronously by the program layer; every
+  machine completes them immediately against its local state (asynchrony
+  lives in the internal events).
+* ``internal_events()`` returns the currently enabled internal transitions
+  as stable, hashable keys; ``fire(key)`` executes one.
+* ``history()`` assembles the recorded operations into a
+  :class:`~repro.core.history.SystemHistory` ready for the checkers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.history import ProcessorHistory, SystemHistory
+from repro.core.operation import INITIAL_VALUE, Operation, OpKind
+
+__all__ = ["MemoryMachine", "EventKey"]
+
+#: Stable identifier of an enabled internal machine transition.
+EventKey = Hashable
+
+
+class MemoryMachine(abc.ABC):
+    """Common machinery for the operational memory simulators.
+
+    Subclasses implement the value semantics (:meth:`_do_read`,
+    :meth:`_do_write`, :meth:`_do_rmw`) and the asynchronous transitions;
+    this base class records the per-processor operation history.
+    """
+
+    #: Human-readable machine name, e.g. ``"TSO-machine"``.
+    name: str = "machine"
+
+    def __init__(self, procs: Sequence[Any]) -> None:
+        if len(set(procs)) != len(procs):
+            raise MachineError(f"duplicate processor ids in {procs!r}")
+        self.procs: tuple[Any, ...] = tuple(procs)
+        self._ops: dict[Any, list[Operation]] = {p: [] for p in self.procs}
+
+    # -- program-facing API -----------------------------------------------------
+
+    def read(self, proc: Any, location: str, *, labeled: bool = False) -> int:
+        """Execute a read by ``proc`` and return the observed value."""
+        self._require_proc(proc)
+        value = self._do_read(proc, location, labeled)
+        self._record(proc, OpKind.READ, location, value, None, labeled)
+        return value
+
+    def write(self, proc: Any, location: str, value: int, *, labeled: bool = False) -> None:
+        """Execute a write by ``proc``."""
+        self._require_proc(proc)
+        self._do_write(proc, location, value, labeled)
+        self._record(proc, OpKind.WRITE, location, value, None, labeled)
+
+    def rmw(self, proc: Any, location: str, value: int, *, labeled: bool = False) -> int:
+        """Atomically read ``location`` and store ``value``; returns old value.
+
+        Models *test-and-set*-style instructions; per the paper's footnote 4
+        they are treated as writes for view purposes.
+        """
+        self._require_proc(proc)
+        old = self._do_rmw(proc, location, value, labeled)
+        self._record(proc, OpKind.RMW, location, value, old, labeled)
+        return old
+
+    # -- scheduler-facing API ----------------------------------------------------
+
+    def internal_events(self) -> list[EventKey]:
+        """Keys of the internal transitions currently enabled."""
+        return []
+
+    def fire(self, key: EventKey) -> None:
+        """Execute the internal transition identified by ``key``.
+
+        Raises
+        ------
+        MachineError
+            If the key does not denote a currently enabled event.
+        """
+        raise MachineError(f"{self.name} has no internal events (got {key!r})")
+
+    def quiescent(self) -> bool:
+        """True when no internal work is pending."""
+        return not self.internal_events()
+
+    def drain(self, max_steps: int = 100_000) -> None:
+        """Fire enabled events (first-enabled order) until quiescent.
+
+        Deterministic; schedulers wanting nondeterministic drains should
+        drive :meth:`fire` themselves.
+        """
+        steps = 0
+        while True:
+            events = self.internal_events()
+            if not events:
+                return
+            self.fire(events[0])
+            steps += 1
+            if steps > max_steps:
+                raise MachineError(f"{self.name} failed to quiesce in {max_steps} steps")
+
+    # -- results -------------------------------------------------------------------
+
+    def history(self) -> SystemHistory:
+        """The system execution history recorded so far."""
+        return SystemHistory(
+            ProcessorHistory(p, list(self._ops[p])) for p in self.procs
+        )
+
+    def operation_count(self) -> int:
+        """Total number of operations recorded."""
+        return sum(len(ops) for ops in self._ops.values())
+
+    # -- subclass hooks ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        """Compute the value a read observes (no recording)."""
+
+    @abc.abstractmethod
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        """Apply a write (no recording)."""
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        """Apply an atomic read-modify-write; default is unsupported."""
+        raise MachineError(f"{self.name} does not support RMW operations")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _require_proc(self, proc: Any) -> None:
+        if proc not in self._ops:
+            raise MachineError(f"unknown processor {proc!r} (have {self.procs!r})")
+
+    def _record(
+        self,
+        proc: Any,
+        kind: OpKind,
+        location: str,
+        value: int,
+        read_value: int | None,
+        labeled: bool,
+    ) -> None:
+        ops = self._ops[proc]
+        ops.append(
+            Operation(
+                proc=proc,
+                index=len(ops),
+                kind=kind,
+                location=location,
+                value=value,
+                read_value=read_value,
+                labeled=labeled,
+            )
+        )
+
+    @staticmethod
+    def _fresh_memory() -> dict[str, int]:
+        """A memory replica with every location at the initial value."""
+        return {}
+
+    @staticmethod
+    def _load(memory: dict[str, int], location: str) -> int:
+        return memory.get(location, INITIAL_VALUE)

@@ -1,0 +1,106 @@
+"""Vector-clock replicated machine: causal memory (Section 3.5).
+
+Causal memory strengthens PRAM by delivering updates only when their causal
+predecessors have been applied.  We implement the standard causal-broadcast
+construction (as in the causal memory paper of Ahamad, Burns, Hutto &
+Neiger): each processor keeps a vector clock counting the writes it has
+applied per origin; a write is stamped with its origin's vector at issue
+time; a replica may apply an update only when it has already applied every
+write the update causally depends on.
+
+Reads are local, so read-to-write causality is carried by the issuing
+processor's own vector (a processor's vector reflects everything it has
+*seen*, hence everything any of its reads could have observed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.operation import INITIAL_VALUE
+from repro.machines.base import EventKey, MemoryMachine
+
+__all__ = ["CausalMachine"]
+
+
+class CausalMachine(MemoryMachine):
+    """Replicated memory with causal (vector-clock gated) update delivery."""
+
+    name = "Causal-machine"
+
+    def __init__(self, procs: Sequence[Any]) -> None:
+        super().__init__(procs)
+        self._replicas: dict[Any, dict[str, int]] = {p: {} for p in self.procs}
+        self._latest: dict[str, int] = {}  # newest issued value per location
+        self._vectors: dict[Any, dict[Any, int]] = {
+            p: {q: 0 for q in self.procs} for p in self.procs
+        }
+        # Pending updates per destination: (origin, seq, deps, loc, value).
+        self._pending: dict[Any, list[tuple[Any, int, dict[Any, int], str, int]]] = {
+            p: [] for p in self.procs
+        }
+
+    # -- value semantics -----------------------------------------------------------
+
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        return self._replicas[proc].get(location, INITIAL_VALUE)
+
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        vec = self._vectors[proc]
+        deps = dict(vec)  # everything proc has applied happens-before this write
+        vec[proc] += 1
+        seq = vec[proc]
+        self._replicas[proc][location] = value
+        self._latest[location] = value
+        for dst in self.procs:
+            if dst != proc:
+                self._pending[dst].append((proc, seq, deps, location, value))
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        # Atomic at the location's global serialization point (the paper's
+        # footnote 4 treats RMWs as writes seen by every processor).
+        old = self._latest.get(location, INITIAL_VALUE)
+        self._do_write(proc, location, value, labeled)
+        return old
+
+    # -- internal events ----------------------------------------------------------
+
+    def _ready(self, dst: Any, entry: tuple[Any, int, dict[Any, int], str, int]) -> bool:
+        origin, seq, deps, _, _ = entry
+        vec = self._vectors[dst]
+        if vec[origin] != seq - 1:
+            return False  # origin's earlier writes not yet applied (FIFO)
+        return all(vec[q] >= deps[q] for q in self.procs if q != origin)
+
+    def internal_events(self) -> list[EventKey]:
+        events: list[EventKey] = []
+        for dst in self.procs:
+            for entry in self._pending[dst]:
+                if self._ready(dst, entry):
+                    events.append(("apply", dst, entry[0], entry[1]))
+        return events
+
+    def fire(self, key: EventKey) -> None:
+        match key:
+            case ("apply", dst, origin, seq):
+                for i, entry in enumerate(self._pending[dst]):
+                    if entry[0] == origin and entry[1] == seq:
+                        if not self._ready(dst, entry):
+                            raise MachineError(
+                                f"{self.name}: update {key!r} is not causally ready"
+                            )
+                        _, _, _, location, value = entry
+                        del self._pending[dst][i]
+                        self._replicas[dst][location] = value
+                        self._vectors[dst][origin] = seq
+                        return
+                raise MachineError(f"{self.name}: no pending update {key!r}")
+            case _:
+                raise MachineError(f"{self.name}: malformed event {key!r}")
+
+    # -- introspection --------------------------------------------------------------
+
+    def vector_of(self, proc: Any) -> dict[Any, int]:
+        """A copy of ``proc``'s applied-writes vector clock."""
+        return dict(self._vectors[proc])

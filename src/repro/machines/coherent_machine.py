@@ -1,0 +1,84 @@
+"""Coherent-only machine: per-location serialization, unordered delivery.
+
+The weakest machine with any mutual consistency: writes are serialized per
+location (coherence) but updates travel to each replica independently and
+may be applied in *any* order across locations and sources — there are no
+FIFO channels.  Last-writer-wins by location serial keeps replicas
+coherent.  Its traces satisfy plain coherence (per-location SC) but none
+of the cross-location orderings of PRAM or PC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.operation import INITIAL_VALUE
+from repro.machines.base import EventKey, MemoryMachine
+
+__all__ = ["CoherentMachine"]
+
+
+class CoherentMachine(MemoryMachine):
+    """Replicated memory, per-location write serialization, no channel order."""
+
+    name = "Coherent-machine"
+
+    def __init__(self, procs: Sequence[Any]) -> None:
+        super().__init__(procs)
+        self._replicas: dict[Any, dict[str, tuple[int, int]]] = {
+            p: {} for p in self.procs
+        }
+        self._loc_serial: dict[str, int] = {}
+        self._latest: dict[str, int] = {}  # value of the max-serial write
+        # In-flight updates per destination, delivered in any order:
+        # update id -> (location, value, serial).
+        self._pending: dict[Any, dict[int, tuple[str, int, int]]] = {
+            p: {} for p in self.procs
+        }
+        self._next_update_id = 0
+
+    # -- value semantics -----------------------------------------------------------
+
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        entry = self._replicas[proc].get(location)
+        return entry[0] if entry is not None else INITIAL_VALUE
+
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        serial = self._loc_serial.get(location, 0) + 1
+        self._loc_serial[location] = serial
+        self._latest[location] = value
+        self._apply(proc, location, value, serial)
+        for dst in self.procs:
+            if dst != proc:
+                self._pending[dst][self._next_update_id] = (location, value, serial)
+                self._next_update_id += 1
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        # Atomic at the location's serialization point: observe the
+        # globally newest value, then serialize the store right after it.
+        old = self._latest.get(location, INITIAL_VALUE)
+        self._do_write(proc, location, value, labeled)
+        return old
+
+    def _apply(self, proc: Any, location: str, value: int, serial: int) -> None:
+        current = self._replicas[proc].get(location)
+        if current is None or serial > current[1]:
+            self._replicas[proc][location] = (value, serial)
+
+    # -- internal events ----------------------------------------------------------
+
+    def internal_events(self) -> list[EventKey]:
+        return [
+            ("apply", dst, uid)
+            for dst, pending in self._pending.items()
+            for uid in pending
+        ]
+
+    def fire(self, key: EventKey) -> None:
+        match key:
+            case ("apply", dst, uid) if uid in self._pending.get(dst, {}):
+                location, value, serial = self._pending[dst].pop(uid)
+                self._apply(dst, location, value, serial)
+            case _:
+                raise MachineError(f"{self.name}: event {key!r} is not enabled")

@@ -1,0 +1,83 @@
+"""Replicated-memory machine with FIFO update channels: PRAM (Section 3.5).
+
+The paper's operational definition of Lipton & Sandberg's pipelined RAM,
+implemented verbatim: every processor holds a complete copy of memory;
+reads return the local value; writes update the local copy and broadcast
+the update on reliable, point-to-point ordered channels; updates are
+applied asynchronously and atomically.  One channel delivery is one
+internal event, so a scheduler can reorder deliveries from *different*
+sources arbitrarily while each channel stays FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.operation import INITIAL_VALUE
+from repro.machines.base import EventKey, MemoryMachine
+
+__all__ = ["PRAMMachine"]
+
+
+class PRAMMachine(MemoryMachine):
+    """Full replication, local reads, FIFO-per-channel asynchronous updates."""
+
+    name = "PRAM-machine"
+
+    def __init__(self, procs: Sequence[Any]) -> None:
+        super().__init__(procs)
+        self._replicas: dict[Any, dict[str, int]] = {p: {} for p in self.procs}
+        self._latest: dict[str, int] = {}  # newest issued value per location
+        # _channels[(src, dst)] — updates in flight from src to dst, FIFO.
+        self._channels: dict[tuple[Any, Any], deque[tuple[str, int]]] = {
+            (src, dst): deque()
+            for src in self.procs
+            for dst in self.procs
+            if src != dst
+        }
+
+    # -- value semantics -----------------------------------------------------------
+
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        return self._replicas[proc].get(location, INITIAL_VALUE)
+
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        self._replicas[proc][location] = value
+        self._latest[location] = value
+        for dst in self.procs:
+            if dst != proc:
+                self._channels[(proc, dst)].append((location, value))
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        # Atomic read-modify-write: per the paper's footnote 4 these are
+        # handled like writes visible to everyone; operationally the
+        # coherence hardware serializes them, so the read half observes
+        # the globally newest issue (not the possibly stale replica).
+        old = self._latest.get(location, INITIAL_VALUE)
+        self._do_write(proc, location, value, labeled)
+        return old
+
+    # -- internal events ----------------------------------------------------------
+
+    def internal_events(self) -> list[EventKey]:
+        return [
+            ("deliver", src, dst)
+            for (src, dst), chan in self._channels.items()
+            if chan
+        ]
+
+    def fire(self, key: EventKey) -> None:
+        match key:
+            case ("deliver", src, dst) if self._channels.get((src, dst)):
+                location, value = self._channels[(src, dst)].popleft()
+                self._replicas[dst][location] = value
+            case _:
+                raise MachineError(f"{self.name}: event {key!r} is not enabled")
+
+    # -- introspection --------------------------------------------------------------
+
+    def in_flight(self, src: Any, dst: Any) -> tuple[tuple[str, int], ...]:
+        """Updates queued from ``src`` to ``dst``, oldest first."""
+        return tuple(self._channels[(src, dst)])

@@ -1,0 +1,226 @@
+"""Release-consistent machines: ``RC_sc`` and ``RC_pc`` (Section 3.4).
+
+Simulates the DASH memory system the paper analyzes.  Operations carry a
+``labeled`` flag; labeled reads are *acquires* and labeled writes are
+*releases*.  Two propagation planes:
+
+Ordinary plane
+    Replicated memory with per-location serial numbers (coherence is
+    required even for ordinary writes) and completely unordered delivery —
+    ordinary writes "could be propagated independently and their values may
+    arrive in different order at different caches".
+
+Labeled plane — mode ``"sc"``
+    Labeled operations execute atomically against a single master copy of
+    the synchronization locations, in issue order.  The labeled
+    subsequence of any trace is therefore sequentially consistent.
+
+Labeled plane — mode ``"pc"``
+    Labeled operations use the DASH PC protocol of
+    :class:`~repro.machines.pc_machine.PCMachine`: local reads, per-location
+    serialization, FIFO propagation.  Acquires may observe stale
+    synchronization values — exactly the weakness the Bakery algorithm
+    trips over (Section 5).
+
+Bracketing (both modes)
+    Before a release *performs* anywhere, the releaser's prior ordinary
+    writes must have performed everywhere.  In ``"sc"`` mode the release
+    flushes the releaser's in-flight ordinary updates before touching the
+    master ("eager release").  In ``"pc"`` mode the release's update is
+    applied at each replica only after the releaser's prior ordinary
+    updates have been applied there (a per-source barrier count carried on
+    the release message).
+
+The framework assumption of the paper's Section 5 applies: synchronization
+locations are accessed only by labeled operations, ordinary locations only
+by ordinary operations.  The machine enforces it at run time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Literal, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.operation import INITIAL_VALUE
+from repro.machines.base import EventKey, MemoryMachine
+
+__all__ = ["RCMachine"]
+
+
+class RCMachine(MemoryMachine):
+    """Release consistency with SC or PC labeled operations."""
+
+    def __init__(self, procs: Sequence[Any], labeled_mode: Literal["sc", "pc"] = "sc") -> None:
+        super().__init__(procs)
+        if labeled_mode not in ("sc", "pc"):
+            raise MachineError(f"labeled_mode must be 'sc' or 'pc', got {labeled_mode!r}")
+        self.labeled_mode = labeled_mode
+        self.name = f"RC_{labeled_mode}-machine"
+
+        # Location discipline bookkeeping (sync vs ordinary).
+        self._loc_kind: dict[str, bool] = {}  # location -> labeled?
+
+        # Ordinary plane: coherent, unordered delivery.
+        self._ord_replicas: dict[Any, dict[str, tuple[int, int]]] = {
+            p: {} for p in self.procs
+        }
+        self._ord_serial: dict[str, int] = {}
+        self._ord_pending: dict[Any, dict[int, tuple[Any, str, int, int]]] = {
+            p: {} for p in self.procs
+        }
+        self._next_uid = 0
+        # How many ordinary updates from src have been applied at dst.
+        self._ord_applied_from: dict[tuple[Any, Any], int] = {
+            (s, d): 0 for s in self.procs for d in self.procs if s != d
+        }
+        self._ord_sent_by: dict[Any, int] = {p: 0 for p in self.procs}
+
+        # Labeled plane, mode "sc": one master copy.
+        self._master: dict[str, int] = {}
+
+        # Labeled plane, mode "pc": PC-style replicas + FIFO channels.
+        # Channel entries: (location, value, serial, barrier) where barrier
+        # is the count of the source's prior ordinary updates that must be
+        # applied at the destination before a *release* may apply.
+        self._sync_replicas: dict[Any, dict[str, tuple[int, int]]] = {
+            p: {} for p in self.procs
+        }
+        self._sync_serial: dict[str, int] = {}
+        self._sync_latest: dict[str, int] = {}
+        self._sync_channels: dict[tuple[Any, Any], deque[tuple[str, int, int, int]]] = {
+            (s, d): deque() for s in self.procs for d in self.procs if s != d
+        }
+
+    # -- location discipline ---------------------------------------------------------
+
+    def _check_discipline(self, location: str, labeled: bool) -> None:
+        kind = self._loc_kind.get(location)
+        if kind is None:
+            self._loc_kind[location] = labeled
+        elif kind != labeled:
+            role = "synchronization" if kind else "ordinary"
+            raise MachineError(
+                f"{self.name}: location {location!r} is a {role} location; "
+                "mixing labeled and ordinary accesses is outside the "
+                "properly-labeled discipline (paper Section 5)"
+            )
+
+    # -- value semantics -----------------------------------------------------------
+
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        self._check_discipline(location, labeled)
+        if not labeled:
+            entry = self._ord_replicas[proc].get(location)
+            return entry[0] if entry is not None else INITIAL_VALUE
+        if self.labeled_mode == "sc":
+            return self._master.get(location, INITIAL_VALUE)
+        entry = self._sync_replicas[proc].get(location)
+        return entry[0] if entry is not None else INITIAL_VALUE
+
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        self._check_discipline(location, labeled)
+        if not labeled:
+            self._ordinary_write(proc, location, value)
+            return
+        # Release: prior ordinary writes must perform before the release does.
+        if self.labeled_mode == "sc":
+            self._flush_ordinary_from(proc)
+            self._master[location] = value
+            return
+        serial = self._sync_serial.get(location, 0) + 1
+        self._sync_serial[location] = serial
+        self._sync_latest[location] = value
+        self._apply_sync(proc, location, value, serial)
+        barrier = self._ord_sent_by[proc]
+        for dst in self.procs:
+            if dst != proc:
+                self._sync_channels[(proc, dst)].append((location, value, serial, barrier))
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        self._check_discipline(location, labeled)
+        if not labeled:
+            raise MachineError(f"{self.name}: ordinary RMW is not modeled")
+        if self.labeled_mode == "sc":
+            self._flush_ordinary_from(proc)
+            old = self._master.get(location, INITIAL_VALUE)
+            self._master[location] = value
+            return old
+        # PC-mode RMW: atomic at the location's serialization point.
+        old = self._sync_latest.get(location, INITIAL_VALUE)
+        serial = self._sync_serial.get(location, 0) + 1
+        self._sync_serial[location] = serial
+        self._sync_latest[location] = value
+        self._apply_sync(proc, location, value, serial)
+        barrier = self._ord_sent_by[proc]
+        for dst in self.procs:
+            if dst != proc:
+                self._sync_channels[(proc, dst)].append((location, value, serial, barrier))
+        return old
+
+    # -- ordinary plane ---------------------------------------------------------------
+
+    def _ordinary_write(self, proc: Any, location: str, value: int) -> None:
+        serial = self._ord_serial.get(location, 0) + 1
+        self._ord_serial[location] = serial
+        self._apply_ordinary(proc, location, value, serial)
+        self._ord_sent_by[proc] += 1
+        for dst in self.procs:
+            if dst != proc:
+                self._ord_pending[dst][self._next_uid] = (proc, location, value, serial)
+                self._next_uid += 1
+
+    def _apply_ordinary(self, proc: Any, location: str, value: int, serial: int) -> None:
+        current = self._ord_replicas[proc].get(location)
+        if current is None or serial > current[1]:
+            self._ord_replicas[proc][location] = (value, serial)
+
+    def _apply_sync(self, proc: Any, location: str, value: int, serial: int) -> None:
+        current = self._sync_replicas[proc].get(location)
+        if current is None or serial > current[1]:
+            self._sync_replicas[proc][location] = (value, serial)
+
+    def _flush_ordinary_from(self, src: Any) -> None:
+        """Apply every in-flight ordinary update originating at ``src``."""
+        for dst in self.procs:
+            if dst == src:
+                continue
+            pending = self._ord_pending[dst]
+            for uid in sorted(u for u, e in pending.items() if e[0] == src):
+                origin, location, value, serial = pending.pop(uid)
+                self._apply_ordinary(dst, location, value, serial)
+                self._ord_applied_from[(origin, dst)] += 1
+
+    # -- internal events ----------------------------------------------------------
+
+    def internal_events(self) -> list[EventKey]:
+        events: list[EventKey] = [
+            ("ord", dst, uid)
+            for dst, pending in self._ord_pending.items()
+            for uid in pending
+        ]
+        if self.labeled_mode == "pc":
+            for (src, dst), chan in self._sync_channels.items():
+                if not chan:
+                    continue
+                _, _, _, barrier = chan[0]
+                if self._ord_applied_from[(src, dst)] >= barrier:
+                    events.append(("sync", src, dst))
+        return events
+
+    def fire(self, key: EventKey) -> None:
+        match key:
+            case ("ord", dst, uid) if uid in self._ord_pending.get(dst, {}):
+                origin, location, value, serial = self._ord_pending[dst].pop(uid)
+                self._apply_ordinary(dst, location, value, serial)
+                self._ord_applied_from[(origin, dst)] += 1
+            case ("sync", src, dst) if self._sync_channels.get((src, dst)):
+                location, value, serial, barrier = self._sync_channels[(src, dst)][0]
+                if self._ord_applied_from[(src, dst)] < barrier:
+                    raise MachineError(
+                        f"{self.name}: release barrier not met for {key!r}"
+                    )
+                self._sync_channels[(src, dst)].popleft()
+                self._apply_sync(dst, location, value, serial)
+            case _:
+                raise MachineError(f"{self.name}: event {key!r} is not enabled")

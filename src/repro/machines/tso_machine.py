@@ -1,0 +1,113 @@
+"""Store-buffer machine: the SPARC operational model of TSO (Section 3.2).
+
+The paper's description, implemented verbatim: processors have local FIFO
+buffers in front of a single-ported shared memory.  A write appends to the
+issuing processor's buffer; buffered writes drain to memory in FIFO order
+(one drain = one internal event); a read returns the most recently written
+value from the local buffer when one exists, otherwise the memory value.
+
+Note on fidelity: buffer forwarding (a processor reading its own buffered
+write) is part of this operational description, yet the paper's *view*
+characterization of TSO — via ``->ppo``'s same-location write→read edge and
+mutual write-order consistency — rejects some forwarded outcomes (e.g. the
+``sb-fwd`` litmus test).  The machine therefore witnesses one side of the
+E8 equivalence experiment: its traces always satisfy *axiomatic* TSO, but
+not always the paper's TSO.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.core.errors import MachineError
+from repro.core.operation import INITIAL_VALUE
+from repro.machines.base import EventKey, MemoryMachine
+
+__all__ = ["TSOMachine"]
+
+
+class TSOMachine(MemoryMachine):
+    """Per-processor FIFO store buffers over a single shared memory.
+
+    Parameters
+    ----------
+    procs:
+        Processor identifiers.
+    forwarding:
+        ``True`` (default): a read returns the youngest buffered store to
+        its location — SPARC hardware behavior, matching the axiomatic
+        model.  ``False``: a read of a location the processor has
+        buffered stores for first drains the buffer up to and including
+        the youngest such store, then reads memory — the variant whose
+        traces always satisfy the *paper's* view characterization of TSO
+        (its ``->ppo`` orders a write before any program-later read of
+        the same location, which forwarding breaks; experiment E8).
+    """
+
+    def __init__(self, procs: Sequence[Any], *, forwarding: bool = True) -> None:
+        super().__init__(procs)
+        self.forwarding = forwarding
+        self.name = "TSO-machine" if forwarding else "TSO-machine(no-fwd)"
+        self._memory: dict[str, int] = {}
+        self._buffers: dict[Any, deque[tuple[str, int]]] = {
+            p: deque() for p in self.procs
+        }
+
+    # -- value semantics -----------------------------------------------------------
+
+    def _do_read(self, proc: Any, location: str, labeled: bool) -> int:
+        if self.forwarding:
+            for loc, value in reversed(self._buffers[proc]):
+                if loc == location:
+                    return value  # forwarded from the youngest buffered store
+        elif any(loc == location for loc, _ in self._buffers[proc]):
+            # No forwarding: the read stalls until its own store to this
+            # location is globally visible, modeled as a synchronous
+            # drain through that store.
+            buf = self._buffers[proc]
+            while buf:
+                loc, value = buf.popleft()
+                self._memory[loc] = value
+                if loc == location:
+                    if any(l == location for l, _ in buf):
+                        continue  # a younger store to it is still queued
+                    break
+        return self._memory.get(location, INITIAL_VALUE)
+
+    def _do_write(self, proc: Any, location: str, value: int, labeled: bool) -> None:
+        self._buffers[proc].append((location, value))
+
+    def _do_rmw(self, proc: Any, location: str, value: int, labeled: bool) -> int:
+        # SPARC swap semantics: the buffer drains first, then the swap
+        # executes atomically against memory (load and store adjacent in
+        # the memory order).
+        self._drain_proc(proc)
+        old = self._memory.get(location, INITIAL_VALUE)
+        self._memory[location] = value
+        return old
+
+    # -- internal events ----------------------------------------------------------
+
+    def internal_events(self) -> list[EventKey]:
+        return [("drain", p) for p in self.procs if self._buffers[p]]
+
+    def fire(self, key: EventKey) -> None:
+        match key:
+            case ("drain", proc) if self._buffers.get(proc):
+                location, value = self._buffers[proc].popleft()
+                self._memory[location] = value
+            case _:
+                raise MachineError(f"{self.name}: event {key!r} is not enabled")
+
+    # -- introspection --------------------------------------------------------------
+
+    def buffered(self, proc: Any) -> tuple[tuple[str, int], ...]:
+        """The pending stores of ``proc``, oldest first."""
+        return tuple(self._buffers[proc])
+
+    def _drain_proc(self, proc: Any) -> None:
+        buf = self._buffers[proc]
+        while buf:
+            location, value = buf.popleft()
+            self._memory[location] = value

@@ -1,0 +1,65 @@
+"""Concurrent test programs: threads, schedulers, runner, mutex algorithms."""
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Rmw, Write
+from repro.programs.modelcheck import (
+    ExplorationReport,
+    find_schedule,
+    reachable_outcomes,
+    verify_mutual_exclusion,
+)
+from repro.programs.figure6 import FIGURE6_TEXT, figure6_program
+from repro.programs.pseudocode import PseudoProgram, compile_program, parse_program
+from repro.programs.runner import RunResult, Setup, ThreadFactory, explore, run
+from repro.programs.workloads import (
+    barrier_program,
+    ping_pong,
+    producer_consumer,
+    stale_reads,
+    work_queue,
+)
+from repro.programs.scheduler import (
+    BiasedScheduler,
+    DelayDeliveriesScheduler,
+    EagerDeliveryScheduler,
+    FairScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+)
+
+__all__ = [
+    "barrier_program",
+    "CsEnter",
+    "CsExit",
+    "BiasedScheduler",
+    "DelayDeliveriesScheduler",
+    "EagerDeliveryScheduler",
+    "FairScheduler",
+    "ExplorationReport",
+    "compile_program",
+    "explore",
+    "FIGURE6_TEXT",
+    "figure6_program",
+    "parse_program",
+    "PseudoProgram",
+    "find_schedule",
+    "reachable_outcomes",
+    "verify_mutual_exclusion",
+    "RandomScheduler",
+    "Read",
+    "Request",
+    "Rmw",
+    "RoundRobinScheduler",
+    "run",
+    "RunResult",
+    "Scheduler",
+    "ping_pong",
+    "producer_consumer",
+    "stale_reads",
+    "work_queue",
+    "ScriptedScheduler",
+    "Setup",
+    "ThreadFactory",
+    "Write",
+]

@@ -1,0 +1,61 @@
+"""More algorithms as pseudocode text.
+
+Companions to :mod:`repro.programs.figure6`: Peterson's algorithm and the
+(deliberately broken) test-then-set protocol, written in the pseudocode
+language.  The text forms are used by the examples and cross-checked
+against the handwritten generators in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.programs.pseudocode import parse_program
+from repro.programs.runner import ThreadFactory
+
+__all__ = [
+    "PETERSON_TEXT",
+    "NAIVE_LOCK_TEXT",
+    "peterson_text_program",
+    "naive_lock_text_program",
+]
+
+PETERSON_TEXT = """
+# Peterson's two-processor algorithm, processor i (other = 1 - i).
+flag[i] := 1 sync
+turn := 1 - i sync
+while true:
+  f := read flag[1 - i] sync
+  if f == 0:
+    break
+  t := read turn sync
+  if t == i:
+    break
+cs_enter
+d := read shared
+shared := d * 2 + i + 1
+cs_exit
+flag[i] := 0 sync
+"""
+
+NAIVE_LOCK_TEXT = """
+# Broken test-then-set "lock": the test and the set are not atomic.
+f := read lock
+if f == 0:
+  lock := 1
+  cs_enter
+  cs_exit
+  lock := 0
+"""
+
+
+def peterson_text_program() -> Mapping[Any, ThreadFactory]:
+    """Thread factories compiled from :data:`PETERSON_TEXT` (procs p0, p1)."""
+    program = parse_program(PETERSON_TEXT, shared=("turn", "shared"))
+    return {f"p{i}": (lambda i=i: program.thread(i=i)) for i in range(2)}
+
+
+def naive_lock_text_program(n: int = 2) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for the broken protocol (exhaustively refutable)."""
+    program = parse_program(NAIVE_LOCK_TEXT, shared=("lock",))
+    return {f"p{i}": (lambda i=i: program.thread(i=i)) for i in range(n)}

@@ -1,0 +1,51 @@
+"""The paper's Figure 6, as pseudocode text.
+
+The Bakery algorithm exactly as the paper displays it, in the
+:mod:`repro.programs.pseudocode` language — the ``sync`` suffix is the
+paper's labeling of every synchronization operation, and the critical
+section contains one ordinary shared access pair, as the paper's
+assumptions require (ordinary variables accessed only inside, sync
+variables only outside).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.programs.pseudocode import PseudoProgram, parse_program
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["FIGURE6_TEXT", "figure6_program"]
+
+FIGURE6_TEXT = """
+# Lamport's Bakery algorithm, processor p_i of n (paper Figure 6).
+choosing[i] := 1 sync
+m := 0
+for j in 0..n-1:                       # mine = 1 + max{number[j] | j != i}
+  if j != i:
+    t := read number[j] sync
+    m := max(m, t)
+mine := 1 + m
+number[i] := mine sync
+choosing[i] := 0 sync
+for j in 0..n-1:
+  if j != i:
+    await choosing[j] == 0 sync        # repeat test until not choosing[j]
+    while true:
+      other := read number[j] sync
+      if other == 0 or (mine, i) < (other, j):
+        break
+cs_enter
+d := read shared                       # ordinary operations in the
+shared := d * n + i + 1                # critical section
+cs_exit
+number[i] := 0 sync
+"""
+
+
+def figure6_program(n: int) -> Mapping[Any, ThreadFactory]:
+    """Thread factories compiled from the Figure 6 text, for ``n`` processors."""
+    program: PseudoProgram = parse_program(FIGURE6_TEXT, shared=("shared",))
+    return {
+        f"p{i}": (lambda i=i: program.thread(i=i, n=n)) for i in range(n)
+    }

@@ -1,0 +1,121 @@
+"""Bounded model checking over program schedules.
+
+Convenience layers over :func:`repro.programs.runner.explore`:
+
+* :func:`find_schedule` — search for an execution satisfying a predicate
+  (e.g. "produces this exact history", "violates mutual exclusion") and
+  return the witnessing run;
+* :func:`verify_mutual_exclusion` — exhaustively check a mutual-exclusion
+  program on a machine, returning either a proof of safety over the
+  explored bound or the violating run;
+* :func:`reachable_outcomes` — collect the distinct read-value outcomes a
+  program can produce on a machine, the standard litmus-test question.
+
+All are exponential in program size — the explorer enumerates every
+schedule — so they are tools for the paper-scale programs this repository
+studies, not a general-purpose model checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.history import SystemHistory
+from repro.programs.runner import RunResult, Setup, explore
+
+__all__ = [
+    "ExplorationReport",
+    "find_schedule",
+    "verify_mutual_exclusion",
+    "reachable_outcomes",
+]
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Outcome of an exhaustive schedule exploration.
+
+    Attributes
+    ----------
+    safe:
+        True when no explored run satisfied the violation predicate.
+    runs:
+        Number of complete executions enumerated.
+    incomplete:
+        Runs that hit the step bound (their suffixes are unexplored; a
+        nonzero count means the verdict is bounded, not total).
+    witness:
+        The first violating run, when one exists.
+    """
+
+    safe: bool
+    runs: int
+    incomplete: int
+    witness: RunResult | None = None
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when every run completed within the step bound."""
+        return self.incomplete == 0
+
+
+def find_schedule(
+    setup: Setup,
+    predicate: Callable[[RunResult], bool],
+    *,
+    max_steps: int = 200,
+    max_runs: int | None = None,
+) -> RunResult | None:
+    """First run (in exploration order) satisfying ``predicate``, or ``None``."""
+    for result in explore(setup, max_steps=max_steps, max_runs=max_runs):
+        if predicate(result):
+            return result
+    return None
+
+
+def verify_mutual_exclusion(
+    setup: Setup,
+    *,
+    max_steps: int = 400,
+    max_runs: int | None = None,
+) -> ExplorationReport:
+    """Exhaustively check the critical-section invariant of a program.
+
+    Stops early at the first violation.  When ``max_runs`` truncates the
+    exploration or runs hit ``max_steps``, a ``safe`` verdict is bounded
+    rather than total (see :attr:`ExplorationReport.exhaustive`).
+    """
+    runs = incomplete = 0
+    for result in explore(setup, max_steps=max_steps, max_runs=max_runs):
+        runs += 1
+        if not result.completed:
+            incomplete += 1
+        if result.mutex_violation:
+            return ExplorationReport(False, runs, incomplete, witness=result)
+    return ExplorationReport(True, runs, incomplete)
+
+
+def reachable_outcomes(
+    setup: Setup,
+    *,
+    max_steps: int = 200,
+    max_runs: int | None = None,
+) -> dict[tuple[tuple[Any, int, int], ...], SystemHistory]:
+    """All distinct read-outcome tuples a program can produce.
+
+    The key identifies each read by ``(proc, index, value)``; the value is
+    one witnessing history.  This answers the litmus question "which
+    outcomes are reachable on this machine?" exhaustively.
+    """
+    outcomes: dict[tuple[tuple[Any, int, int], ...], SystemHistory] = {}
+    for result in explore(setup, max_steps=max_steps, max_runs=max_runs):
+        if not result.completed:
+            continue
+        key = tuple(
+            (op.proc, op.index, op.value_read)
+            for op in result.history.operations
+            if op.is_read
+        )
+        outcomes.setdefault(key, result.history)
+    return outcomes

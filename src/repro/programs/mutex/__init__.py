@@ -1,0 +1,20 @@
+"""Mutual-exclusion algorithms used in the Section 5 experiments."""
+
+from repro.programs.mutex.bakery import bakery_program, bakery_thread
+from repro.programs.mutex.dekker import dekker_program, dekker_thread
+from repro.programs.mutex.fast_mutex import fast_mutex_program, fast_mutex_thread
+from repro.programs.mutex.peterson import peterson_program, peterson_thread
+from repro.programs.mutex.spinlock import spinlock_program, spinlock_thread
+
+__all__ = [
+    "bakery_program",
+    "bakery_thread",
+    "dekker_program",
+    "dekker_thread",
+    "fast_mutex_program",
+    "fast_mutex_thread",
+    "peterson_program",
+    "peterson_thread",
+    "spinlock_program",
+    "spinlock_thread",
+]

@@ -1,0 +1,102 @@
+"""Lamport's Bakery algorithm (paper Figure 6).
+
+The n-processor mutual-exclusion algorithm the paper uses to distinguish
+``RC_sc`` from ``RC_pc`` (Section 5).  All synchronization accesses —
+everything outside the critical and remainder sections — are labeled, as
+the paper prescribes; the critical section touches only ordinary shared
+locations.  The algorithm is correct on sequentially consistent memory
+(and hence, properly labeled, on ``RC_sc``), and fails on ``RC_pc``.
+
+Locations: ``choosing[i]`` (1 = true, 0 = false) and ``number[i]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["bakery_thread", "bakery_program", "choosing_loc", "number_loc"]
+
+
+def choosing_loc(i: int) -> str:
+    """Location name of ``choosing[i]``."""
+    return f"choosing[{i}]"
+
+
+def number_loc(i: int) -> str:
+    """Location name of ``number[i]``."""
+    return f"number[{i}]"
+
+
+def bakery_thread(
+    i: int,
+    n: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Iterator[Request]:
+    """The Bakery code of processor ``p_i`` (Figure 6), as a thread body.
+
+    Parameters
+    ----------
+    i, n:
+        This processor's index and the total processor count.
+    iterations:
+        How many times to enter the critical section.
+    labeled:
+        Label the synchronization operations (the paper's proper labeling);
+        pass ``False`` to run the unlabeled variant on non-RC machines.
+    cs_body:
+        Execute an ordinary read-modify-write of a shared datum inside the
+        critical section (exercises the ordinary/labeled split).
+    """
+    for it in range(iterations):
+        # doorway: take a ticket
+        yield Write(choosing_loc(i), 1, labeled)
+        maximum = 0
+        for j in range(n):
+            if j != i:
+                val = yield Read(number_loc(j), labeled)
+                maximum = max(maximum, val)
+        mine = 1 + maximum
+        yield Write(number_loc(i), mine, labeled)
+        yield Write(choosing_loc(i), 0, labeled)
+        # wait for every other processor
+        for j in range(n):
+            if j == i:
+                continue
+            while True:
+                test = yield Read(choosing_loc(j), labeled)
+                if test == 0:
+                    break
+            while True:
+                other = yield Read(number_loc(j), labeled)
+                if other == 0 or (mine, i) < (other, j):
+                    break
+        yield CsEnter()
+        if cs_body:
+            val = yield Read("shared", False)
+            yield Write("shared", val * n + i + 1, False)
+        yield CsExit()
+        yield Write(number_loc(i), 0, labeled)
+
+
+def bakery_program(
+    n: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for an ``n``-processor Bakery run (procs ``p0..``)."""
+    return {
+        f"p{i}": (
+            lambda i=i: bakery_thread(
+                i, n, iterations=iterations, labeled=labeled, cs_body=cs_body
+            )
+        )
+        for i in range(n)
+    }

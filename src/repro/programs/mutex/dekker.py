@@ -1,0 +1,68 @@
+"""Dekker's two-processor mutual-exclusion algorithm.
+
+The oldest software mutual-exclusion solution; included as a second
+read/write-only baseline.  Like Peterson and Bakery it is SC-correct and
+sensitive to write→read reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["dekker_thread", "dekker_program"]
+
+
+def dekker_thread(
+    i: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Iterator[Request]:
+    """Dekker's algorithm for processor ``i`` ∈ {0, 1}."""
+    other = 1 - i
+    for _ in range(iterations):
+        yield Write(f"wants[{i}]", 1, labeled)
+        while True:
+            w = yield Read(f"wants[{other}]", labeled)
+            if w == 0:
+                break
+            t = yield Read("turn", labeled)
+            if t != i:
+                yield Write(f"wants[{i}]", 0, labeled)
+                while True:
+                    t = yield Read("turn", labeled)
+                    if t == i:
+                        break
+                yield Write(f"wants[{i}]", 1, labeled)
+        yield CsEnter()
+        if cs_body:
+            val = yield Read("shared", False)
+            yield Write("shared", val * 2 + i + 1, False)
+        yield CsExit()
+        yield Write("turn", other, labeled)
+        yield Write(f"wants[{i}]", 0, labeled)
+
+
+def dekker_program(
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for the two Dekker processors (``p0``, ``p1``).
+
+    Note: processor 0 initially holds the turn (``turn`` starts at the
+    initial value 0).
+    """
+    return {
+        f"p{i}": (
+            lambda i=i: dekker_thread(
+                i, iterations=iterations, labeled=labeled, cs_body=cs_body
+            )
+        )
+        for i in range(2)
+    }

@@ -1,0 +1,85 @@
+"""Lamport's fast mutual-exclusion algorithm (1987).
+
+A third read/write-only algorithm, with a contention-free fast path of
+seven memory accesses.  Like Bakery it assumes sequential consistency, so
+it belongs in the same experiment family: correct when the
+synchronization operations are SC, breakable when they are weaker.
+
+Processor ids are encoded ``1..n`` in the ``x``/``y`` locations (0 means
+"nobody", matching the initial value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["fast_mutex_thread", "fast_mutex_program"]
+
+
+def fast_mutex_thread(
+    i: int,
+    n: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Iterator[Request]:
+    """Lamport's fast mutex for processor ``i`` (0-based) of ``n``."""
+    me = i + 1
+    for _ in range(iterations):
+        while True:  # "start:"
+            yield Write(f"b[{i}]", 1, labeled)
+            yield Write("x", me, labeled)
+            y = yield Read("y", labeled)
+            if y != 0:
+                yield Write(f"b[{i}]", 0, labeled)
+                while True:
+                    y = yield Read("y", labeled)
+                    if y == 0:
+                        break
+                continue  # goto start
+            yield Write("y", me, labeled)
+            x = yield Read("x", labeled)
+            if x != me:
+                yield Write(f"b[{i}]", 0, labeled)
+                for j in range(n):
+                    while True:
+                        bj = yield Read(f"b[{j}]", labeled)
+                        if bj == 0:
+                            break
+                y = yield Read("y", labeled)
+                if y != me:
+                    while True:
+                        y = yield Read("y", labeled)
+                        if y == 0:
+                            break
+                    continue  # goto start
+            break  # entry won
+        yield CsEnter()
+        if cs_body:
+            val = yield Read("shared", False)
+            yield Write("shared", val * n + i + 1, False)
+        yield CsExit()
+        yield Write("y", 0, labeled)
+        yield Write(f"b[{i}]", 0, labeled)
+
+
+def fast_mutex_program(
+    n: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for ``n`` fast-mutex contenders (``p0..``)."""
+    return {
+        f"p{i}": (
+            lambda i=i: fast_mutex_thread(
+                i, n, iterations=iterations, labeled=labeled, cs_body=cs_body
+            )
+        )
+        for i in range(n)
+    }

@@ -1,0 +1,60 @@
+"""Peterson's two-processor mutual-exclusion algorithm.
+
+A baseline companion to the Bakery experiment: like Bakery it relies only
+on reads and writes, is correct under SC, and fails under memories that
+weaken the write→read program order (its ``flag``/``turn`` handshake is
+exactly the store-buffering pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["peterson_thread", "peterson_program"]
+
+
+def peterson_thread(
+    i: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Iterator[Request]:
+    """Peterson's algorithm for processor ``i`` ∈ {0, 1}."""
+    other = 1 - i
+    for _ in range(iterations):
+        yield Write(f"flag[{i}]", 1, labeled)
+        yield Write("turn", other, labeled)
+        while True:
+            f = yield Read(f"flag[{other}]", labeled)
+            if f == 0:
+                break
+            t = yield Read("turn", labeled)
+            if t == i:
+                break
+        yield CsEnter()
+        if cs_body:
+            val = yield Read("shared", False)
+            yield Write("shared", val * 2 + i + 1, False)
+        yield CsExit()
+        yield Write(f"flag[{i}]", 0, labeled)
+
+
+def peterson_program(
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for the two Peterson processors (``p0``, ``p1``)."""
+    return {
+        f"p{i}": (
+            lambda i=i: peterson_thread(
+                i, iterations=iterations, labeled=labeled, cs_body=cs_body
+            )
+        )
+        for i in range(2)
+    }

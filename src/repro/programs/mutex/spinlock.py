@@ -1,0 +1,61 @@
+"""Test-and-set spinlock.
+
+The read-modify-write baseline: unlike Bakery, Peterson, and Dekker it
+does *not* rely on plain reads and writes, so it stays correct even on
+memories where those algorithms break — the paper's footnote 4 treats RMW
+operations as writes that appear in every view, and every machine here
+implements them atomically at the location's serialization point.
+Contrast with Section 5's point that the *read/write* algorithms are what
+distinguish ``RC_sc`` from ``RC_pc``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Rmw, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = ["spinlock_thread", "spinlock_program"]
+
+#: The lock location; 0 = free, 1 = held.
+LOCK = "lock"
+
+
+def spinlock_thread(
+    i: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Iterator[Request]:
+    """Acquire via test-and-set, release via an ordinary-looking store."""
+    for _ in range(iterations):
+        while True:
+            old = yield Rmw(LOCK, 1, labeled)
+            if old == 0:
+                break
+        yield CsEnter()
+        if cs_body:
+            val = yield Read("shared", False)
+            yield Write("shared", val * 10 + i + 1, False)
+        yield CsExit()
+        yield Write(LOCK, 0, labeled)
+
+
+def spinlock_program(
+    n: int,
+    *,
+    iterations: int = 1,
+    labeled: bool = True,
+    cs_body: bool = True,
+) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for ``n`` spinlock contenders (``p0..``)."""
+    return {
+        f"p{i}": (
+            lambda i=i: spinlock_thread(
+                i, iterations=iterations, labeled=labeled, cs_body=cs_body
+            )
+        )
+        for i in range(n)
+    }

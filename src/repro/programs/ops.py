@@ -1,0 +1,53 @@
+"""Operation requests yielded by test-program threads.
+
+A thread is a Python generator that ``yield``\\ s these request objects;
+the runner executes each against the memory machine and sends the result
+(for reads and RMWs) back into the generator.  ``CsEnter``/``CsExit``
+delimit critical sections for the mutual-exclusion monitor and do not
+touch memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Read", "Write", "Rmw", "CsEnter", "CsExit", "Request"]
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read ``location``; the runner sends the observed value back."""
+
+    location: str
+    labeled: bool = False
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``value`` to ``location``."""
+
+    location: str
+    value: int
+    labeled: bool = False
+
+
+@dataclass(frozen=True)
+class Rmw:
+    """Atomically store ``value`` to ``location``; the old value is sent back."""
+
+    location: str
+    value: int
+    labeled: bool = False
+
+
+@dataclass(frozen=True)
+class CsEnter:
+    """Mark entry into the critical section (monitor-only, no memory effect)."""
+
+
+@dataclass(frozen=True)
+class CsExit:
+    """Mark exit from the critical section (monitor-only, no memory effect)."""
+
+
+Request = Read | Write | Rmw | CsEnter | CsExit

@@ -1,0 +1,322 @@
+"""A tiny pseudocode language for shared-memory algorithms.
+
+The paper presents the Bakery algorithm as pseudocode (Figure 6); this
+module lets such algorithms be *written as text* and compiled to thread
+bodies for the runner — so Figure 6 can live in the repository verbatim
+rather than hand-translated.
+
+Language
+--------
+Line-oriented, indentation-scoped (multiples of two spaces)::
+
+    choosing[i] := 1 sync          # write (sync → labeled operation)
+    m := 0                         # local variable assignment
+    for j in 0..n-1:               # inclusive integer range
+      if j != i:
+        t := read number[j] sync   # shared read into a local
+        m := max(m, t)
+    await choosing[j] == 0 sync    # spin until the shared location holds v
+    cs_enter
+    cs_exit
+    while true:                    # loops; `break` exits the innermost
+
+Expressions are evaluated with Python's evaluator over the local-variable
+environment plus the thread parameters (e.g. ``i``, ``n``) and the safe
+builtins ``max``/``min``/``abs``; shared memory is touched **only** by
+the dedicated statements (``x := e sync?`` writes when ``x`` contains
+``[`` or is declared shared, ``v := read x`` reads, ``await x == e``
+spins), so every memory operation is explicit in the text, as in the
+paper's figures.
+
+Grammar summary (``sync`` marks labeled operations)::
+
+    stmt := target ':=' expr ['sync']          # write or local assign
+          | name ':=' 'read' loc ['sync']      # shared read
+          | 'await' loc '==' expr ['sync']     # spin loop
+          | 'if' expr ':' | 'elif' expr ':' | 'else:'
+          | 'while' expr ':' | 'for' name 'in' expr '..' expr ':'
+          | 'break' | 'continue' | 'pass'
+          | 'cs_enter' | 'cs_exit'
+
+A *location* is a name, optionally with a bracketed index expression
+(``number[j]``); index expressions are evaluated in the environment, so
+``number[j]`` with ``j = 2`` touches the location ``"number[2]"``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.core.errors import ParseError, ProgramError
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Write
+
+__all__ = ["parse_program", "compile_program", "PseudoProgram"]
+
+_SAFE_BUILTINS = {"max": max, "min": min, "abs": abs, "len": len, "true": 1, "false": 0}
+
+_LOC_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)(\[(.+)\])?$")
+
+
+# -- AST ------------------------------------------------------------------------
+
+
+@dataclass
+class _Node:
+    line: int
+
+
+@dataclass
+class _Assign(_Node):
+    target: str  # raw location/name text
+    expr: str
+    sync: bool
+    shared: bool
+
+
+@dataclass
+class _SharedRead(_Node):
+    name: str
+    loc: str
+    sync: bool
+
+
+@dataclass
+class _Await(_Node):
+    loc: str
+    expr: str
+    sync: bool
+
+
+@dataclass
+class _If(_Node):
+    arms: list[tuple[str | None, list["_Node"]]] = field(default_factory=list)
+
+
+@dataclass
+class _While(_Node):
+    cond: str
+    body: list["_Node"] = field(default_factory=list)
+
+
+@dataclass
+class _For(_Node):
+    var: str
+    lo: str
+    hi: str
+    body: list["_Node"] = field(default_factory=list)
+
+
+@dataclass
+class _Simple(_Node):
+    kind: str  # break / continue / pass / cs_enter / cs_exit
+
+
+@dataclass
+class PseudoProgram:
+    """A parsed pseudocode program (see :func:`parse_program`)."""
+
+    body: list[_Node]
+    shared_names: frozenset[str]
+
+    def thread(self, **params: Any) -> Iterator[Request]:
+        """Instantiate a thread body with the given parameters."""
+        return _execute(self.body, dict(params), self.shared_names)
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def parse_program(text: str, *, shared: tuple[str, ...] = ()) -> PseudoProgram:
+    """Parse pseudocode into a program.
+
+    ``shared`` lists bare names that denote shared locations when written
+    (bracketed names like ``number[j]`` are always shared).
+    """
+    lines: list[tuple[int, int, str]] = []  # (lineno, indent, content)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip())
+        if indent % 2:
+            raise ParseError(f"line {lineno}: indentation must be multiples of 2")
+        lines.append((lineno, indent // 2, stripped.strip()))
+    body, rest = _parse_block(lines, 0, 0)
+    if rest != len(lines):
+        raise ParseError(f"line {lines[rest][0]}: unexpected dedent structure")
+    return PseudoProgram(body, frozenset(shared))
+
+
+def _parse_block(
+    lines: list[tuple[int, int, str]], pos: int, depth: int
+) -> tuple[list[_Node], int]:
+    body: list[_Node] = []
+    while pos < len(lines):
+        lineno, indent, content = lines[pos]
+        if indent < depth:
+            break
+        if indent > depth:
+            raise ParseError(f"line {lineno}: unexpected indent")
+        node, pos = _parse_stmt(lines, pos, depth)
+        body.append(node)
+    return body, pos
+
+
+def _parse_stmt(
+    lines: list[tuple[int, int, str]], pos: int, depth: int
+) -> tuple[_Node, int]:
+    lineno, _, content = lines[pos]
+
+    if content in ("break", "continue", "pass", "cs_enter", "cs_exit"):
+        return _Simple(lineno, content), pos + 1
+
+    if content.startswith("await "):
+        rest, sync = _strip_sync(content[len("await "):])
+        if "==" not in rest:
+            raise ParseError(f"line {lineno}: await needs 'loc == expr'")
+        loc, expr = (s.strip() for s in rest.split("==", 1))
+        return _Await(lineno, loc, expr, sync), pos + 1
+
+    m = re.match(r"^if (.+):$", content)
+    if m:
+        node = _If(lineno)
+        body, pos = _parse_block(lines, pos + 1, depth + 1)
+        node.arms.append((m.group(1), body))
+        while pos < len(lines) and lines[pos][1] == depth:
+            nxt = lines[pos][2]
+            m2 = re.match(r"^elif (.+):$", nxt)
+            if m2:
+                body, pos = _parse_block(lines, pos + 1, depth + 1)
+                node.arms.append((m2.group(1), body))
+                continue
+            if nxt == "else:":
+                body, pos = _parse_block(lines, pos + 1, depth + 1)
+                node.arms.append((None, body))
+            break
+        return node, pos
+
+    m = re.match(r"^while (.+):$", content)
+    if m:
+        body, pos = _parse_block(lines, pos + 1, depth + 1)
+        return _While(lineno, m.group(1), body), pos
+
+    m = re.match(r"^for ([A-Za-z_][A-Za-z0-9_]*) in (.+)\.\.(.+):$", content)
+    if m:
+        body, pos = _parse_block(lines, pos + 1, depth + 1)
+        return _For(lineno, m.group(1), m.group(2).strip(), m.group(3).strip(), body), pos
+
+    if ":=" in content:
+        target, rhs = (s.strip() for s in content.split(":=", 1))
+        rhs, sync = _strip_sync(rhs)
+        m = re.match(r"^read\s+(.+)$", rhs)
+        if m:
+            if "[" in target:
+                raise ParseError(f"line {lineno}: read target must be a local name")
+            return _SharedRead(lineno, target, m.group(1).strip(), sync), pos + 1
+        shared = "[" in target
+        return _Assign(lineno, target, rhs, sync, shared), pos + 1
+
+    raise ParseError(f"line {lineno}: cannot parse {content!r}")
+
+
+def _strip_sync(text: str) -> tuple[str, bool]:
+    text = text.strip()
+    if text.endswith(" sync"):
+        return text[: -len(" sync")].strip(), True
+    return text, False
+
+
+# -- interpreter ------------------------------------------------------------------
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+def _eval(expr: str, env: Mapping[str, Any], lineno: int) -> Any:
+    try:
+        return eval(expr, {"__builtins__": {}}, {**_SAFE_BUILTINS, **env})
+    except Exception as exc:
+        raise ProgramError(f"line {lineno}: {expr!r}: {exc}") from exc
+
+
+def _loc_name(loc: str, env: Mapping[str, Any], lineno: int) -> str:
+    m = _LOC_RE.match(loc.strip())
+    if m is None:
+        raise ProgramError(f"line {lineno}: bad location {loc!r}")
+    base, _, index = m.groups()
+    if index is None:
+        return base
+    return f"{base}[{_eval(index, env, lineno)}]"
+
+
+def _execute(
+    body: list[_Node], env: dict[str, Any], shared_names: frozenset[str]
+) -> Iterator[Request]:
+    for node in body:
+        match node:
+            case _Simple(kind="break"):
+                raise _Break()
+            case _Simple(kind="continue"):
+                raise _Continue()
+            case _Simple(kind="pass"):
+                pass
+            case _Simple(kind="cs_enter"):
+                yield CsEnter()
+            case _Simple(kind="cs_exit"):
+                yield CsExit()
+            case _Assign(target=target, expr=expr, sync=sync, shared=shared):
+                base = target.split("[", 1)[0]
+                value = _eval(expr, env, node.line)
+                if shared or base in shared_names:
+                    yield Write(_loc_name(target, env, node.line), int(value), sync)
+                else:
+                    env[target] = value
+            case _SharedRead(name=name, loc=loc, sync=sync):
+                value = yield Read(_loc_name(loc, env, node.line), sync)
+                env[name] = value
+            case _Await(loc=loc, expr=expr, sync=sync):
+                want = _eval(expr, env, node.line)
+                while True:
+                    value = yield Read(_loc_name(loc, env, node.line), sync)
+                    if value == want:
+                        break
+            case _If(arms=arms):
+                for cond, arm_body in arms:
+                    if cond is None or _eval(cond, env, node.line):
+                        yield from _execute(arm_body, env, shared_names)
+                        break
+            case _While(cond=cond, body=loop_body):
+                while _eval(cond, env, node.line):
+                    try:
+                        yield from _execute(loop_body, env, shared_names)
+                    except _Break:
+                        break
+                    except _Continue:
+                        continue
+            case _For(var=var, lo=lo, hi=hi, body=loop_body):
+                lo_v = int(_eval(lo, env, node.line))
+                hi_v = int(_eval(hi, env, node.line))
+                for v in range(lo_v, hi_v + 1):
+                    env[var] = v
+                    try:
+                        yield from _execute(loop_body, env, shared_names)
+                    except _Break:
+                        break
+                    except _Continue:
+                        continue
+            case _:
+                raise ProgramError(f"unknown node {node!r}")
+
+
+def compile_program(
+    text: str, *, shared: tuple[str, ...] = ()
+) -> "PseudoProgram":
+    """Alias of :func:`parse_program`, reading as 'compile to a program'."""
+    return parse_program(text, shared=shared)

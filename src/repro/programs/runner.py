@@ -1,0 +1,192 @@
+"""Execute concurrent test programs on operational memory machines.
+
+Threads are generators yielding :mod:`repro.programs.ops` requests; the
+runner interleaves thread steps with the machine's internal events under a
+:class:`~repro.programs.scheduler.Scheduler`, records the resulting
+:class:`~repro.core.history.SystemHistory`, and monitors critical-section
+occupancy.  :func:`explore` enumerates *every* schedule of a small program
+by depth-first script replay — the bounded model checker used by the
+Bakery experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Mapping
+
+from repro.core.errors import ProgramError
+from repro.core.history import SystemHistory
+from repro.machines.base import MemoryMachine
+from repro.programs.ops import CsEnter, CsExit, Read, Request, Rmw, Write
+from repro.programs.scheduler import Scheduler, ScriptedScheduler
+
+__all__ = ["RunResult", "run", "explore", "ThreadFactory", "Setup"]
+
+#: A thread body: a generator yielding requests, receiving read results.
+ThreadBody = Generator[Request, int | None, None]
+#: Creates a fresh thread body for a processor.
+ThreadFactory = Callable[[], ThreadBody]
+#: Creates a fresh (machine, {proc: thread factory}) pair per run.
+Setup = Callable[[], tuple[MemoryMachine, Mapping[Any, ThreadFactory]]]
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one program execution.
+
+    Attributes
+    ----------
+    history:
+        The system execution history the machine recorded.
+    completed:
+        Whether every thread ran to completion within the step bound.
+    steps:
+        Number of scheduler decisions taken.
+    cs_events:
+        Chronological ``(step, proc, "enter" | "exit")`` critical-section
+        marks.
+    max_in_cs:
+        Peak number of processors simultaneously inside critical sections.
+    mutex_violation:
+        True when ``max_in_cs >= 2`` — the Bakery failure signature.
+    """
+
+    history: SystemHistory
+    completed: bool
+    steps: int
+    cs_events: list[tuple[int, Any, str]] = field(default_factory=list)
+    max_in_cs: int = 0
+
+    @property
+    def mutex_violation(self) -> bool:
+        return self.max_in_cs >= 2
+
+
+def run(
+    machine: MemoryMachine,
+    threads: Mapping[Any, ThreadFactory],
+    scheduler: Scheduler,
+    *,
+    max_steps: int = 10_000,
+) -> RunResult:
+    """Run ``threads`` on ``machine`` under ``scheduler``.
+
+    Thread processors must be a subset of the machine's processors.  The
+    run ends when every thread has finished (remaining in-flight machine
+    work cannot change the recorded history) or when ``max_steps``
+    scheduler decisions have been made (busy-wait loops under adversarial
+    schedulers may spin forever; such runs return ``completed=False``).
+    """
+    for proc in threads:
+        if proc not in machine.procs:
+            raise ProgramError(f"thread processor {proc!r} unknown to {machine.name}")
+
+    bodies: dict[Any, ThreadBody] = {}
+    pending_send: dict[Any, int | None] = {}
+    finished: set[Any] = set()
+    for proc, factory in threads.items():
+        body = factory()
+        bodies[proc] = body
+        pending_send[proc] = None
+
+    cs_events: list[tuple[int, Any, str]] = []
+    in_cs: set[Any] = set()
+    max_in_cs = 0
+    steps = 0
+
+    # Prime every generator to its first yield.
+    requests: dict[Any, Request] = {}
+    for proc, body in bodies.items():
+        try:
+            requests[proc] = body.send(None)
+        except StopIteration:
+            finished.add(proc)
+
+    while len(finished) < len(bodies):
+        events: list[tuple] = [
+            ("thread", proc) for proc in bodies if proc not in finished
+        ]
+        events.extend(("machine", key) for key in machine.internal_events())
+        if steps >= max_steps:
+            return RunResult(
+                machine.history(), False, steps, cs_events, max_in_cs
+            )
+        idx = scheduler.choose(events)
+        kind, payload = events[idx][0], events[idx][1]
+        steps += 1
+        if kind == "machine":
+            machine.fire(payload)
+            continue
+        proc = payload
+        req = requests[proc]
+        result: int | None = None
+        match req:
+            case Read(location=loc, labeled=lab):
+                result = machine.read(proc, loc, labeled=lab)
+            case Write(location=loc, value=v, labeled=lab):
+                machine.write(proc, loc, v, labeled=lab)
+            case Rmw(location=loc, value=v, labeled=lab):
+                result = machine.rmw(proc, loc, v, labeled=lab)
+            case CsEnter():
+                if proc in in_cs:
+                    raise ProgramError(f"{proc!r} entered the critical section twice")
+                in_cs.add(proc)
+                max_in_cs = max(max_in_cs, len(in_cs))
+                cs_events.append((steps, proc, "enter"))
+            case CsExit():
+                if proc not in in_cs:
+                    raise ProgramError(f"{proc!r} exited a critical section it is not in")
+                in_cs.remove(proc)
+                cs_events.append((steps, proc, "exit"))
+            case _:
+                raise ProgramError(f"thread {proc!r} yielded unknown request {req!r}")
+        try:
+            requests[proc] = bodies[proc].send(result)
+        except StopIteration:
+            finished.add(proc)
+
+    return RunResult(machine.history(), True, steps, cs_events, max_in_cs)
+
+
+def explore(
+    setup: Setup,
+    *,
+    max_steps: int = 200,
+    max_runs: int | None = None,
+) -> Iterator[RunResult]:
+    """Enumerate every schedule of a program, depth-first, by replay.
+
+    Each complete execution is re-run from a fresh ``setup()`` with a
+    scripted choice prefix; the enumeration backtracks over the last
+    decision with unexplored alternatives.  Exponential — use only on
+    small programs (a handful of operations per thread).
+
+    Parameters
+    ----------
+    setup:
+        Builds a *fresh* machine and thread set for every replay.
+    max_steps:
+        Step bound per run (runs hitting it are yielded with
+        ``completed=False`` and still backtracked through).
+    max_runs:
+        Optional cap on the number of executions enumerated.
+    """
+    script: list[int] = []
+    runs = 0
+    while True:
+        machine, threads = setup()
+        sched = ScriptedScheduler(script)
+        result = run(machine, threads, sched, max_steps=max_steps)
+        yield result
+        runs += 1
+        if max_runs is not None and runs >= max_runs:
+            return
+        # Find the deepest decision that still has an unexplored branch.
+        decisions = sched.decisions
+        chosen = script + [0] * (len(decisions) - len(script))
+        pos = len(decisions) - 1
+        while pos >= 0 and chosen[pos] + 1 >= decisions[pos]:
+            pos -= 1
+        if pos < 0:
+            return
+        script = chosen[:pos] + [chosen[pos] + 1]

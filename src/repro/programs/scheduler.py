@@ -1,0 +1,224 @@
+"""Schedulers: policies for resolving execution nondeterminism.
+
+The runner presents, at every step, the list of enabled events — one per
+runnable thread plus one per enabled internal machine transition (message
+delivery, buffer drain).  A scheduler picks one.  All interleaving *and*
+propagation nondeterminism flows through this single interface, so the
+same machinery drives random stress testing, adversarial searches, and
+bounded exhaustive exploration (via :class:`ScriptedScheduler` replay).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import SchedulerError
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "BiasedScheduler",
+    "DelayDeliveriesScheduler",
+    "EagerDeliveryScheduler",
+    "FairScheduler",
+]
+
+#: Event tuples as produced by the runner: ("thread", proc) or ("machine", key).
+Event = tuple
+
+
+class Scheduler(abc.ABC):
+    """Chooses one enabled event per step."""
+
+    @abc.abstractmethod
+    def choose(self, events: Sequence[Event]) -> int:
+        """Return the index of the chosen event within ``events``.
+
+        ``events`` is never empty; the runner stops on quiescence.
+        """
+
+    def reset(self) -> None:
+        """Prepare for a fresh run (optional)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice; reproducible from a seed.
+
+    The workhorse for stress testing: with enough runs it finds most
+    weak-memory surprises, including the RC_pc Bakery violation.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, events: Sequence[Event]) -> int:
+        return int(self._rng.integers(len(events)))
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle deterministically through event slots.
+
+    Approximates a fair interleaving; useful as a smoke-test baseline.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, events: Sequence[Event]) -> int:
+        idx = self._counter % len(events)
+        self._counter += 1
+        return idx
+
+    def reset(self) -> None:
+        self._counter = 0
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay a fixed choice sequence; choose 0 when the script runs out.
+
+    The building block of bounded exhaustive exploration: the explorer
+    enumerates scripts in depth-first order (see
+    :func:`repro.programs.runner.explore`).
+    """
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self._script = list(script)
+        self._pos = 0
+        #: (position, number of enabled events) recorded at each step —
+        #: the explorer reads this to compute the next script.
+        self.decisions: list[int] = []
+
+    def choose(self, events: Sequence[Event]) -> int:
+        self.decisions.append(len(events))
+        if self._pos < len(self._script):
+            idx = self._script[self._pos]
+            self._pos += 1
+            if idx >= len(events):
+                raise SchedulerError(
+                    f"scripted choice {idx} out of range for {len(events)} events"
+                )
+            return idx
+        return 0
+
+    def reset(self) -> None:
+        self._pos = 0
+        self.decisions = []
+
+
+class DelayDeliveriesScheduler(Scheduler):
+    """Adversarial: starve the machine's internal events as long as possible.
+
+    Threads run (in round-robin) while messages sit in flight, maximizing
+    staleness — the natural adversary for weak-memory algorithms.  Internal
+    events fire only when no thread can run.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, events: Sequence[Event]) -> int:
+        thread_idx = [i for i, e in enumerate(events) if e[0] == "thread"]
+        if thread_idx:
+            idx = thread_idx[self._counter % len(thread_idx)]
+            self._counter += 1
+            return idx
+        return 0
+
+    def reset(self) -> None:
+        self._counter = 0
+
+
+class BiasedScheduler(Scheduler):
+    """Random choice with a tunable propagation probability.
+
+    With probability ``p_machine`` (and at least one internal event
+    enabled) a machine event fires; otherwise a thread runs.  Sweeping
+    ``p_machine`` turns a machine into a dial from fully adversarial
+    (``0.0`` ≈ :class:`DelayDeliveriesScheduler`) to eager (``1.0``),
+    which is how the scalability experiment draws violation-rate and
+    staleness curves against propagation speed.
+    """
+
+    def __init__(self, seed: int = 0, p_machine: float = 0.5) -> None:
+        if not 0.0 <= p_machine <= 1.0:
+            raise SchedulerError(f"p_machine must be in [0, 1], got {p_machine}")
+        self._seed = seed
+        self.p_machine = p_machine
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, events: Sequence[Event]) -> int:
+        machine_idx = [i for i, e in enumerate(events) if e[0] == "machine"]
+        thread_idx = [i for i, e in enumerate(events) if e[0] == "thread"]
+        if machine_idx and (not thread_idx or self._rng.random() < self.p_machine):
+            return machine_idx[int(self._rng.integers(len(machine_idx)))]
+        if thread_idx:
+            return thread_idx[int(self._rng.integers(len(thread_idx)))]
+        return machine_idx[int(self._rng.integers(len(machine_idx)))]
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class FairScheduler(Scheduler):
+    """Random choice with a delivery quota: no message starves forever.
+
+    Every ``quota`` consecutive non-machine choices force one machine
+    event (when any is enabled).  Spin-loop programs that diverge under
+    :class:`DelayDeliveriesScheduler` terminate under this policy, which
+    makes it the right default for liveness-sensitive workloads such as
+    ping-pong.
+    """
+
+    def __init__(self, seed: int = 0, quota: int = 4) -> None:
+        self._seed = seed
+        self._quota = quota
+        self._rng = np.random.default_rng(seed)
+        self._since_machine = 0
+
+    def choose(self, events: Sequence[Event]) -> int:
+        machine_idx = [i for i, e in enumerate(events) if e[0] == "machine"]
+        if machine_idx and self._since_machine >= self._quota:
+            self._since_machine = 0
+            return machine_idx[int(self._rng.integers(len(machine_idx)))]
+        idx = int(self._rng.integers(len(events)))
+        if events[idx][0] == "machine":
+            self._since_machine = 0
+        else:
+            self._since_machine += 1
+        return idx
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._since_machine = 0
+
+
+class EagerDeliveryScheduler(Scheduler):
+    """The opposite adversary: flush all internal events before any thread step.
+
+    Under eager delivery every replica is as fresh as possible, which makes
+    weak machines behave almost like SC — useful as a control in the Bakery
+    experiment.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, events: Sequence[Event]) -> int:
+        for i, e in enumerate(events):
+            if e[0] == "machine":
+                return i
+        idx = self._counter % len(events)
+        self._counter += 1
+        return idx
+
+    def reset(self) -> None:
+        self._counter = 0

@@ -1,0 +1,147 @@
+"""DSM-style workload programs beyond mutual exclusion.
+
+The paper motivates weak memories with parallel and distributed
+applications sharing state through reads and writes; these are the
+classic communication skeletons of that world, written against the
+thread/request API so they run on every machine:
+
+* :func:`producer_consumer` — flag-guarded hand-off of a batch of values;
+* :func:`ping_pong` — two processors alternating on one location;
+* :func:`barrier_program` — sense-reversing-style arrival counter built
+  from per-processor arrival flags (read/write only);
+* :func:`work_queue` — a test-and-set protected queue index.
+
+Each returns thread factories plus (where meaningful) a *validator* that
+inspects the run's history for the workload's correctness condition —
+the experiments use these to show which memories preserve which idioms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.history import SystemHistory
+from repro.programs.ops import Read, Request, Rmw, Write
+from repro.programs.runner import ThreadFactory
+
+__all__ = [
+    "producer_consumer",
+    "ping_pong",
+    "barrier_program",
+    "work_queue",
+    "stale_reads",
+]
+
+
+def producer_consumer(
+    items: int = 3, *, labeled_flag: bool = False
+) -> Mapping[Any, ThreadFactory]:
+    """One producer fills ``data[i]`` then raises ``flag[i]``; the consumer
+    spins on each flag and reads the datum.
+
+    On memories preserving write order (SC, TSO, causal, PRAM) every
+    consumed value equals the produced one; on weaker memories the
+    consumer can observe a raised flag with stale data —
+    :func:`stale_reads` counts those.
+    """
+
+    def producer() -> Iterator[Request]:
+        for i in range(items):
+            yield Write(f"data[{i}]", 100 + i)
+            yield Write(f"flag[{i}]", 1, labeled_flag)
+
+    def consumer() -> Iterator[Request]:
+        for i in range(items):
+            while True:
+                f = yield Read(f"flag[{i}]", labeled_flag)
+                if f == 1:
+                    break
+            yield Read(f"data[{i}]")
+
+    return {"prod": producer, "cons": consumer}
+
+
+def stale_reads(history: SystemHistory, items: int) -> int:
+    """Consumer reads of ``data[i]`` that missed the produced value."""
+    stale = 0
+    for op in history.ops_of("cons"):
+        if op.is_read and op.location.startswith("data["):
+            i = int(op.location[5:-1])
+            if op.value_read != 100 + i:
+                stale += 1
+    return stale
+
+
+def ping_pong(rounds: int = 3) -> Mapping[Any, ThreadFactory]:
+    """Two processors alternate writing a token: 1,2,3,… on one location.
+
+    ``p`` writes odd values after seeing the previous even one; ``q``
+    mirrors.  Terminates on every machine that eventually propagates
+    writes (all of ours, under fair schedulers).
+    """
+
+    def player(mine_odd: bool) -> Callable[[], Iterator[Request]]:
+        def body() -> Iterator[Request]:
+            turn = 1 if mine_odd else 2
+            for _ in range(rounds):
+                while True:
+                    v = yield Read("token")
+                    if v == turn - 1:
+                        break
+                yield Write("token", turn)
+                turn += 2
+        return body
+
+    return {"p": player(True), "q": player(False)}
+
+
+def barrier_program(n: int = 3) -> Mapping[Any, ThreadFactory]:
+    """An arrival barrier from per-processor flags (reads/writes only).
+
+    Every processor writes a pre-barrier datum, raises its arrival flag,
+    waits until all flags are up, then reads every *other* processor's
+    datum.  On SC all post-barrier reads see the pre-barrier writes;
+    weak memories can leak stale values (count them with a validator on
+    ``pre[i]`` reads).
+    """
+
+    def member(i: int) -> Callable[[], Iterator[Request]]:
+        def body() -> Iterator[Request]:
+            yield Write(f"pre[{i}]", 10 + i)
+            yield Write(f"arrive[{i}]", 1)
+            for j in range(n):
+                while True:
+                    a = yield Read(f"arrive[{j}]")
+                    if a == 1:
+                        break
+            for j in range(n):
+                if j != i:
+                    yield Read(f"pre[{j}]")
+        return body
+
+    return {f"p{i}": member(i) for i in range(n)}
+
+
+def work_queue(
+    n_workers: int = 2, n_items: int = 4
+) -> Mapping[Any, ThreadFactory]:
+    """Workers claim items by test-and-set on per-item claim words.
+
+    Each worker sweeps the items and attempts ``claim[i] := my-id`` with
+    an atomic RMW; whoever reads back 0 owns the item.  RMWs serialize at
+    the location (paper footnote 4 treats them as writes visible to all),
+    so no item is ever claimed twice — on *any* of the machines.  The
+    correctness condition is checkable from the history: for each item,
+    exactly one RMW observed 0.
+    """
+
+    def worker(w: int) -> Callable[[], Iterator[Request]]:
+        def body() -> Iterator[Request]:
+            me = w + 1
+            for i in range(n_items):
+                old = yield Rmw(f"claim[{i}]", me)
+                if old == 0:
+                    yield Write(f"done[{i}]", me)
+        return body
+
+    return {f"w{i}": worker(i) for i in range(n_workers)}

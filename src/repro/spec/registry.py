@@ -1,0 +1,238 @@
+"""The named memory models of the paper, as specifications (Section 3).
+
+Each entry instantiates :class:`~repro.spec.model_spec.MemoryModelSpec`
+with the parameter choices the paper gives for that memory, plus two
+"new" memories obtained by recombining parameters as Section 7 suggests.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SpecError
+from repro.spec.model_spec import MemoryModelSpec
+from repro.spec.parameters import (
+    CAUSAL,
+    LabeledDiscipline,
+    MutualConsistency,
+    OperationSet,
+    PO,
+    PO_LOC,
+    PO_SYNC,
+    PPO,
+    SEMI_CAUSAL,
+)
+
+__all__ = [
+    "SC_SPEC",
+    "TSO_SPEC",
+    "PC_SPEC",
+    "PRAM_SPEC",
+    "CAUSAL_SPEC",
+    "COHERENCE_SPEC",
+    "RC_SC_SPEC",
+    "RC_PC_SPEC",
+    "HYBRID_SPEC",
+    "SLOW_SPEC",
+    "COHERENT_CAUSAL_SPEC",
+    "COHERENT_PRAM_SPEC",
+    "ALL_SPECS",
+    "get_spec",
+    "spec_names",
+]
+
+SC_SPEC = MemoryModelSpec(
+    name="SC",
+    operation_set=OperationSet.ALL_REMOTE,
+    mutual_consistency=MutualConsistency.IDENTICAL,
+    ordering=PO,
+    description=(
+        "Sequential consistency (Lamport 1979): one legal total order over "
+        "all operations, respecting each processor's program order; every "
+        "processor view is that common order."
+    ),
+)
+
+TSO_SPEC = MemoryModelSpec(
+    name="TSO",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.TOTAL_WRITE_ORDER,
+    ordering=PPO,
+    description=(
+        "Total store ordering (SPARC; Sindhu et al. 1991): views contain "
+        "own operations plus all remote writes, all views order all writes "
+        "identically, and the partial program order (write→read bypass "
+        "allowed) is respected (paper Section 3.2)."
+    ),
+)
+
+PC_SPEC = MemoryModelSpec(
+    name="PC",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=SEMI_CAUSAL,
+    description=(
+        "Processor consistency as defined by Gharachorloo et al. for DASH: "
+        "coherence (per-location agreed write order) plus the semi-causality "
+        "order (ppo ∪ rwb ∪ rrb)+ within each view (paper Section 3.3)."
+    ),
+)
+
+PRAM_SPEC = MemoryModelSpec(
+    name="PRAM",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=PO,
+    description=(
+        "Pipelined RAM (Lipton & Sandberg 1988): replicated memories with "
+        "reliable FIFO update channels; views respect only program order "
+        "and need not agree with each other (paper Section 3.5)."
+    ),
+)
+
+CAUSAL_SPEC = MemoryModelSpec(
+    name="Causal",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=CAUSAL,
+    description=(
+        "Causal memory (Ahamad et al. 1991): like PRAM but views must "
+        "respect the causal order (po ∪ wb)+ (paper Section 3.5)."
+    ),
+)
+
+COHERENCE_SPEC = MemoryModelSpec(
+    name="Coherence",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=PO_LOC,
+    description=(
+        "Plain cache coherence (per-location sequential consistency): "
+        "per-location agreement on write order, with program order enforced "
+        "only between same-location operations — the mutual-consistency "
+        "example of Section 2, as a memory in its own right.  Incomparable "
+        "with PRAM: coherence allows message-passing staleness that PRAM "
+        "forbids, and forbids the per-location disagreement PRAM allows."
+    ),
+)
+
+RC_SC_SPEC = MemoryModelSpec(
+    name="RC_sc",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=PPO,
+    labeled_discipline=LabeledDiscipline.SC,
+    bracketing=True,
+    ordering_own_view_only=True,
+    description=(
+        "Release consistency with sequentially consistent labeled "
+        "operations (DASH RC_sc): coherence for all writes, ppo locally, "
+        "acquire/release bracketing for ordinary operations, and the "
+        "labeled subsequences of all views drawn from one SC order "
+        "(paper Section 3.4)."
+    ),
+)
+
+RC_PC_SPEC = MemoryModelSpec(
+    name="RC_pc",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=PPO,
+    labeled_discipline=LabeledDiscipline.PC,
+    bracketing=True,
+    ordering_own_view_only=True,
+    description=(
+        "Release consistency with processor consistent labeled operations "
+        "(DASH RC_pc): as RC_sc but labeled subsequences need only satisfy "
+        "PC (paper Section 3.4)."
+    ),
+)
+
+SLOW_SPEC = MemoryModelSpec(
+    name="Slow",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=PO_LOC,
+    description=(
+        "Slow memory (Hutto & Ahamad 1990, the same group's weakest "
+        "proposal): a processor must eventually see another's writes to a "
+        "given location in the order they were issued, but locations are "
+        "completely independent and there is no mutual consistency — the "
+        "bottom of the lattice, strictly below PRAM and below coherence."
+    ),
+)
+
+HYBRID_SPEC = MemoryModelSpec(
+    name="Hybrid",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.LABELED_TOTAL_ORDER,
+    ordering=PO_SYNC,
+    description=(
+        "Hybrid consistency (Attiya & Friedman 1992), the paper's cited "
+        "example of distinguishing strong and weak operations: all views "
+        "agree on one total order of the strong (labeled) operations, "
+        "extending program order; weak operations are ordered only "
+        "relative to the same processor's strong operations.  With no "
+        "labels it is weaker than PRAM; labeling everything recovers a "
+        "strongly ordered memory."
+    ),
+)
+
+# -- Section 7: new memories by recombining parameters ------------------------
+
+COHERENT_CAUSAL_SPEC = MemoryModelSpec(
+    name="CoherentCausal",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=CAUSAL,
+    description=(
+        "A new memory suggested by Section 7: causal memory strengthened "
+        "with the coherence mutual-consistency requirement."
+    ),
+)
+
+COHERENT_PRAM_SPEC = MemoryModelSpec(
+    name="CoherentPRAM",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.COHERENCE,
+    ordering=PO,
+    description=(
+        "A new memory from the same recipe: PRAM strengthened with "
+        "coherence (close to Goodman's original processor consistency)."
+    ),
+)
+
+ALL_SPECS: tuple[MemoryModelSpec, ...] = (
+    SC_SPEC,
+    TSO_SPEC,
+    PC_SPEC,
+    PRAM_SPEC,
+    CAUSAL_SPEC,
+    COHERENCE_SPEC,
+    RC_SC_SPEC,
+    RC_PC_SPEC,
+    HYBRID_SPEC,
+    SLOW_SPEC,
+    COHERENT_CAUSAL_SPEC,
+    COHERENT_PRAM_SPEC,
+)
+
+_BY_NAME = {spec.name.lower(): spec for spec in ALL_SPECS}
+
+
+def get_spec(name: str) -> MemoryModelSpec:
+    """Look a specification up by (case-insensitive) name.
+
+    Raises
+    ------
+    SpecError
+        If no model of that name is registered.
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(s.name for s in ALL_SPECS))
+        raise SpecError(f"unknown memory model {name!r}; known: {known}") from None
+
+
+def spec_names() -> tuple[str, ...]:
+    """Names of all registered model specifications."""
+    return tuple(spec.name for spec in ALL_SPECS)

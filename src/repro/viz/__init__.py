@@ -1,0 +1,16 @@
+"""Rendering: ASCII figures and Graphviz DOT export."""
+
+from repro.viz.ascii import render_history, render_lattice, render_verdicts, render_views
+from repro.viz.dot import lattice_to_dot, relation_to_dot
+from repro.viz.timeline import render_run, render_timeline
+
+__all__ = [
+    "lattice_to_dot",
+    "relation_to_dot",
+    "render_history",
+    "render_run",
+    "render_timeline",
+    "render_lattice",
+    "render_verdicts",
+    "render_views",
+]

@@ -1,0 +1,67 @@
+"""Tests for the random history/program generators."""
+
+import numpy as np
+
+from repro.analysis import machine_history, random_history, random_program_ops
+from repro.machines import SCMachine
+from repro.orders import reads_from_candidates
+from repro.programs.ops import Read, Write
+
+
+class TestRandomHistory:
+    def test_reproducible(self):
+        a = random_history(np.random.default_rng(1))
+        b = random_history(np.random.default_rng(1))
+        assert a == b
+
+    def test_structure(self):
+        h = random_history(
+            np.random.default_rng(2), procs=3, ops_per_proc=4, locations=("a", "b", "c")
+        )
+        assert len(h.procs) == 3
+        assert all(len(h.ops_of(p)) == 4 for p in h.procs)
+        assert set(h.locations) <= {"a", "b", "c"}
+
+    def test_distinct_write_values(self):
+        for seed in range(20):
+            h = random_history(np.random.default_rng(seed))
+            assert h.has_distinct_write_values()
+
+    def test_reads_always_satisfiable(self):
+        for seed in range(20):
+            h = random_history(np.random.default_rng(seed))
+            for op, cands in reads_from_candidates(h).items():
+                assert cands
+
+    def test_p_write_extremes(self):
+        all_writes = random_history(np.random.default_rng(3), p_write=1.0)
+        assert all(op.is_write for op in all_writes.operations)
+        all_reads = random_history(np.random.default_rng(3), p_write=0.0)
+        assert all(op.is_read for op in all_reads.operations)
+        assert all(op.value == 0 for op in all_reads.operations)
+
+
+class TestRandomProgram:
+    def test_ops_count_and_kinds(self):
+        ops = random_program_ops(np.random.default_rng(4), ops=6)
+        assert len(ops) == 6
+        assert all(isinstance(op, (Read, Write)) for op in ops)
+
+    def test_value_base_respected(self):
+        ops = random_program_ops(np.random.default_rng(5), ops=8, p_write=1.0, value_base=100)
+        values = [op.value for op in ops]
+        assert values == list(range(100, 108))
+
+
+class TestMachineHistory:
+    def test_produces_complete_trace(self):
+        rng = np.random.default_rng(6)
+        m = SCMachine(("p0", "p1"))
+        h = machine_history(m, rng, ops_per_proc=3)
+        assert all(len(h.ops_of(p)) == 3 for p in h.procs)
+
+    def test_distinct_values_across_threads(self):
+        rng = np.random.default_rng(7)
+        m = SCMachine(("p0", "p1"))
+        h = machine_history(m, rng, ops_per_proc=4, p_write=1.0)
+        assert h.has_distinct_write_values()

@@ -1,0 +1,42 @@
+"""Tests for the reporting helpers."""
+
+from repro.analysis import Timer, format_counts, fraction, verdict_table
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0
+
+
+class TestFraction:
+    def test_normal(self):
+        assert fraction(1, 4) == "1/4 (25.0%)"
+
+    def test_zero_denominator(self):
+        assert fraction(0, 0) == "0/0 (0.0%)"
+
+
+class TestVerdictTable:
+    def test_marks_mismatches(self):
+        rows = [("t1", {"SC": False}, {"SC": True, "TSO": False})]
+        out = verdict_table(rows, ["SC", "TSO"])
+        assert "Y!" in out  # expected False, measured True
+        assert "t1" in out
+
+    def test_missing_models_dash(self):
+        rows = [("t1", {}, {"SC": True})]
+        out = verdict_table(rows, ["SC", "TSO"])
+        assert "-" in out
+
+    def test_no_mark_when_agreeing(self):
+        rows = [("t1", {"SC": True}, {"SC": True})]
+        out = verdict_table(rows, ["SC"])
+        assert "!" not in out
+
+
+class TestFormatCounts:
+    def test_lines(self):
+        out = format_counts({"SC": 3, "TSO": 5}, total=10)
+        assert "SC" in out and "3/10" in out and "5/10" in out

@@ -1,0 +1,80 @@
+"""Tests for streaming legality and trace statistics."""
+
+from repro.analysis.trace import TraceStats, streaming_legality, trace_stats
+from repro.core.operation import read, write
+from repro.litmus import parse_history
+
+
+class TestStreamingLegality:
+    def test_legal_trace(self):
+        ops = [write("p", 0, "x", 1), read("q", 0, "x", 1)]
+        assert streaming_legality(ops) is None
+
+    def test_violation_position(self):
+        ops = [write("p", 0, "x", 1), read("q", 0, "x", 2)]
+        violation = streaming_legality(ops)
+        assert violation is not None and violation[0] == 1
+
+    def test_lazy_consumption(self):
+        consumed = []
+
+        def gen():
+            for i in range(10_000):
+                consumed.append(i)
+                # Break legality at position 3.
+                yield read("p", i, "x", 9 if i == 3 else 0)
+
+        violation = streaming_legality(gen())
+        assert violation is not None and violation[0] == 3
+        assert len(consumed) == 4  # stopped at the violation, not the end
+
+    def test_large_trace_linear(self):
+        def gen():
+            for i in range(50_000):
+                yield write("p", i * 2, "x", i + 1)
+                yield read("p", i * 2 + 1, "x", i + 1)
+
+        assert streaming_legality(gen()) is None
+
+    def test_custom_initial(self):
+        assert streaming_legality([read("p", 0, "x", 5)], initial=5) is None
+
+
+class TestTraceStats:
+    def test_counts(self):
+        h = parse_history("p: w(x)1 r(y)0 u(l)0->1 | q: w*(y)2")
+        stats = trace_stats(h)
+        assert stats.operations == 4
+        assert stats.reads == 1 and stats.writes == 2 and stats.rmws == 1
+        assert stats.labeled == 1
+        assert stats.processors == 2 and stats.locations == 3
+
+    def test_shared_locations(self):
+        h = parse_history("p: w(x)1 w(z)3 | q: r(x)1 w(y)2")
+        assert trace_stats(h).shared_locations == 1  # only x is shared
+
+    def test_reads_from_composition(self):
+        h = parse_history(
+            "p: w(x)1 r(x)1 r(y)0 | q: r(x)1"
+        )
+        stats = trace_stats(h)
+        assert stats.reads_of_initial == 1  # r(y)0
+        assert stats.reads_local == 1       # p reading its own x
+        assert stats.reads_remote == 1      # q reading p's x
+        assert stats.reads_ambiguous == 0
+
+    def test_ambiguous_reads_counted(self):
+        h = parse_history("p: w(x)0 | q: r(x)0")
+        assert trace_stats(h).reads_ambiguous == 1
+
+    def test_communication_ratio(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 r(x)1")
+        assert trace_stats(h).communication_ratio == 1.0
+        lonely = parse_history("p: w(x)1 r(x)1")
+        assert trace_stats(lonely).communication_ratio == 0.0
+
+    def test_rmw_read_half_in_ratio(self):
+        h = parse_history("p: w(l)1 | q: u(l)1->2")
+        stats = trace_stats(h)
+        assert stats.rmws == 1 and stats.reads_remote == 1
+        assert stats.communication_ratio == 1.0

@@ -1,0 +1,102 @@
+"""Tests for hybrid consistency (Attiya-Friedman strong/weak operations).
+
+The paper cites hybrid consistency as the other example (besides release
+consistency) of distinguishing operation classes in parameter 1.  Strong
+operations are labeled; all views agree on one total order of them that
+extends program order; weak operations are ordered only relative to the
+same processor's strong operations.
+"""
+
+import pytest
+
+from repro.checking import MODELS, check
+from repro.litmus import parse_history
+
+
+def hybrid(text: str) -> bool:
+    return check(parse_history(text), "Hybrid").allowed
+
+
+class TestUnlabeledIsVeryWeak:
+    def test_corr_allowed_without_labels(self):
+        # Weaker than PRAM: weak ops of one processor may be observed out
+        # of program order.
+        assert hybrid("p: w(x)1 w(x)2 | q: r(x)2 r(x)1")
+
+    def test_pram_contained_in_unlabeled_hybrid(self):
+        samples = [
+            "p: w(x)1 r(y)0 | q: w(y)1 r(x)0",
+            "p: w(x)1 r(x)1 r(x)2 | q: w(x)2 r(x)2 r(x)1",
+            "p: w(x)1 w(y)1 | q: r(y)1 r(x)1",
+        ]
+        for text in samples:
+            h = parse_history(text)
+            if check(h, "PRAM").allowed:
+                assert check(h, "Hybrid").allowed, text
+
+    def test_legality_still_required(self):
+        assert not hybrid("p: r(x)7")
+
+
+class TestAllStrongIsStrong:
+    def test_labeled_sb_rejected(self):
+        assert not hybrid("p: w*(x)1 r*(y)0 | q: w*(y)1 r*(x)0")
+
+    def test_labeled_mp_rejected(self):
+        assert not hybrid("p: w*(x)1 w*(y)2 | q: r*(y)2 r*(x)0")
+
+    def test_labeled_consistent_outcome_allowed(self):
+        assert hybrid("p: w*(x)1 w*(y)2 | q: r*(y)2 r*(x)1")
+
+    def test_sc_contained_in_all_strong_hybrid(self):
+        samples = [
+            "p: w(x)1 w(y)2 | q: r(y)2 r(x)1",
+            "p: w(x)1 | q: r(x)1 w(y)2 | r: r(y)2 r(x)1",
+        ]
+        for text in samples:
+            h = parse_history(text)
+            strong = h.relabel(lambda op: True)
+            if check(h, "SC").allowed:
+                assert check(strong, "Hybrid").allowed, text
+
+
+class TestMixedStrength:
+    def test_strong_flag_protects_weak_data(self):
+        # The strong flag hand-off orders the weak data write before the
+        # weak data read via po-sync through the flag operations.
+        assert not hybrid("p: w(x)1 w*(f)1 | q: r*(f)1 r(x)0")
+        assert hybrid("p: w(x)1 w*(f)1 | q: r*(f)1 r(x)1")
+
+    def test_weak_flag_protects_nothing(self):
+        assert hybrid("p: w(x)1 w(f)1 | q: r(f)1 r(x)0")
+
+    def test_weak_reads_may_observe_strong_writes_out_of_order(self):
+        # q's reads are weak, hence unordered even with each other: q's
+        # view may interleave the (agreed-upon) strong write order with
+        # its reads arbitrarily.  Hybrid deliberately permits this.
+        assert hybrid("p: w*(x)1 w*(x)2 | q: r(x)2 r(x)1")
+
+    def test_strong_reads_see_strong_writes_in_order(self):
+        # With *both* sides strong the agreed total order plus po-sync
+        # forbids the inversion.
+        assert not hybrid("p: w*(x)1 w*(x)2 | q: r*(x)2 r*(x)1")
+
+    def test_weak_writes_may_be_observed_in_any_order(self):
+        # p's writes are weak, so even a strong read is free to see them
+        # inverted — nothing orders the two writes anywhere.
+        assert hybrid("p: w(x)1 w(x)2 | q: r*(x)2 r(x)1")
+
+
+class TestRegistryIntegration:
+    def test_spec_registered(self):
+        assert MODELS["Hybrid"].spec is not None
+        assert MODELS["Hybrid"].spec.ordering.name == "po-sync"
+
+    def test_generic_and_preferred_agree(self):
+        m = MODELS["Hybrid"]
+        for text in (
+            "p: w(x)1 w(x)2 | q: r(x)2 r(x)1",
+            "p: w*(x)1 r*(y)0 | q: w*(y)1 r*(x)0",
+        ):
+            h = parse_history(text)
+            assert m.check(h).allowed == m.check_generic(h).allowed

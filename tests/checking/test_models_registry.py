@@ -1,0 +1,49 @@
+"""Tests for the checker registry and the classify entry point."""
+
+import pytest
+
+from repro.checking import MODELS, PAPER_MODELS, check, classify, model_names
+from repro.core import CheckerError
+from repro.litmus import parse_history
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        for name in PAPER_MODELS:
+            assert name in MODELS
+
+    def test_model_names_complete(self):
+        names = model_names()
+        for expected in (
+            "SC", "TSO", "PC", "PRAM", "Causal", "Coherence",
+            "RC_sc", "RC_pc", "PC-G", "CoherentCausal", "TSO-axiomatic",
+        ):
+            assert expected in names
+
+    def test_unknown_model_raises(self):
+        h = parse_history("p: w(x)1")
+        with pytest.raises(CheckerError):
+            check(h, "bogus")
+
+    def test_axiomatic_tso_has_no_spec(self):
+        m = MODELS["TSO-axiomatic"]
+        assert m.spec is None
+        with pytest.raises(CheckerError):
+            m.check_generic(parse_history("p: w(x)1"))
+
+    def test_allows_shortcut(self, fig1):
+        assert MODELS["TSO"].allows(fig1)
+        assert not MODELS["SC"].allows(fig1)
+
+
+class TestClassify:
+    def test_default_models(self, fig1):
+        verdicts = classify(fig1)
+        assert set(verdicts) == set(PAPER_MODELS)
+        assert verdicts == {
+            "SC": False, "TSO": True, "PC": True, "Causal": True, "PRAM": True,
+        }
+
+    def test_custom_model_list(self, fig3):
+        verdicts = classify(fig3, ("PRAM", "Coherence"))
+        assert verdicts == {"PRAM": True, "Coherence": False}

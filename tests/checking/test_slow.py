@@ -1,0 +1,74 @@
+"""Tests for slow memory — the weakest model in the lattice."""
+
+from repro.checking import MODELS, check
+from repro.litmus import CATALOG, parse_history
+
+
+def slow(text: str) -> bool:
+    return check(parse_history(text), "Slow").allowed
+
+
+class TestSlowSemantics:
+    def test_per_writer_per_location_order_preserved(self):
+        # The one guarantee slow memory makes: one writer's writes to one
+        # location are seen in order.
+        assert not slow("p: w(x)1 w(x)2 | q: r(x)2 r(x)1")
+
+    def test_locations_independent(self):
+        # MP staleness is fine: x and y propagate independently.
+        assert slow("p: w(x)1 w(y)1 | q: r(y)1 r(x)0")
+
+    def test_writers_independent(self):
+        # Different writers to the same location may be seen in any order.
+        assert slow("p: w(x)1 r(x)1 r(x)2 | q: w(x)2 r(x)2 r(x)1")
+
+    def test_same_location_view_order_still_binds(self):
+        # A view is still a legal sequence: once q has seen y=2 it cannot
+        # see y revert to 0 (no write puts it back).
+        assert not slow("p: w(x)1 w(y)2 | q: r(y)2 r(x)0 r(y)0")
+
+    def test_readers_disagree_on_writer_interleaving(self):
+        # Different readers may order two writers' same-location writes
+        # oppositely — no mutual consistency.
+        assert slow("p: w(x)1 | q: w(x)2 | r: r(x)1 r(x)2 | s: r(x)2 r(x)1")
+
+    def test_legality_still_binds(self):
+        assert not slow("p: r(x)7")
+
+    def test_own_same_location_order_binds(self):
+        assert not slow("p: w(x)1 r(x)0")
+
+
+class TestSlowIsTheBottom:
+    def test_every_model_contained_in_slow_on_catalog(self):
+        for name, t in CATALOG.items():
+            h = t.history
+            for model in ("SC", "TSO", "PC", "PRAM", "Causal", "Coherence"):
+                if check(h, model).allowed:
+                    assert check(h, "Slow").allowed, f"{model} ⊄ Slow on {name}"
+
+    def test_strictly_below_pram(self):
+        # Slow allows a PRAM-forbidden history: one processor observes
+        # another's different-location writes out of program order.
+        h = "p: w(x)1 w(y)2 | q: r(y)2 r(x)0"
+        assert slow(h)
+        assert not check(parse_history(h), "PRAM").allowed
+
+    def test_strictly_below_coherence(self):
+        # Slow allows per-location disagreement between processors.
+        h = "p: w(x)1 r(x)1 r(x)2 | q: w(x)2 r(x)2 r(x)1"
+        assert slow(h)
+        assert not check(parse_history(h), "Coherence").allowed
+
+
+class TestRegistryIntegration:
+    def test_spec_shape(self):
+        spec = MODELS["Slow"].spec
+        assert spec is not None
+        assert spec.ordering.name == "po-loc"
+        assert spec.mutual_consistency.value == "none"
+
+    def test_generic_agrees(self):
+        m = MODELS["Slow"]
+        h = parse_history("p: w(x)1 w(x)2 | q: r(x)2 r(x)1")
+        assert m.check(h).allowed == m.check_generic(h).allowed

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.litmus import CATALOG, parse_history
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1():
+    """Paper Figure 1: the store-buffering history (TSO, not SC)."""
+    return CATALOG["fig1-sb"].history
+
+
+@pytest.fixture
+def fig2():
+    """Paper Figure 2: PC history that is not TSO."""
+    return CATALOG["fig2-pc-not-tso"].history
+
+
+@pytest.fixture
+def fig3():
+    """Paper Figure 3: PRAM history that is not TSO."""
+    return CATALOG["fig3-pram-not-tso"].history
+
+
+@pytest.fixture
+def fig4():
+    """Paper Figure 4: causal history that is not TSO."""
+    return CATALOG["fig4-causal-not-tso"].history
+
+
+@pytest.fixture
+def bakery_violation():
+    """The Section 5 two-processor Bakery history (RC_pc yes, RC_sc no)."""
+    return parse_history(
+        "p1: w*(c0)1 r*(n1)0 w*(n0)1 w*(c0)0 r*(c1)0 r*(n1)0 w(cs)1 | "
+        "p2: w*(c1)1 r*(n0)0 w*(n1)1 w*(c1)0 r*(c0)0 r*(n0)0 w(cs)2"
+    )

@@ -1,0 +1,152 @@
+"""Unit tests for processor and system histories."""
+
+import pytest
+
+from repro.core import (
+    HistoryBuilder,
+    HistoryError,
+    ProcessorHistory,
+    SystemHistory,
+    read,
+    write,
+)
+
+
+def sb_history():
+    return (
+        HistoryBuilder()
+        .proc("p").write("x", 1).read("y", 0)
+        .proc("q").write("y", 1).read("x", 0)
+        .build()
+    )
+
+
+class TestProcessorHistory:
+    def test_program_order_is_sequence_order(self):
+        h = ProcessorHistory("p", [write("p", 0, "x", 1), read("p", 1, "y", 0)])
+        assert [op.index for op in h] == [0, 1]
+        assert len(h) == 2
+
+    def test_wrong_proc_rejected(self):
+        with pytest.raises(HistoryError):
+            ProcessorHistory("p", [write("q", 0, "x", 1)])
+
+    def test_wrong_index_rejected(self):
+        with pytest.raises(HistoryError):
+            ProcessorHistory("p", [write("p", 1, "x", 1)])
+
+    def test_reads_writes_partition(self):
+        h = ProcessorHistory("p", [write("p", 0, "x", 1), read("p", 1, "y", 0)])
+        assert [op.kind.value for op in h.writes] == ["w"]
+        assert [op.kind.value for op in h.reads] == ["r"]
+
+    def test_labeled_subsequence(self):
+        h = ProcessorHistory(
+            "p", [write("p", 0, "x", 1, labeled=True), read("p", 1, "y", 0)]
+        )
+        assert len(h.labeled) == 1
+
+    def test_equality(self):
+        a = ProcessorHistory("p", [write("p", 0, "x", 1)])
+        b = ProcessorHistory("p", [write("p", 0, "x", 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSystemHistory:
+    def test_accessors(self):
+        h = sb_history()
+        assert h.procs == ("p", "q")
+        assert len(h.operations) == 4
+        assert h.locations == ("x", "y")
+        assert len(h.reads) == 2 and len(h.writes) == 2
+
+    def test_duplicate_procs_rejected(self):
+        ph = ProcessorHistory("p", [write("p", 0, "x", 1)])
+        with pytest.raises(HistoryError):
+            SystemHistory([ph, ph])
+
+    def test_op_lookup(self):
+        h = sb_history()
+        assert h.op("p", 0).location == "x"
+        with pytest.raises(HistoryError):
+            h.op("p", 9)
+
+    def test_remote_writes(self):
+        h = sb_history()
+        remote = h.remote_writes("p")
+        assert len(remote) == 1 and remote[0].proc == "q"
+
+    def test_writes_to_and_reads_of(self):
+        h = sb_history()
+        assert len(h.writes_to("x")) == 1
+        assert len(h.reads_of("x")) == 1
+
+    def test_relabel(self):
+        h = sb_history().relabel(lambda op: op.is_write)
+        assert all(op.labeled for op in h.writes)
+        assert not any(op.labeled for op in h.reads if op.is_pure_read)
+
+    def test_distinct_write_values(self):
+        assert sb_history().has_distinct_write_values()
+        dup = (
+            HistoryBuilder()
+            .proc("p").write("x", 1)
+            .proc("q").write("x", 1)
+            .build()
+        )
+        assert not dup.has_distinct_write_values()
+
+    def test_distinct_values_per_location(self):
+        # Same value to *different* locations is fine.
+        h = (
+            HistoryBuilder().proc("p").write("x", 1).write("y", 1).build()
+        )
+        assert h.has_distinct_write_values()
+
+    def test_project_reindexes(self):
+        h = (
+            HistoryBuilder()
+            .proc("p").write("x", 1).write("s", 2, labeled=True).read("y", 0)
+            .proc("q").write("y", 3, labeled=True)
+            .build()
+        )
+        sub, back = h.project(lambda op: op.labeled)
+        assert len(sub.operations) == 2
+        # Reindexed densely:
+        assert [op.index for op in sub.ops_of("p")] == [0]
+        # Back-map returns the original operation.
+        orig = back[sub.ops_of("p")[0].uid]
+        assert orig.index == 1 and orig.location == "s"
+
+    def test_project_drops_empty_procs(self):
+        h = sb_history()
+        sub, _ = h.project(lambda op: op.proc == "p")
+        assert sub.procs == ("p",)
+
+    def test_equality_and_hash(self):
+        assert sb_history() == sb_history()
+        assert hash(sb_history()) == hash(sb_history())
+
+    def test_deterministic_proc_order(self):
+        h = (
+            HistoryBuilder()
+            .proc("z").write("x", 1)
+            .proc("a").write("y", 2)
+            .build()
+        )
+        assert h.procs == ("a", "z")
+
+
+class TestHistoryBuilder:
+    def test_requires_proc_first(self):
+        with pytest.raises(HistoryError):
+            HistoryBuilder().write("x", 1)
+
+    def test_aliases(self):
+        h = HistoryBuilder().proc("p").w("x", 1).r("x", 1).u("x", 1, 2).build()
+        kinds = [op.kind.value for op in h.ops_of("p")]
+        assert kinds == ["w", "r", "u"]
+
+    def test_indices_assigned_sequentially(self):
+        h = HistoryBuilder().proc("p").w("x", 1).r("y", 0).build()
+        assert [op.index for op in h.ops_of("p")] == [0, 1]

@@ -1,0 +1,107 @@
+"""Unit tests for the Operation value type."""
+
+import pytest
+
+from repro.core import MalformedOperationError, Operation, OpKind, read, rmw, write
+
+
+class TestConstruction:
+    def test_read_constructor(self):
+        op = read("p", 0, "x", 5)
+        assert op.kind is OpKind.READ
+        assert op.proc == "p" and op.index == 0
+        assert op.location == "x" and op.value == 5
+        assert not op.labeled
+
+    def test_write_constructor(self):
+        op = write("q", 3, "y", 7, labeled=True)
+        assert op.kind is OpKind.WRITE
+        assert op.labeled
+
+    def test_rmw_constructor(self):
+        op = rmw("p", 1, "l", 0, 1)
+        assert op.kind is OpKind.RMW
+        assert op.read_value == 0 and op.value == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation("p", -1, OpKind.READ, "x", 0)
+
+    def test_rmw_requires_read_value(self):
+        with pytest.raises(MalformedOperationError):
+            Operation("p", 0, OpKind.RMW, "x", 1)
+
+    def test_plain_ops_reject_read_value(self):
+        with pytest.raises(MalformedOperationError):
+            Operation("p", 0, OpKind.WRITE, "x", 1, read_value=0)
+
+    def test_kind_must_be_opkind(self):
+        with pytest.raises(MalformedOperationError):
+            Operation("p", 0, "w", "x", 1)  # type: ignore[arg-type]
+
+
+class TestClassification:
+    def test_read_halves(self):
+        assert read("p", 0, "x", 1).is_read
+        assert not read("p", 0, "x", 1).is_write
+        assert rmw("p", 0, "x", 0, 1).is_read
+
+    def test_write_halves(self):
+        assert write("p", 0, "x", 1).is_write
+        assert not write("p", 0, "x", 1).is_read
+        assert rmw("p", 0, "x", 0, 1).is_write
+
+    def test_pure_flags(self):
+        assert read("p", 0, "x", 1).is_pure_read
+        assert not rmw("p", 0, "x", 0, 1).is_pure_read
+        assert write("p", 0, "x", 1).is_pure_write
+        assert not rmw("p", 0, "x", 0, 1).is_pure_write
+
+    def test_acquire_release(self):
+        assert read("p", 0, "x", 1, labeled=True).is_acquire
+        assert write("p", 0, "x", 1, labeled=True).is_release
+        assert not read("p", 0, "x", 1).is_acquire
+        assert not write("p", 0, "x", 1).is_release
+        # An RMW is both when labeled (it has both halves).
+        op = rmw("p", 0, "x", 0, 1, labeled=True)
+        assert op.is_acquire and op.is_release
+
+
+class TestValues:
+    def test_value_read(self):
+        assert read("p", 0, "x", 4).value_read == 4
+        assert rmw("p", 0, "x", 2, 9).value_read == 2
+
+    def test_value_written(self):
+        assert write("p", 0, "x", 4).value_written == 4
+        assert rmw("p", 0, "x", 2, 9).value_written == 9
+
+    def test_value_read_on_write_raises(self):
+        with pytest.raises(MalformedOperationError):
+            _ = write("p", 0, "x", 1).value_read
+
+    def test_value_written_on_read_raises(self):
+        with pytest.raises(MalformedOperationError):
+            _ = read("p", 0, "x", 1).value_written
+
+
+class TestIdentity:
+    def test_uid(self):
+        assert read("p", 2, "x", 0).uid == ("p", 2)
+
+    def test_equality_and_hash(self):
+        a = read("p", 0, "x", 1)
+        b = read("p", 0, "x", 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != write("p", 0, "x", 1)
+
+    def test_with_labeled(self):
+        op = read("p", 0, "x", 1)
+        lab = op.with_labeled(True)
+        assert lab.labeled and lab.uid == op.uid
+        assert not op.labeled  # original untouched
+
+    def test_str_forms(self):
+        assert str(write("p", 0, "x", 1)) == "w_p(x)1"
+        assert str(read("q", 1, "y", 0, labeled=True)) == "r*_q(y)0"
+        assert str(rmw("p", 0, "l", 0, 1)) == "u_p(l)0->1"

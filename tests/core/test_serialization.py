@@ -1,0 +1,90 @@
+"""Round-trip tests for the JSON wire format."""
+
+import pytest
+
+from repro.core import HistoryBuilder, ParseError, View
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    history_from_dict,
+    history_from_json,
+    history_to_dict,
+    history_to_json,
+    operation_from_dict,
+    operation_to_dict,
+    view_from_dict,
+    view_to_dict,
+)
+from repro.core.operation import read, rmw, write
+
+
+def sample_history():
+    return (
+        HistoryBuilder()
+        .proc("p").write("x", 1, labeled=True).rmw("l", 0, 1).read("y", 0)
+        .proc("q").write("y", 2)
+        .build()
+    )
+
+
+class TestOperationCodec:
+    def test_roundtrip_read(self):
+        op = read("p", 0, "x", 3, labeled=True)
+        assert operation_from_dict(operation_to_dict(op)) == op
+
+    def test_roundtrip_rmw(self):
+        op = rmw("p", 1, "l", 0, 1)
+        assert operation_from_dict(operation_to_dict(op)) == op
+
+    def test_compact_encoding_omits_defaults(self):
+        d = operation_to_dict(write("p", 0, "x", 1))
+        assert "labeled" not in d and "read_value" not in d
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ParseError):
+            operation_from_dict({"proc": "p"})
+
+    def test_bad_kind_rejected(self):
+        d = operation_to_dict(read("p", 0, "x", 1))
+        d["kind"] = "z"
+        with pytest.raises(ParseError):
+            operation_from_dict(d)
+
+
+class TestHistoryCodec:
+    def test_roundtrip_dict(self):
+        h = sample_history()
+        assert history_from_dict(history_to_dict(h)) == h
+
+    def test_roundtrip_json(self):
+        h = sample_history()
+        assert history_from_json(history_to_json(h)) == h
+
+    def test_version_checked(self):
+        d = history_to_dict(sample_history())
+        d["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ParseError):
+            history_from_dict(d)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParseError):
+            history_from_json("{not json")
+
+    def test_missing_processors_rejected(self):
+        with pytest.raises(ParseError):
+            history_from_dict({"version": FORMAT_VERSION})
+
+
+class TestViewCodec:
+    def test_roundtrip(self):
+        h = sample_history()
+        v = View("q", [h.op("q", 0), h.op("p", 0), h.op("p", 1)], None)
+        again = view_from_dict(view_to_dict(v))
+        assert list(again) == list(v) and again.proc == "q"
+
+    def test_view_validated_against_history(self):
+        h = sample_history()
+        v = View("q", [h.op("q", 0), h.op("p", 0), h.op("p", 1)], None)
+        d = view_to_dict(v)
+        d["ops"][0]["value"] = 99  # now a foreign operation
+        with pytest.raises(Exception):
+            view_from_dict(d, h)

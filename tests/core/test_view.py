@@ -1,0 +1,132 @@
+"""Unit tests for views and legality (the paper's core definition)."""
+
+import pytest
+
+from repro.core import (
+    HistoryBuilder,
+    IllegalViewError,
+    View,
+    first_legality_violation,
+    is_legal_sequence,
+    read,
+    rmw,
+    write,
+)
+
+
+def ops(*specs):
+    """Build operations from (proc, index, kind, loc, value[, read_value])."""
+    out = []
+    for spec in specs:
+        if spec[2] == "w":
+            out.append(write(spec[0], spec[1], spec[3], spec[4]))
+        elif spec[2] == "r":
+            out.append(read(spec[0], spec[1], spec[3], spec[4]))
+        else:
+            out.append(rmw(spec[0], spec[1], spec[3], spec[4], spec[5]))
+    return out
+
+
+class TestLegality:
+    def test_empty_sequence_is_legal(self):
+        assert is_legal_sequence([])
+
+    def test_read_initial_value(self):
+        assert is_legal_sequence(ops(("p", 0, "r", "x", 0)))
+
+    def test_read_wrong_initial_value(self):
+        violation = first_legality_violation(ops(("p", 0, "r", "x", 5)))
+        assert violation is not None
+        pos, op, expected = violation
+        assert pos == 0 and expected == 0
+
+    def test_read_most_recent_write(self):
+        seq = ops(("p", 0, "w", "x", 1), ("q", 0, "w", "x", 2), ("p", 1, "r", "x", 2))
+        assert is_legal_sequence(seq)
+
+    def test_read_stale_write_illegal(self):
+        seq = ops(("p", 0, "w", "x", 1), ("q", 0, "w", "x", 2), ("p", 1, "r", "x", 1))
+        violation = first_legality_violation(seq)
+        assert violation is not None and violation[2] == 2
+
+    def test_locations_independent(self):
+        seq = ops(("p", 0, "w", "x", 1), ("p", 1, "r", "y", 0))
+        assert is_legal_sequence(seq)
+
+    def test_rmw_reads_then_writes(self):
+        seq = ops(("p", 0, "w", "x", 1), ("p", 1, "u", "x", 1, 2), ("p", 2, "r", "x", 2))
+        assert is_legal_sequence(seq)
+
+    def test_rmw_wrong_read_half(self):
+        seq = ops(("p", 0, "w", "x", 1), ("p", 1, "u", "x", 0, 2))
+        assert first_legality_violation(seq) is not None
+
+    def test_custom_initial_value(self):
+        assert is_legal_sequence(ops(("p", 0, "r", "x", 7)), initial=7)
+
+
+class TestView:
+    def make_history(self):
+        return (
+            HistoryBuilder()
+            .proc("p").write("x", 1).read("y", 0)
+            .proc("q").write("y", 1).read("x", 0)
+            .build()
+        )
+
+    def test_valid_tso_view(self):
+        h = self.make_history()
+        # S_{p+w} from the paper's Section 3.2 worked example.
+        seq = [h.op("p", 1), h.op("p", 0), h.op("q", 0)]
+        v = View("p", seq, h)
+        assert len(v) == 3
+        assert v.orders(h.op("p", 1), h.op("q", 0))
+
+    def test_illegal_view_rejected(self):
+        h = self.make_history()
+        seq = [h.op("q", 0), h.op("p", 0), h.op("p", 1)]  # r(y)0 after w(y)1
+        with pytest.raises(IllegalViewError):
+            View("p", seq, h)
+
+    def test_missing_own_op_rejected(self):
+        h = self.make_history()
+        with pytest.raises(IllegalViewError):
+            View("p", [h.op("p", 0)], h)
+
+    def test_duplicate_op_rejected(self):
+        h = self.make_history()
+        with pytest.raises(IllegalViewError):
+            View("p", [h.op("p", 0), h.op("p", 0), h.op("p", 1)], h)
+
+    def test_foreign_op_rejected(self):
+        h = self.make_history()
+        foreign = write("p", 7, "z", 9)
+        with pytest.raises(IllegalViewError):
+            View("p", [h.op("p", 0), h.op("p", 1), foreign], h)
+
+    def test_restriction_operators(self):
+        h = self.make_history()
+        v = View("p", [h.op("p", 1), h.op("p", 0), h.op("q", 0)], h)
+        assert [op.kind.value for op in v.writes_only] == ["w", "w"]
+        assert v.writes_to("x") == (h.op("p", 0),)
+
+    def test_position_of_absent_op_raises(self):
+        h = self.make_history()
+        v = View("p", [h.op("p", 1), h.op("p", 0), h.op("q", 0)], h)
+        with pytest.raises(IllegalViewError):
+            v.position(h.op("q", 1))
+
+    def test_contains(self):
+        h = self.make_history()
+        v = View("p", [h.op("p", 1), h.op("p", 0), h.op("q", 0)], h)
+        assert h.op("p", 0) in v
+        assert h.op("q", 1) not in v
+
+    def test_labeled_only(self):
+        h = (
+            HistoryBuilder()
+            .proc("p").write("s", 1, labeled=True).write("x", 2)
+            .build()
+        )
+        v = View("p", list(h.ops_of("p")), h)
+        assert [op.location for op in v.labeled_only] == ["s"]

@@ -1,0 +1,101 @@
+"""Tests for sampled classification and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParseError
+from repro.lattice import (
+    FIGURE5_EDGES,
+    HistorySpace,
+    classify_histories,
+    containment_violations,
+)
+from repro.lattice.persistence import load_classification, save_classification
+from repro.lattice.sampling import classify_sample, sample_history, sample_space
+from repro.orders import reads_from_candidates
+
+
+class TestSampling:
+    def test_sample_structure(self):
+        space = HistorySpace(procs=3, ops_per_proc=3, locations=("x", "y"))
+        rng = np.random.default_rng(1)
+        h = sample_history(space, rng)
+        assert len(h.procs) == 3
+        assert all(len(h.ops_of(p)) == 3 for p in h.procs)
+        assert h.has_distinct_write_values()
+
+    def test_samples_never_trivially_illegal(self):
+        space = HistorySpace(procs=2, ops_per_proc=4)
+        rng = np.random.default_rng(2)
+        for h in sample_space(space, 30, rng):
+            for op, cands in reads_from_candidates(h).items():
+                assert cands
+
+    def test_reproducible_by_seed(self):
+        space = HistorySpace(procs=2, ops_per_proc=3)
+        a = sample_space(space, 10, np.random.default_rng(5))
+        b = sample_space(space, 10, np.random.default_rng(5))
+        assert a == b
+
+    def test_classify_sample_honors_figure5(self):
+        # The statistical counterpart of the exhaustive 2x2 experiment,
+        # on the 2x3 space the exhaustive path cannot afford.
+        space = HistorySpace(procs=2, ops_per_proc=3)
+        result = classify_sample(
+            space, 40, ("SC", "TSO", "PC", "Causal", "PRAM"), seed=7
+        )
+        assert containment_violations(result, FIGURE5_EDGES) == {}
+
+
+class TestPersistence:
+    def make_result(self):
+        space = HistorySpace(procs=2, ops_per_proc=2)
+        histories = sample_space(space, 8, np.random.default_rng(3))
+        return classify_histories(histories, ("SC", "PRAM"))
+
+    def test_roundtrip(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "c.json"
+        save_classification(result, path)
+        loaded = load_classification(path)
+        assert loaded.models == result.models
+        assert loaded.histories == result.histories
+        assert loaded.allowed == result.allowed
+
+    def test_loaded_result_behaves(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "c.json"
+        save_classification(result, path)
+        loaded = load_classification(path)
+        assert loaded.contains("SC", "PRAM")
+        assert loaded.counts() == result.counts()
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ParseError):
+            load_classification(path)
+
+    def test_version_checked(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "c.json"
+        save_classification(result, path)
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ParseError):
+            load_classification(path)
+
+    def test_missing_verdicts_rejected(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "c.json"
+        save_classification(result, path)
+        import json
+
+        payload = json.loads(path.read_text())
+        del payload["allowed"]["SC"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ParseError):
+            load_classification(path)

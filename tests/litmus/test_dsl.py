@@ -1,0 +1,88 @@
+"""Tests for the litmus text notation."""
+
+import pytest
+
+from repro.core import OpKind, ParseError
+from repro.litmus import format_history, parse_history, parse_operations
+
+
+class TestParse:
+    def test_oneline(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)1 r(x)0")
+        assert h.procs == ("p", "q")
+        assert len(h.operations) == 4
+
+    def test_multiline_with_comments(self):
+        h = parse_history(
+            """
+            # Figure 1
+            p: w(x)1 r(y)0   # writer then reader
+            q: w(y)1 r(x)0
+            """
+        )
+        assert len(h.operations) == 4
+
+    def test_labeled_ops(self):
+        h = parse_history("p: w*(s)1 r*(s)1")
+        assert all(op.labeled for op in h.operations)
+
+    def test_rmw(self):
+        h = parse_history("p: u(l)0->1")
+        op = h.op("p", 0)
+        assert op.kind is OpKind.RMW
+        assert op.read_value == 0 and op.value == 1
+
+    def test_negative_values(self):
+        h = parse_history("p: w(x)-3 r(x)-3")
+        assert h.op("p", 0).value == -3
+
+    def test_array_locations(self):
+        h = parse_history("p: w(number[0])1")
+        assert h.op("p", 0).location == "number[0]"
+
+    def test_whitespace_insensitive(self):
+        h = parse_history("p:w(x)1   r( y )0")
+        assert len(h.ops_of("p")) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("   \n  ")
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("w(x)1 r(y)0")
+
+    def test_duplicate_proc_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("p: w(x)1 | p: r(x)1")
+
+    def test_garbage_op_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("p: q(x)1")
+
+    def test_write_with_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("p: w(x)1->2")
+
+    def test_rmw_without_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_history("p: u(x)1")
+
+    def test_parse_operations_bare(self):
+        ops = parse_operations("p", "w(x)1 r(y)0")
+        assert len(ops) == 2 and ops[0].proc == "p"
+
+
+class TestFormat:
+    def test_roundtrip_multiline(self):
+        text = "p: w(x)1 r(y)0\nq: w*(y)1 u(l)0->1"
+        h = parse_history(text)
+        assert parse_history(format_history(h)) == h
+
+    def test_roundtrip_oneline(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        assert parse_history(format_history(h, oneline=True)) == h
+
+    def test_labeled_star_preserved(self):
+        h = parse_history("p: w*(s)1")
+        assert "w*(s)1" in format_history(h)

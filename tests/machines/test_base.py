@@ -1,0 +1,84 @@
+"""Edge-case tests for the machine base class."""
+
+import pytest
+
+from repro.core import MachineError
+from repro.core.operation import OpKind
+from repro.machines import PRAMMachine, SCMachine
+from repro.machines.base import MemoryMachine
+
+
+class TestConstruction:
+    def test_duplicate_procs_rejected(self):
+        with pytest.raises(MachineError):
+            SCMachine(("p", "p"))
+
+    def test_procs_preserved_in_order(self):
+        m = SCMachine(("z", "a"))
+        assert m.procs == ("z", "a")
+
+
+class TestRecording:
+    def test_operation_count(self):
+        m = SCMachine(("p", "q"))
+        m.write("p", "x", 1)
+        m.read("q", "x")
+        m.rmw("p", "l", 2)
+        assert m.operation_count() == 3
+
+    def test_rmw_recorded_with_both_halves(self):
+        m = SCMachine(("p",))
+        m.write("p", "x", 5)
+        m.rmw("p", "x", 9)
+        op = m.history().op("p", 1)
+        assert op.kind is OpKind.RMW
+        assert op.read_value == 5 and op.value == 9
+
+    def test_indices_dense_per_proc(self):
+        m = SCMachine(("p", "q"))
+        m.write("p", "x", 1)
+        m.write("q", "y", 2)
+        m.write("p", "z", 3)
+        h = m.history()
+        assert [op.index for op in h.ops_of("p")] == [0, 1]
+        assert [op.index for op in h.ops_of("q")] == [0]
+
+    def test_history_snapshot_not_live(self):
+        m = SCMachine(("p",))
+        m.write("p", "x", 1)
+        h1 = m.history()
+        m.write("p", "x", 2)
+        assert len(h1.operations) == 1
+        assert len(m.history().operations) == 2
+
+
+class TestDefaults:
+    def test_default_machine_has_no_events(self):
+        m = SCMachine(("p",))
+        assert m.internal_events() == [] and m.quiescent()
+        with pytest.raises(MachineError):
+            m.fire(("anything",))
+
+    def test_rmw_unsupported_by_default(self):
+        class Bare(MemoryMachine):
+            name = "bare"
+
+            def _do_read(self, proc, location, labeled):
+                return 0
+
+            def _do_write(self, proc, location, value, labeled):
+                pass
+
+        m = Bare(("p",))
+        with pytest.raises(MachineError):
+            m.rmw("p", "x", 1)
+
+    def test_drain_guard_against_livelock(self):
+        class Livelock(PRAMMachine):
+            def fire(self, key):  # never consumes anything
+                pass
+
+        m = Livelock(("p", "q"))
+        m.write("p", "x", 1)
+        with pytest.raises(MachineError):
+            m.drain(max_steps=10)

@@ -1,0 +1,95 @@
+"""Liveness-flavored properties: replicated machines converge when drained.
+
+The paper handles termination implicitly ("an operation must appear in
+some view and hence it must complete", Section 3.2); operationally that
+corresponds to: once all in-flight updates are delivered, replicas agree
+wherever the model forces agreement.  These tests pin that down per
+machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import machine_history
+from repro.machines import (
+    CausalMachine,
+    CoherentMachine,
+    PCMachine,
+    PRAMMachine,
+    TSOMachine,
+)
+
+PROCS = ("p", "q", "r")
+
+
+def _random_writes(machine, rng, n=30):
+    """Issue random writes; returns each location's newest value (issue order)."""
+    last: dict[str, int] = {}
+    for i in range(n):
+        proc = PROCS[int(rng.integers(len(PROCS)))]
+        loc = f"x{int(rng.integers(3))}"
+        machine.write(proc, loc, i + 1)
+        last[loc] = i + 1
+    return last
+
+
+@pytest.mark.parametrize(
+    "machine_cls", [PCMachine, CoherentMachine], ids=["PC", "Coherent"]
+)
+def test_coherent_machines_converge_to_newest_serial(machine_cls):
+    """After a drain every replica holds each location's newest write."""
+    rng = np.random.default_rng(3)
+    m = machine_cls(PROCS)
+    last = _random_writes(m, rng)
+    m.drain()
+    for proc in PROCS:
+        for loc, value in last.items():
+            assert m.read(proc, loc) == value, f"{proc} stale on {loc}"
+
+
+def test_tso_drain_publishes_all_stores():
+    m = TSOMachine(("p", "q"))
+    for i in range(10):
+        m.write("p", f"x{i % 3}", i + 1)
+    m.drain()
+    assert m.quiescent()
+    # Memory holds p's newest store per location; q observes them.
+    assert m.read("q", "x0") == 10
+    assert m.read("q", "x1") == 8
+    assert m.read("q", "x2") == 9
+
+
+def test_pram_converges_per_writer():
+    """After a drain each replica reflects every writer's last write per
+    location — but *which* writer's value wins may differ by replica
+    (PRAM never promises agreement).  What must hold: each replica's
+    value for a location is some writer's final value for it."""
+    rng = np.random.default_rng(5)
+    m = PRAMMachine(PROCS)
+    _random_writes(m, rng)
+    finals: dict[str, set[int]] = {}
+    for proc in PROCS:
+        last: dict[str, int] = {}
+        for op in m.history().ops_of(proc):
+            if op.is_write:
+                last[op.location] = op.value
+        for loc, value in last.items():
+            finals.setdefault(loc, set()).add(value)
+    m.drain()
+    for proc in PROCS:
+        for loc, candidates in finals.items():
+            assert m.read(proc, loc) in candidates
+
+
+def test_causal_machine_quiesces_and_histories_stay_causal():
+    """Causal gating never deadlocks: every pending update eventually
+    becomes deliverable, and the drained machine is quiescent."""
+    rng = np.random.default_rng(7)
+    for trial in range(10):
+        m = CausalMachine(PROCS)
+        machine_history(m, rng, procs=PROCS, ops_per_proc=4)
+        m.drain()
+        assert m.quiescent()
+        # Vectors converge: everyone has applied every write.
+        totals = {p: sum(m.vector_of(p).values()) for p in PROCS}
+        assert len(set(totals.values())) == 1

@@ -1,0 +1,271 @@
+"""Basic semantics tests for each operational machine."""
+
+import pytest
+
+from repro.core import MachineError
+from repro.machines import (
+    CausalMachine,
+    CoherentMachine,
+    PCMachine,
+    PRAMMachine,
+    RCMachine,
+    SCMachine,
+    TSOMachine,
+)
+
+PROCS = ("p", "q")
+
+
+class TestSCMachine:
+    def test_read_your_write_immediately_visible_to_all(self):
+        m = SCMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.read("p", "x") == 1
+        assert m.read("q", "x") == 1
+
+    def test_no_internal_events(self):
+        m = SCMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.internal_events() == [] and m.quiescent()
+
+    def test_rmw(self):
+        m = SCMachine(PROCS)
+        assert m.rmw("p", "l", 1) == 0
+        assert m.rmw("q", "l", 2) == 1
+
+    def test_history_records_operations(self):
+        m = SCMachine(PROCS)
+        m.write("p", "x", 1)
+        m.read("q", "x")
+        h = m.history()
+        assert len(h.operations) == 2
+        assert h.op("q", 0).value == 1
+
+    def test_unknown_proc_rejected(self):
+        m = SCMachine(PROCS)
+        with pytest.raises(MachineError):
+            m.write("z", "x", 1)
+
+
+class TestTSOMachine:
+    def test_write_buffered_until_drain(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.read("q", "x") == 0  # not yet drained
+        assert m.buffered("p") == (("x", 1),)
+        m.fire(("drain", "p"))
+        assert m.read("q", "x") == 1
+
+    def test_forwarding_from_own_buffer(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.read("p", "x") == 1  # forwarded
+
+    def test_forwarding_uses_youngest_store(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("p", "x", 2)
+        assert m.read("p", "x") == 2
+
+    def test_fifo_drain_order(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("p", "x", 2)
+        m.fire(("drain", "p"))
+        assert m.read("q", "x") == 1
+        m.fire(("drain", "p"))
+        assert m.read("q", "x") == 2
+
+    def test_rmw_drains_buffer_first(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.rmw("p", "l", 1) == 0
+        assert m.read("q", "x") == 1  # the earlier store committed
+
+    def test_sb_outcome_reachable(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("q", "y", 1)
+        assert m.read("p", "y") == 0
+        assert m.read("q", "x") == 0
+
+    def test_disabled_event_rejected(self):
+        m = TSOMachine(PROCS)
+        with pytest.raises(MachineError):
+            m.fire(("drain", "p"))
+
+    def test_drain_reaches_quiescence(self):
+        m = TSOMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("q", "y", 2)
+        m.drain()
+        assert m.quiescent()
+        assert m.read("p", "y") == 2
+
+
+class TestPRAMMachine:
+    def test_local_write_visible_locally_first(self):
+        m = PRAMMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.read("p", "x") == 1
+        assert m.read("q", "x") == 0
+        m.fire(("deliver", "p", "q"))
+        assert m.read("q", "x") == 1
+
+    def test_channels_fifo(self):
+        m = PRAMMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("p", "x", 2)
+        m.fire(("deliver", "p", "q"))
+        assert m.read("q", "x") == 1
+
+    def test_cross_channel_reordering_allowed(self):
+        m = PRAMMachine(("p", "q", "r"))
+        m.write("p", "x", 1)
+        m.write("q", "y", 2)
+        # r may apply q's update before p's.
+        m.fire(("deliver", "q", "r"))
+        assert m.read("r", "y") == 2 and m.read("r", "x") == 0
+
+    def test_fig3_outcome_reachable(self):
+        m = PRAMMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("q", "x", 2)
+        assert m.read("p", "x") == 1
+        assert m.read("q", "x") == 2
+        m.drain()
+        # After exchange each sees the other's write last.
+        assert m.read("p", "x") == 2
+        assert m.read("q", "x") == 1
+
+
+class TestCausalMachine:
+    def test_fifo_from_origin(self):
+        m = CausalMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("p", "y", 2)
+        events = m.internal_events()
+        # Only the first write is deliverable at q.
+        assert events == [("apply", "q", "p", 1)]
+
+    def test_causal_dependency_gates_delivery(self):
+        m = CausalMachine(("p", "q", "r"))
+        m.write("p", "x", 1)
+        m.fire(("apply", "q", "p", 1))
+        assert m.read("q", "x") == 1
+        m.write("q", "y", 2)  # causally after p's write
+        # r cannot apply q's write before p's.
+        assert ("apply", "r", "q", 1) not in m.internal_events()
+        m.fire(("apply", "r", "p", 1))
+        assert ("apply", "r", "q", 1) in m.internal_events()
+
+    def test_concurrent_writes_deliverable_either_order(self):
+        m = CausalMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("q", "x", 2)
+        assert ("apply", "q", "p", 1) in m.internal_events()
+        assert ("apply", "p", "q", 1) in m.internal_events()
+
+    def test_vector_clock_tracks_applied(self):
+        m = CausalMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.vector_of("p")["p"] == 1
+        assert m.vector_of("q")["p"] == 0
+        m.fire(("apply", "q", "p", 1))
+        assert m.vector_of("q")["p"] == 1
+
+
+class TestPCMachine:
+    def test_local_apply_immediate(self):
+        m = PCMachine(PROCS)
+        m.write("p", "x", 1)
+        assert m.read("p", "x") == 1 and m.read("q", "x") == 0
+
+    def test_stale_update_suppressed(self):
+        m = PCMachine(PROCS)
+        m.write("p", "x", 1)   # serial 1
+        m.write("q", "x", 2)   # serial 2, applied at q
+        m.fire(("deliver", "p", "q"))  # older serial arrives late
+        assert m.read("q", "x") == 2  # not clobbered
+
+    def test_newer_update_applies(self):
+        m = PCMachine(PROCS)
+        m.write("p", "x", 1)
+        m.fire(("deliver", "p", "q"))
+        assert m.read("q", "x") == 1
+
+    def test_serial_counter(self):
+        m = PCMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("q", "x", 2)
+        assert m.serial_of("x") == 2 and m.serial_of("y") == 0
+
+
+class TestCoherentMachine:
+    def test_unordered_delivery(self):
+        m = CoherentMachine(PROCS)
+        m.write("p", "x", 1)
+        m.write("p", "y", 2)
+        events = m.internal_events()
+        assert len(events) == 2  # both independently deliverable
+
+    def test_rmw_atomic_at_serialization_point(self):
+        m = CoherentMachine(PROCS)
+        assert m.rmw("p", "l", 1) == 0
+        assert m.rmw("q", "l", 2) == 1  # sees globally newest value
+
+
+class TestRCMachine:
+    def test_mode_validation(self):
+        with pytest.raises(MachineError):
+            RCMachine(PROCS, labeled_mode="weird")  # type: ignore[arg-type]
+
+    def test_location_discipline_enforced(self):
+        m = RCMachine(PROCS, labeled_mode="sc")
+        m.write("p", "x", 1, labeled=False)
+        with pytest.raises(MachineError):
+            m.read("q", "x", labeled=True)
+
+    def test_sc_mode_labeled_ops_atomic(self):
+        m = RCMachine(PROCS, labeled_mode="sc")
+        m.write("p", "s", 1, labeled=True)
+        assert m.read("q", "s", labeled=True) == 1  # master copy, instant
+
+    def test_pc_mode_labeled_ops_propagate_async(self):
+        m = RCMachine(PROCS, labeled_mode="pc")
+        m.write("p", "s", 1, labeled=True)
+        assert m.read("q", "s", labeled=True) == 0  # stale until delivery
+        m.fire(("sync", "p", "q"))
+        assert m.read("q", "s", labeled=True) == 1
+
+    def test_release_flushes_ordinary_writes_sc_mode(self):
+        m = RCMachine(PROCS, labeled_mode="sc")
+        m.write("p", "x", 1, labeled=False)
+        assert m.read("q", "x", labeled=False) == 0
+        m.write("p", "s", 1, labeled=True)  # release
+        assert m.read("q", "x", labeled=False) == 1  # flushed
+
+    def test_release_barrier_pc_mode(self):
+        m = RCMachine(PROCS, labeled_mode="pc")
+        m.write("p", "x", 1, labeled=False)
+        m.write("p", "s", 1, labeled=True)  # release after one ordinary write
+        # The sync delivery is gated until the ordinary update lands at q.
+        assert not any(e[0] == "sync" for e in m.internal_events())
+        ord_events = [e for e in m.internal_events() if e[0] == "ord"]
+        m.fire(ord_events[0])
+        assert any(e[0] == "sync" for e in m.internal_events())
+
+    def test_sc_mode_rmw(self):
+        m = RCMachine(PROCS, labeled_mode="sc")
+        assert m.rmw("p", "l", 1, labeled=True) == 0
+        assert m.rmw("q", "l", 2, labeled=True) == 1
+
+    def test_pc_mode_rmw_atomic(self):
+        m = RCMachine(PROCS, labeled_mode="pc")
+        assert m.rmw("p", "l", 1, labeled=True) == 0
+        assert m.rmw("q", "l", 2, labeled=True) == 1  # serialization point
+
+    def test_ordinary_rmw_rejected(self):
+        m = RCMachine(PROCS, labeled_mode="sc")
+        with pytest.raises(MachineError):
+            m.rmw("p", "d", 1, labeled=False)

@@ -1,0 +1,95 @@
+"""The no-forwarding TSO machine matches the *paper's* TSO exactly (E8).
+
+With forwarding disabled, a processor never observes its own store before
+the rest of the system can, which is precisely the constraint the paper's
+``->ppo`` (same-location write→read edge) imposes.  Every trace of this
+variant must satisfy the paper's view characterization — closing the E8
+story: the paper's TSO is the store-buffer machine *without* forwarding.
+"""
+
+import numpy as np
+
+from repro.analysis import machine_history
+from repro.checking import check_axiomatic_tso, check_tso
+from repro.machines import TSOMachine
+from repro.programs import Read, Write, explore
+
+
+class TestNoForwardingSemantics:
+    def test_read_own_location_drains_first(self):
+        m = TSOMachine(("p", "q"), forwarding=False)
+        m.write("p", "x", 1)
+        assert m.read("p", "x") == 1
+        # The store became globally visible as a side effect.
+        assert m.read("q", "x") == 1
+
+    def test_drain_stops_at_youngest_matching_store(self):
+        m = TSOMachine(("p", "q"), forwarding=False)
+        m.write("p", "x", 1)
+        m.write("p", "y", 2)
+        m.write("p", "x", 3)
+        assert m.read("p", "x") == 3
+        assert m.buffered("p") == ()  # x=1, y=2, x=3 all committed
+        assert m.read("q", "y") == 2
+
+    def test_unrelated_locations_stay_buffered(self):
+        m = TSOMachine(("p", "q"), forwarding=False)
+        m.write("p", "x", 1)
+        assert m.read("p", "y") == 0  # different location: no drain
+        assert m.buffered("p") == (("x", 1),)
+
+    def test_sb_fwd_outcome_unreachable(self):
+        # The divergent E8 outcome requires forwarding; without it the
+        # own-location read commits the store, so the other processor's
+        # stale read can no longer complete the pattern symmetrically.
+        def iter_thread(ops):
+            for op in ops:
+                yield op
+
+        def setup():
+            machine = TSOMachine(("p", "q"), forwarding=False)
+            return machine, {
+                "p": lambda: iter_thread([Write("x", 1), Read("x"), Read("y")]),
+                "q": lambda: iter_thread([Write("y", 1), Read("y"), Read("x")]),
+            }
+
+        for result in explore(setup, max_steps=80):
+            h = result.history
+            outcome = (
+                h.op("p", 1).value, h.op("p", 2).value,
+                h.op("q", 1).value, h.op("q", 2).value,
+            )
+            assert outcome != (1, 0, 1, 0), f"forwarding outcome reached:\n{h}"
+
+
+class TestNoForwardingSoundness:
+    def test_traces_satisfy_paper_tso(self):
+        rng = np.random.default_rng(41)
+        for _ in range(40):
+            m = TSOMachine(("p", "q"), forwarding=False)
+            h = machine_history(m, rng, ops_per_proc=3)
+            assert check_tso(h).allowed, f"paper-TSO violated:\n{h}"
+
+    def test_traces_satisfy_axiomatic_tso_too(self):
+        # paper-TSO ⊆ axiomatic TSO, so this follows; asserted directly
+        # as a sanity cross-check.
+        rng = np.random.default_rng(43)
+        for _ in range(20):
+            m = TSOMachine(("p", "q"), forwarding=False)
+            h = machine_history(m, rng, ops_per_proc=3)
+            assert check_axiomatic_tso(h).allowed
+
+    def test_exhaustive_sb_traces_satisfy_paper_tso(self):
+        def iter_thread(ops):
+            for op in ops:
+                yield op
+
+        def setup():
+            machine = TSOMachine(("p", "q"), forwarding=False)
+            return machine, {
+                "p": lambda: iter_thread([Write("x", 1), Read("x"), Read("y")]),
+                "q": lambda: iter_thread([Write("y", 2), Read("x")]),
+            }
+
+        for result in explore(setup, max_steps=80):
+            assert check_tso(result.history).allowed, str(result.history)

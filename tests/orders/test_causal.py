@@ -1,0 +1,49 @@
+"""Tests for the causal order ``->co = (po ∪ wb)+``."""
+
+from repro.litmus import parse_history
+from repro.orders import causal_base_pairs, causal_relation
+
+
+class TestCausalOrder:
+    def test_program_order_included(self):
+        h = parse_history("p: w(x)1 w(y)2")
+        a, b = h.ops_of("p")
+        assert causal_relation(h).orders(a, b)
+
+    def test_writes_before_included(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        assert causal_relation(h).orders(h.op("p", 0), h.op("q", 0))
+
+    def test_transitivity_across_processors(self):
+        # The message-relay chain: p writes, q observes and writes, r
+        # observes q.  p's write is causally before r's read.
+        h = parse_history("p: w(x)1 | q: r(x)1 w(y)2 | r: r(y)2")
+        assert causal_relation(h).orders(h.op("p", 0), h.op("r", 0))
+
+    def test_base_pairs_not_transitive(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 w(y)2 | r: r(y)2")
+        base = causal_base_pairs(h)
+        assert not base.orders(h.op("p", 0), h.op("r", 0))
+
+    def test_concurrent_writes_unordered(self):
+        h = parse_history("p: w(x)1 | q: w(y)2")
+        rel = causal_relation(h)
+        assert not rel.orders(h.op("p", 0), h.op("q", 0))
+        assert not rel.orders(h.op("q", 0), h.op("p", 0))
+
+    def test_figure4_chain(self):
+        # Paper Figure 4: once r reads z=1 it is causally bound to see y=1:
+        # w(y)1 ->po... actually w(y)1 ->co w(z)1 via q, and w(z)1 ->wb r_r(z)1.
+        h = parse_history(
+            "p: w(x)1 w(y)1 | q: r(y)1 w(z)1 r(x)2 | r: w(x)2 r(x)1 r(z)1 r(y)1"
+        )
+        rel = causal_relation(h)
+        w_y = h.op("p", 1)
+        r_z = h.op("r", 2)
+        assert rel.orders(w_y, r_z)
+
+    def test_explicit_reads_from_respected(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        rf = {h.op("q", 0): h.op("p", 0)}
+        rel = causal_relation(h, rf)
+        assert rel.orders(h.op("p", 0), h.op("q", 0))

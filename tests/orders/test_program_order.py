@@ -1,0 +1,74 @@
+"""Tests for program order and the partial program order ``->ppo``."""
+
+from repro.core import HistoryBuilder
+from repro.litmus import parse_history
+from repro.orders import in_program_order, po_relation, ppo_base_pairs, ppo_relation
+
+
+class TestProgramOrder:
+    def test_in_program_order(self):
+        h = parse_history("p: w(x)1 r(y)0")
+        a, b = h.ops_of("p")
+        assert in_program_order(a, b)
+        assert not in_program_order(b, a)
+
+    def test_cross_processor_unordered(self):
+        h = parse_history("p: w(x)1 | q: w(y)2")
+        (a,), (b,) = h.ops_of("p"), h.ops_of("q")
+        assert not in_program_order(a, b)
+
+    def test_po_relation_total_per_proc(self):
+        h = parse_history("p: w(x)1 r(y)0 w(z)2")
+        ops = h.ops_of("p")
+        rel = po_relation(h)
+        assert rel.orders(ops[0], ops[2])  # transitive pair materialized
+
+
+class TestPartialProgramOrder:
+    def test_write_read_same_location_ordered(self):
+        h = parse_history("p: w(x)1 r(x)1")
+        w, r = h.ops_of("p")
+        assert ppo_relation(h).orders(w, r)
+
+    def test_write_read_different_location_unordered(self):
+        h = parse_history("p: w(x)1 r(y)0")
+        w, r = h.ops_of("p")
+        assert not ppo_relation(h).orders(w, r)
+
+    def test_both_reads_ordered(self):
+        h = parse_history("p: r(x)0 r(y)0")
+        a, b = h.ops_of("p")
+        assert ppo_relation(h).orders(a, b)
+
+    def test_both_writes_ordered(self):
+        h = parse_history("p: w(x)1 w(y)2")
+        a, b = h.ops_of("p")
+        assert ppo_relation(h).orders(a, b)
+
+    def test_read_write_ordered(self):
+        h = parse_history("p: r(x)0 w(y)1")
+        a, b = h.ops_of("p")
+        assert ppo_relation(h).orders(a, b)
+
+    def test_transitive_case_from_paper(self):
+        # w(x) ppo r(x) (same loc), r(x) ppo r(y) (both reads), so the
+        # closure orders w(x) before r(y) even though that pair alone is
+        # an unordered write->read on distinct locations.
+        h = parse_history("p: w(x)1 r(x)1 r(y)0")
+        w, rx, ry = h.ops_of("p")
+        base = ppo_base_pairs(h)
+        assert not base.orders(w, ry)
+        assert ppo_relation(h).orders(w, ry)
+
+    def test_rmw_orders_like_a_fence(self):
+        h = parse_history("p: w(x)1 u(l)0->1 r(y)0")
+        w, u, r = h.ops_of("p")
+        rel = ppo_relation(h)
+        assert rel.orders(w, u) and rel.orders(u, r)
+        # And through the RMW, the write is ordered before the read.
+        assert rel.orders(w, r)
+
+    def test_ppo_never_crosses_processors(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        (w,), (r,) = h.ops_of("p"), h.ops_of("q")
+        assert not ppo_relation(h).orders(w, r)

@@ -1,0 +1,77 @@
+"""Tests for remote writes-before, remote reads-before, and semi-causality."""
+
+from repro.litmus import parse_history
+from repro.orders import (
+    rrb_relation,
+    rwb_relation,
+    sem_relation,
+    unique_reads_from,
+)
+
+
+def mp_history():
+    """Message-passing shape: p writes data then flag; q reads flag then data."""
+    return parse_history("p: w(x)1 w(y)2 | q: r(y)2 r(x)0")
+
+
+class TestRemoteWritesBefore:
+    def test_earlier_write_ordered_before_observing_read(self):
+        h = mp_history()
+        rf = unique_reads_from(h)
+        rwb = rwb_relation(h, rf)
+        # q reads y=2 from w(y)2; w(x)1 ppo w(y)2, so w(x)1 ->rwb r(y)2.
+        assert rwb.orders(h.op("p", 0), h.op("q", 0))
+
+    def test_source_itself_not_related_by_rwb(self):
+        h = mp_history()
+        rf = unique_reads_from(h)
+        rwb = rwb_relation(h, rf)
+        assert not rwb.orders(h.op("p", 1), h.op("q", 0))
+
+    def test_initial_reads_no_edges(self):
+        h = parse_history("p: r(x)0")
+        assert len(rwb_relation(h, unique_reads_from(h))) == 0
+
+
+class TestRemoteReadsBefore:
+    def test_old_read_before_newer_writers_successors(self):
+        # q reads x old (initial), then p writes x=1 and afterwards y=2:
+        # r_q(x)0 ->rrb w_p(y)2 via o' = w_p(x)1.
+        h = parse_history("p: w(x)1 w(y)2 | q: r(x)0")
+        rf = unique_reads_from(h)
+        coherence = {"x": (h.op("p", 0),), "y": (h.op("p", 1),)}
+        rrb = rrb_relation(h, rf, coherence)
+        assert rrb.orders(h.op("q", 0), h.op("p", 1))
+
+    def test_read_of_newest_value_unconstrained(self):
+        h = parse_history("p: w(x)1 w(y)2 | q: r(x)1")
+        rf = unique_reads_from(h)
+        coherence = {"x": (h.op("p", 0),), "y": (h.op("p", 1),)}
+        rrb = rrb_relation(h, rf, coherence)
+        assert not rrb.orders(h.op("q", 0), h.op("p", 1))
+
+
+class TestSemiCausality:
+    def test_mp_is_sem_cyclic_with_legality(self):
+        # The MP stale-read shape: sem orders w(x)1 before r(y)2 (rwb) and
+        # q's reads are ordered (ppo); any legal view of q must place
+        # r(x)0 before w(x)1, contradicting w(x)1 -> r(y)2 -> r(x)0.
+        # Here we just confirm the rwb edge makes it into sem.
+        h = mp_history()
+        rf = unique_reads_from(h)
+        coherence = {"x": (h.op("p", 0),), "y": (h.op("p", 1),)}
+        sem = sem_relation(h, rf, coherence)
+        assert sem.orders(h.op("p", 0), h.op("q", 0))
+        assert sem.orders(h.op("q", 0), h.op("q", 1))  # ppo included
+        assert sem.orders(h.op("p", 0), h.op("q", 1))  # transitive closure
+
+    def test_sem_contains_ppo_only_when_no_communication(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)0")
+        rf = unique_reads_from(h)
+        coherence = {"x": (h.op("p", 0),), "y": (h.op("q", 0),)}
+        sem = sem_relation(h, rf, coherence)
+        # SB shape: no w->r ppo edges, reads read initial values; rrb edges
+        # relate each read to nothing (the newer writes have no ppo
+        # successors that are writes).
+        assert not sem.orders(h.op("p", 0), h.op("p", 1))
+        assert not sem.orders(h.op("q", 0), h.op("q", 1))

@@ -1,0 +1,100 @@
+"""Tests for reads-from analysis and the writes-before order."""
+
+import pytest
+
+from repro.core import AmbiguousValueError
+from repro.litmus import parse_history
+from repro.orders import (
+    reads_from_candidates,
+    reads_from_choices,
+    unique_reads_from,
+    wb_relation,
+)
+from repro.orders.writes_before import unambiguous_reads_from
+
+
+class TestCandidates:
+    def test_single_candidate(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        (r,) = h.ops_of("q")
+        (w,) = h.ops_of("p")
+        assert reads_from_candidates(h)[r] == (w,)
+
+    def test_initial_candidate(self):
+        h = parse_history("p: r(x)0")
+        (r,) = h.ops_of("p")
+        assert reads_from_candidates(h)[r] == (None,)
+
+    def test_no_candidate(self):
+        h = parse_history("p: r(x)7")
+        (r,) = h.ops_of("p")
+        assert reads_from_candidates(h)[r] == ()
+
+    def test_duplicate_values_give_two_candidates(self):
+        h = parse_history("p: w(x)1 | q: w(x)1 | r: r(x)1")
+        (r,) = h.ops_of("r")
+        assert len(reads_from_candidates(h)[r]) == 2
+
+    def test_initial_vs_written_zero_ambiguity(self):
+        h = parse_history("p: w(x)0 | q: r(x)0")
+        (r,) = h.ops_of("q")
+        assert len(reads_from_candidates(h)[r]) == 2
+
+    def test_rmw_never_reads_own_write(self):
+        h = parse_history("p: u(x)0->1 r(x)1")
+        u, r = h.ops_of("p")
+        cands = reads_from_candidates(h)
+        assert cands[r] == (u,)
+        assert cands[u] == (None,)  # reads initial, not itself
+
+
+class TestUniqueAndUnambiguous:
+    def test_unique_on_distinct_values(self):
+        h = parse_history("p: w(x)1 w(y)2 | q: r(x)1 r(y)0")
+        rf = unique_reads_from(h)
+        rx, ry = h.ops_of("q")
+        assert rf[rx] == h.op("p", 0)
+        assert rf[ry] is None
+
+    def test_unique_raises_on_ambiguity(self):
+        h = parse_history("p: w(x)0 | q: r(x)0")
+        with pytest.raises(AmbiguousValueError):
+            unique_reads_from(h)
+
+    def test_unambiguous_returns_none_on_ambiguity(self):
+        h = parse_history("p: w(x)0 | q: r(x)0")
+        assert unambiguous_reads_from(h) is None
+
+    def test_unambiguous_on_clean_history(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        rf = unambiguous_reads_from(h)
+        assert rf is not None and len(rf) == 1
+
+    def test_read_of_unwritten_value_excluded(self):
+        h = parse_history("p: r(x)7")
+        rf = unambiguous_reads_from(h)
+        assert rf == {}  # no entry; checkers reject the history
+
+
+class TestChoices:
+    def test_enumerates_product(self):
+        h = parse_history("p: w(x)0 | q: r(x)0 r(x)0")
+        choices = list(reads_from_choices(h))
+        assert len(choices) == 4  # 2 candidates per read
+
+    def test_empty_when_read_unsatisfiable(self):
+        h = parse_history("p: r(x)7")
+        assert list(reads_from_choices(h)) == []
+
+
+class TestWbRelation:
+    def test_edges_follow_reads_from(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 w(y)2 | r: r(y)2")
+        rel = wb_relation(h)
+        assert rel.orders(h.op("p", 0), h.op("q", 0))
+        assert rel.orders(h.op("q", 1), h.op("r", 0))
+        assert not rel.orders(h.op("p", 0), h.op("r", 0))
+
+    def test_initial_reads_contribute_no_edges(self):
+        h = parse_history("p: r(x)0")
+        assert len(wb_relation(h)) == 0

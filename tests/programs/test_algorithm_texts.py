@@ -1,0 +1,46 @@
+"""Tests for the pseudocode algorithm texts."""
+
+from repro.machines import RCMachine, SCMachine
+from repro.programs import DelayDeliveriesScheduler, RandomScheduler, run
+from repro.programs.algorithm_texts import (
+    naive_lock_text_program,
+    peterson_text_program,
+)
+from repro.programs.modelcheck import verify_mutual_exclusion
+from repro.programs.mutex import peterson_thread
+
+
+class TestPetersonText:
+    def test_matches_handwritten_trace_shape(self):
+        m1 = SCMachine(("p0",))
+        result1 = run(m1, {"p0": list(peterson_text_program().items())[0][1]}, RandomScheduler(0))
+        m2 = SCMachine(("p0",))
+        result2 = run(m2, {"p0": lambda: peterson_thread(0)}, RandomScheduler(0))
+        shape = lambda r: [
+            (op.kind.value, op.location, op.value, op.labeled)
+            for op in r.history.ops_of("p0")
+        ]
+        assert shape(result1) == shape(result2)
+
+    def test_safe_on_sc(self):
+        for seed in range(25):
+            m = SCMachine(("p0", "p1"))
+            result = run(m, peterson_text_program(), RandomScheduler(seed), max_steps=4000)
+            assert result.completed and not result.mutex_violation
+
+    def test_breaks_on_rc_pc(self):
+        m = RCMachine(("p0", "p1"), labeled_mode="pc")
+        result = run(
+            m, peterson_text_program(), DelayDeliveriesScheduler(), max_steps=4000
+        )
+        assert result.mutex_violation
+
+
+class TestNaiveLockText:
+    def test_exhaustively_refuted_on_sc(self):
+        def setup():
+            return SCMachine(("p0", "p1")), naive_lock_text_program(2)
+
+        report = verify_mutual_exclusion(setup, max_steps=50)
+        assert not report.safe
+        assert report.witness is not None and report.witness.max_in_cs == 2

@@ -1,0 +1,58 @@
+"""Tests for the propagation-probability-biased scheduler."""
+
+import pytest
+
+from repro.core import SchedulerError
+from repro.machines import PRAMMachine, RCMachine
+from repro.programs import BiasedScheduler, Write, run
+from repro.programs.mutex import bakery_program
+
+EVENTS = [("thread", "p"), ("machine", "k1"), ("machine", "k2")]
+
+
+class TestBiasedScheduler:
+    def test_probability_validated(self):
+        with pytest.raises(SchedulerError):
+            BiasedScheduler(0, p_machine=1.5)
+
+    def test_extremes(self):
+        always = BiasedScheduler(0, p_machine=1.0)
+        assert all(EVENTS[always.choose(EVENTS)][0] == "machine" for _ in range(20))
+        never = BiasedScheduler(0, p_machine=0.0)
+        assert all(EVENTS[never.choose(EVENTS)][0] == "thread" for _ in range(20))
+
+    def test_machine_only_events_always_served(self):
+        s = BiasedScheduler(0, p_machine=0.0)
+        only_machine = [("machine", "a"), ("machine", "b")]
+        assert s.choose(only_machine) in (0, 1)
+
+    def test_reproducible(self):
+        a = BiasedScheduler(9, 0.4)
+        b = BiasedScheduler(9, 0.4)
+        assert [a.choose(EVENTS) for _ in range(30)] == [
+            b.choose(EVENTS) for _ in range(30)
+        ]
+
+    def test_reset(self):
+        s = BiasedScheduler(3, 0.4)
+        first = [s.choose(EVENTS) for _ in range(15)]
+        s.reset()
+        assert [s.choose(EVENTS) for _ in range(15)] == first
+
+    def test_violation_rate_monotone_in_propagation(self):
+        """Slower propagation yields at least as many Bakery violations."""
+        def rate(p_machine: float) -> int:
+            violations = 0
+            for seed in range(40):
+                result = run(
+                    RCMachine(("p0", "p1"), labeled_mode="pc"),
+                    bakery_program(2),
+                    BiasedScheduler(seed, p_machine),
+                    max_steps=8000,
+                )
+                violations += result.mutex_violation
+            return violations
+
+        slow, fast = rate(0.05), rate(0.8)
+        assert slow > fast
+        assert slow > 0

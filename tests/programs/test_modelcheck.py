@@ -1,0 +1,140 @@
+"""Tests for the bounded model-checking utilities."""
+
+from repro.checking import check
+from repro.machines import PRAMMachine, SCMachine, TSOMachine
+from repro.programs import CsEnter, CsExit, Read, Rmw, Write
+from repro.programs.modelcheck import (
+    find_schedule,
+    reachable_outcomes,
+    verify_mutual_exclusion,
+)
+
+
+def thread(ops):
+    def factory():
+        def gen():
+            for op in ops:
+                yield op
+        return gen()
+    return factory
+
+
+def sb_setup(machine_cls):
+    def setup():
+        machine = machine_cls(("p", "q"))
+        return machine, {
+            "p": thread([Write("x", 1), Read("y")]),
+            "q": thread([Write("y", 2), Read("x")]),
+        }
+    return setup
+
+
+class TestFindSchedule:
+    def test_finds_relaxed_outcome_on_tso(self):
+        result = find_schedule(
+            sb_setup(TSOMachine),
+            lambda r: r.history.op("p", 1).value == 0
+            and r.history.op("q", 1).value == 0,
+            max_steps=40,
+        )
+        assert result is not None
+
+    def test_never_finds_impossible_outcome_on_sc(self):
+        result = find_schedule(
+            sb_setup(SCMachine),
+            lambda r: r.history.op("p", 1).value == 0
+            and r.history.op("q", 1).value == 0,
+            max_steps=40,
+        )
+        assert result is None
+
+    def test_max_runs_caps_search(self):
+        calls = []
+        result = find_schedule(
+            sb_setup(SCMachine),
+            lambda r: calls.append(1) or False,
+            max_steps=40,
+            max_runs=3,
+        )
+        assert result is None and len(calls) == 3
+
+
+class TestVerifyMutualExclusion:
+    def test_naive_program_unsafe(self):
+        def setup():
+            machine = SCMachine(("p", "q"))
+            return machine, {
+                "p": thread([CsEnter(), CsExit()]),
+                "q": thread([CsEnter(), CsExit()]),
+            }
+
+        report = verify_mutual_exclusion(setup, max_steps=20)
+        assert not report.safe
+        assert report.witness is not None and report.witness.mutex_violation
+
+    def test_try_lock_safe_on_sc_exhaustively(self):
+        # A bounded, loop-free correct protocol: atomic test-and-set,
+        # enter only on success.  Small enough to explore *every*
+        # schedule; Peterson-style spin loops are out of exhaustive
+        # DFS's reach (their schedule trees are astronomically wide).
+        def try_lock(i):
+            def gen():
+                old = yield Rmw("lock", 1)
+                if old == 0:
+                    yield CsEnter()
+                    yield CsExit()
+                    yield Write("lock", 0)
+            return gen
+
+        def setup():
+            machine = SCMachine(("p", "q"))
+            return machine, {"p": try_lock(0), "q": try_lock(1)}
+
+        report = verify_mutual_exclusion(setup, max_steps=40)
+        assert report.safe and report.exhaustive
+        assert report.runs > 1  # genuine exploration happened
+
+    def test_naive_test_then_set_unsafe_even_on_sc(self):
+        # A bounded, loop-free broken protocol: test, then set, then
+        # enter.  The explorer must find the interleaving where both
+        # processors pass the test before either sets the flag.
+        # (Unbounded spin-loop programs like Peterson don't suit
+        # exhaustive DFS — their violating runs are found by the random
+        # and adversarial schedulers in tests/programs/test_mutex.py.)
+        def naive(i):
+            def gen():
+                flag = yield Read("lock")
+                if flag == 0:
+                    yield Write("lock", 1)
+                    yield CsEnter()
+                    yield CsExit()
+                    yield Write("lock", 0)
+            return gen
+
+        def setup():
+            machine = SCMachine(("p", "q"))
+            return machine, {"p": naive(0), "q": naive(1)}
+
+        report = verify_mutual_exclusion(setup, max_steps=40)
+        assert not report.safe
+        assert report.witness is not None and report.witness.max_in_cs == 2
+
+
+class TestReachableOutcomes:
+    def test_sc_sb_has_three_outcomes(self):
+        outcomes = reachable_outcomes(sb_setup(SCMachine), max_steps=40)
+        values = {
+            tuple(v for (_, _, v) in key) for key in outcomes
+        }
+        assert values == {(0, 1), (2, 0), (2, 1)}
+
+    def test_tso_sb_adds_relaxed_outcome(self):
+        outcomes = reachable_outcomes(sb_setup(TSOMachine), max_steps=40)
+        values = {tuple(v for (_, _, v) in key) for key in outcomes}
+        assert (0, 0) in values
+        assert values >= {(0, 1), (2, 0), (2, 1)}
+
+    def test_witness_histories_satisfy_the_machines_model(self):
+        outcomes = reachable_outcomes(sb_setup(PRAMMachine), max_steps=40)
+        for history in outcomes.values():
+            assert check(history, "PRAM").allowed

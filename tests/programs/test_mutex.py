@@ -1,0 +1,147 @@
+"""Mutual-exclusion algorithm tests across machines.
+
+The experimental heart of Section 5: read/write algorithms (Bakery,
+Peterson, Dekker, fast mutex) hold on SC and on RC_sc, and break on
+machines with weaker synchronization; the test-and-set spinlock holds
+everywhere its RMW is atomic.
+"""
+
+import pytest
+
+from repro.machines import PRAMMachine, RCMachine, SCMachine, TSOMachine
+from repro.programs import DelayDeliveriesScheduler, RandomScheduler, run
+from repro.programs.mutex import (
+    bakery_program,
+    dekker_program,
+    fast_mutex_program,
+    peterson_program,
+    spinlock_program,
+)
+
+SEEDS = range(60)
+
+
+def no_violation_on(machine_factory, program, *, seeds=SEEDS, max_steps=4000):
+    for seed in seeds:
+        result = run(machine_factory(), program, RandomScheduler(seed), max_steps=max_steps)
+        if result.mutex_violation:
+            return False, seed
+    return True, None
+
+
+class TestOnSC:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            bakery_program(2, labeled=False),
+            peterson_program(labeled=False),
+            dekker_program(labeled=False),
+            fast_mutex_program(2, labeled=False),
+        ],
+        ids=["bakery", "peterson", "dekker", "fast-mutex"],
+    )
+    def test_algorithms_correct_on_sc(self, program):
+        ok, seed = no_violation_on(lambda: SCMachine(("p0", "p1")), program)
+        assert ok, f"violation on SC with seed {seed}"
+
+    def test_bakery_three_processors_on_sc(self):
+        program = bakery_program(3, labeled=False)
+        ok, seed = no_violation_on(
+            lambda: SCMachine(("p0", "p1", "p2")), program, seeds=range(25)
+        )
+        assert ok
+
+    def test_spinlock_on_sc(self):
+        ok, _ = no_violation_on(
+            lambda: SCMachine(("p0", "p1")), spinlock_program(2, labeled=False)
+        )
+        assert ok
+
+
+class TestOnRCsc:
+    def test_bakery_correct_on_rc_sc(self):
+        ok, seed = no_violation_on(
+            lambda: RCMachine(("p0", "p1"), labeled_mode="sc"), bakery_program(2)
+        )
+        assert ok, f"Bakery violated mutual exclusion on RC_sc (seed {seed})"
+
+    def test_bakery_correct_on_rc_sc_adversarial(self):
+        result = run(
+            RCMachine(("p0", "p1"), labeled_mode="sc"),
+            bakery_program(2),
+            DelayDeliveriesScheduler(),
+            max_steps=4000,
+        )
+        assert result.completed and not result.mutex_violation
+
+    def test_peterson_correct_on_rc_sc(self):
+        ok, _ = no_violation_on(
+            lambda: RCMachine(("p0", "p1"), labeled_mode="sc"), peterson_program()
+        )
+        assert ok
+
+
+class TestOnRCpc:
+    def test_bakery_breaks_on_rc_pc_adversarial(self):
+        result = run(
+            RCMachine(("p0", "p1"), labeled_mode="pc"),
+            bakery_program(2),
+            DelayDeliveriesScheduler(),
+            max_steps=4000,
+        )
+        assert result.mutex_violation, "the Section 5 violation should be reachable"
+
+    def test_bakery_breaks_on_rc_pc_random(self):
+        found = False
+        for seed in range(300):
+            result = run(
+                RCMachine(("p0", "p1"), labeled_mode="pc"),
+                bakery_program(2),
+                RandomScheduler(seed),
+                max_steps=4000,
+            )
+            if result.mutex_violation:
+                found = True
+                break
+        assert found
+
+    def test_peterson_breaks_on_rc_pc_adversarial(self):
+        result = run(
+            RCMachine(("p0", "p1"), labeled_mode="pc"),
+            peterson_program(),
+            DelayDeliveriesScheduler(),
+            max_steps=4000,
+        )
+        assert result.mutex_violation
+
+    def test_spinlock_survives_rc_pc(self):
+        # The RMW acquires atomically at the serialization point, so
+        # test-and-set is immune to the weakness that kills Bakery.
+        ok, seed = no_violation_on(
+            lambda: RCMachine(("p0", "p1"), labeled_mode="pc"),
+            spinlock_program(2),
+            seeds=range(100),
+        )
+        assert ok, f"spinlock violated on RC_pc (seed {seed})"
+
+
+class TestOnWeakUnlabeled:
+    def test_peterson_breaks_on_tso(self):
+        # Classic: Peterson needs the w->r order TSO relaxes.  The store
+        # buffers must be starved of drains for the violation.
+        result = run(
+            TSOMachine(("p0", "p1")),
+            peterson_program(labeled=False),
+            DelayDeliveriesScheduler(),
+            max_steps=4000,
+        )
+        assert result.mutex_violation
+
+    def test_bakery_breaks_on_pram(self):
+        result = run(
+            PRAMMachine(("p0", "p1")),
+            bakery_program(2, labeled=False),
+            DelayDeliveriesScheduler(),
+            max_steps=4000,
+        )
+        assert result.mutex_violation

@@ -1,0 +1,195 @@
+"""Tests for the pseudocode language and the Figure 6 text."""
+
+import pytest
+
+from repro.core import ParseError, ProgramError
+from repro.machines import RCMachine, SCMachine
+from repro.programs import DelayDeliveriesScheduler, RandomScheduler, run
+from repro.programs.figure6 import FIGURE6_TEXT, figure6_program
+from repro.programs.ops import CsEnter, CsExit, Read, Write
+from repro.programs.pseudocode import parse_program
+
+
+def run_thread(text, machine=None, shared=(), **params):
+    machine = machine or SCMachine(("t",))
+    program = parse_program(text, shared=shared)
+    result = run(machine, {"t": lambda: program.thread(**params)}, RandomScheduler(0))
+    assert result.completed
+    return machine, result
+
+
+class TestStatements:
+    def test_local_assignment_no_memory_op(self):
+        machine, result = run_thread("x := 41\nx := x + 1\n")
+        assert len(result.history.operations) == 0
+
+    def test_bracketed_write_is_shared(self):
+        machine, _ = run_thread("a[3] := 7\n")
+        assert machine.read("t", "a[3]") == 7
+
+    def test_declared_shared_name(self):
+        machine, _ = run_thread("tok := 5\n", shared=("tok",))
+        assert machine.read("t", "tok") == 5
+
+    def test_shared_read(self):
+        machine = SCMachine(("t",))
+        machine.write("t", "x", 9)
+        machine, result = run_thread("v := read x\ny[v] := 1\n", machine=machine)
+        assert machine.read("t", "y[9]") == 1
+
+    def test_sync_suffix_labels_operation(self):
+        machine, result = run_thread("a[0] := 1 sync\nv := read a[0] sync\n")
+        kinds = [(op.kind.value, op.labeled) for op in result.history.ops_of("t")]
+        assert kinds == [("w", True), ("r", True)]
+
+    def test_await_spins_until_value(self):
+        # Two threads: one raises the flag, the other awaits it.
+        program = parse_program("await flag == 1\ndone[0] := 1\n")
+        setter = parse_program("flag := 1\n", shared=("flag",))
+        machine = SCMachine(("a", "b"))
+        result = run(
+            machine,
+            {"a": lambda: program.thread(), "b": lambda: setter.thread()},
+            RandomScheduler(3),
+            max_steps=500,
+        )
+        assert result.completed
+        assert machine.read("a", "done[0]") == 1
+
+    def test_index_expressions_evaluated(self):
+        machine, _ = run_thread("i := 2\na[i * 2] := 5\n")
+        assert machine.read("t", "a[4]") == 5
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        text = """
+x := 2
+if x == 1:
+  r[0] := 1
+elif x == 2:
+  r[0] := 2
+else:
+  r[0] := 3
+"""
+        machine, _ = run_thread(text)
+        assert machine.read("t", "r[0]") == 2
+
+    def test_while_with_break(self):
+        text = """
+k := 0
+while true:
+  k := k + 1
+  if k == 3:
+    break
+out[0] := k
+"""
+        machine, _ = run_thread(text)
+        assert machine.read("t", "out[0]") == 3
+
+    def test_for_inclusive_range(self):
+        text = """
+s := 0
+for j in 1..4:
+  s := s + j
+out[0] := s
+"""
+        machine, _ = run_thread(text)
+        assert machine.read("t", "out[0]") == 10
+
+    def test_continue(self):
+        text = """
+s := 0
+for j in 0..4:
+  if j == 2:
+    continue
+  s := s + 1
+out[0] := s
+"""
+        machine, _ = run_thread(text)
+        assert machine.read("t", "out[0]") == 4
+
+    def test_cs_markers(self):
+        _, result = run_thread("cs_enter\ncs_exit\n")
+        assert [kind for _, _, kind in result.cs_events] == ["enter", "exit"]
+
+
+class TestParseErrors:
+    def test_odd_indent(self):
+        with pytest.raises(ParseError):
+            parse_program("if 1:\n   x := 1\n")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_program("frobnicate the memory\n")
+
+    def test_await_without_comparison(self):
+        with pytest.raises(ParseError):
+            parse_program("await flag\n")
+
+    def test_read_into_location_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("a[0] := read x\n")
+
+    def test_runtime_expression_error(self):
+        program = parse_program("x := nosuchname + 1\n")
+        machine = SCMachine(("t",))
+        with pytest.raises(ProgramError):
+            run(machine, {"t": lambda: program.thread()}, RandomScheduler(0))
+
+
+class TestFigure6:
+    def test_matches_handwritten_bakery_trace_shape(self):
+        # On SC with a serial schedule both versions perform the same
+        # sync-operation sequence.
+        from repro.programs.mutex import bakery_thread
+
+        machine = SCMachine(("p0",))
+        program = figure6_program(1)
+        result = run(machine, {"p0": program["p0"]}, RandomScheduler(0))
+        ops_pseudo = [
+            (op.kind.value, op.location, op.value)
+            for op in result.history.ops_of("p0")
+        ]
+        machine2 = SCMachine(("p0",))
+        result2 = run(
+            machine2,
+            {"p0": lambda: bakery_thread(0, 1)},
+            RandomScheduler(0),
+        )
+        ops_hand = [
+            (op.kind.value, op.location, op.value)
+            for op in result2.history.ops_of("p0")
+        ]
+        assert ops_pseudo == ops_hand
+
+    def test_safe_on_sc(self):
+        for seed in range(25):
+            machine = SCMachine(("p0", "p1"))
+            result = run(
+                machine, figure6_program(2), RandomScheduler(seed), max_steps=5000
+            )
+            assert result.completed and not result.mutex_violation
+
+    def test_safe_on_rc_sc(self):
+        for seed in range(25):
+            machine = RCMachine(("p0", "p1"), labeled_mode="sc")
+            result = run(
+                machine, figure6_program(2), RandomScheduler(seed), max_steps=5000
+            )
+            assert not result.mutex_violation
+
+    def test_violates_on_rc_pc(self):
+        machine = RCMachine(("p0", "p1"), labeled_mode="pc")
+        result = run(
+            machine,
+            figure6_program(2),
+            DelayDeliveriesScheduler(),
+            max_steps=5000,
+        )
+        assert result.mutex_violation
+
+    def test_text_mentions_the_paper_structure(self):
+        assert "choosing[i]" in FIGURE6_TEXT
+        assert "number[i]" in FIGURE6_TEXT
+        assert "sync" in FIGURE6_TEXT

@@ -1,0 +1,146 @@
+"""Tests for the program runner and the exhaustive explorer."""
+
+import pytest
+
+from repro.core import ProgramError
+from repro.machines import PRAMMachine, SCMachine
+from repro.programs import (
+    CsEnter,
+    CsExit,
+    RandomScheduler,
+    Read,
+    RoundRobinScheduler,
+    Write,
+    explore,
+    run,
+)
+
+
+def thread(ops):
+    def factory():
+        def gen():
+            for op in ops:
+                yield op
+        return gen()
+    return factory
+
+
+class TestRun:
+    def test_records_history(self):
+        m = SCMachine(("p", "q"))
+        threads = {
+            "p": thread([Write("x", 1)]),
+            "q": thread([Read("x")]),
+        }
+        result = run(m, threads, RoundRobinScheduler())
+        assert result.completed
+        assert len(result.history.operations) == 2
+
+    def test_read_values_delivered_to_thread(self):
+        observed = []
+
+        def factory():
+            def gen():
+                v = yield Read("x")
+                observed.append(v)
+            return gen()
+
+        m = SCMachine(("p",))
+        m.write("p", "x", 42)  # pre-seeded state... recorded too
+        run(m, {"p": factory}, RoundRobinScheduler())
+        assert observed == [42]
+
+    def test_cs_monitoring(self):
+        m = SCMachine(("p", "q"))
+        threads = {
+            "p": thread([CsEnter(), CsExit()]),
+            "q": thread([CsEnter(), CsExit()]),
+        }
+        result = run(m, threads, RoundRobinScheduler())
+        # Round-robin interleaves enter/enter/exit/exit: both inside at once.
+        assert result.max_in_cs == 2
+        assert result.mutex_violation
+        assert len(result.cs_events) == 4
+
+    def test_unknown_thread_proc_rejected(self):
+        m = SCMachine(("p",))
+        with pytest.raises(ProgramError):
+            run(m, {"z": thread([])}, RoundRobinScheduler())
+
+    def test_double_cs_enter_rejected(self):
+        m = SCMachine(("p",))
+        with pytest.raises(ProgramError):
+            run(m, {"p": thread([CsEnter(), CsEnter()])}, RoundRobinScheduler())
+
+    def test_cs_exit_without_enter_rejected(self):
+        m = SCMachine(("p",))
+        with pytest.raises(ProgramError):
+            run(m, {"p": thread([CsExit()])}, RoundRobinScheduler())
+
+    def test_step_bound_marks_incomplete(self):
+        def spinner():
+            def gen():
+                while True:
+                    _ = yield Read("x")
+            return gen()
+
+        m = SCMachine(("p",))
+        result = run(m, {"p": spinner}, RoundRobinScheduler(), max_steps=10)
+        assert not result.completed and result.steps == 10
+
+    def test_empty_thread_finishes(self):
+        m = SCMachine(("p",))
+        result = run(m, {"p": thread([])}, RoundRobinScheduler())
+        assert result.completed and result.steps == 0
+
+
+class TestExplore:
+    def test_enumerates_all_interleavings_on_sc(self):
+        # Two single-write threads on SC: 2 interleavings, identical final
+        # memory; histories differ only in recording order (identical here),
+        # so we count runs.
+        def setup():
+            m = SCMachine(("p", "q"))
+            return m, {
+                "p": thread([Write("x", 1)]),
+                "q": thread([Write("x", 2)]),
+            }
+
+        runs = list(explore(setup, max_steps=10))
+        assert len(runs) == 2
+        assert all(r.completed for r in runs)
+
+    def test_explores_machine_nondeterminism(self):
+        # One writer, one reader on PRAM: the reader may or may not have
+        # received the update; both outcomes must appear.
+        def setup():
+            m = PRAMMachine(("p", "q"))
+            return m, {
+                "p": thread([Write("x", 1)]),
+                "q": thread([Read("x")]),
+            }
+
+        outcomes = {r.history.op("q", 0).value for r in explore(setup, max_steps=10)}
+        assert outcomes == {0, 1}
+
+    def test_max_runs_cap(self):
+        def setup():
+            m = SCMachine(("p", "q"))
+            return m, {
+                "p": thread([Write("x", 1), Write("y", 2)]),
+                "q": thread([Write("z", 3), Write("w", 4)]),
+            }
+
+        runs = list(explore(setup, max_steps=20, max_runs=3))
+        assert len(runs) == 3
+
+    def test_distinct_schedules_produce_distinct_decisions(self):
+        def setup():
+            m = SCMachine(("p", "q"))
+            return m, {
+                "p": thread([Write("x", 1)]),
+                "q": thread([Read("x")]),
+            }
+
+        values = [r.history.op("q", 0).value for r in explore(setup, max_steps=10)]
+        assert sorted(values) == [0, 1]

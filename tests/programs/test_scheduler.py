@@ -1,0 +1,83 @@
+"""Tests for the scheduler policies."""
+
+import pytest
+
+from repro.core import SchedulerError
+from repro.programs import (
+    DelayDeliveriesScheduler,
+    EagerDeliveryScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+
+EVENTS = [("thread", "p"), ("thread", "q"), ("machine", ("deliver", "p", "q"))]
+
+
+class TestRandomScheduler:
+    def test_reproducible_from_seed(self):
+        a = [RandomScheduler(7).choose(EVENTS) for _ in range(10)]
+        s = RandomScheduler(7)
+        b = [s.choose(EVENTS) if i == 0 else s.choose(EVENTS) for i in range(1)]
+        s2 = RandomScheduler(7)
+        seq1 = [s2.choose(EVENTS) for _ in range(10)]
+        s3 = RandomScheduler(7)
+        seq2 = [s3.choose(EVENTS) for _ in range(10)]
+        assert seq1 == seq2
+
+    def test_reset_restores_sequence(self):
+        s = RandomScheduler(3)
+        first = [s.choose(EVENTS) for _ in range(5)]
+        s.reset()
+        assert [s.choose(EVENTS) for _ in range(5)] == first
+
+    def test_in_range(self):
+        s = RandomScheduler(1)
+        assert all(0 <= s.choose(EVENTS) < len(EVENTS) for _ in range(50))
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        s = RoundRobinScheduler()
+        assert [s.choose(EVENTS) for _ in range(4)] == [0, 1, 2, 0]
+
+
+class TestScripted:
+    def test_follows_script_then_zero(self):
+        s = ScriptedScheduler([2, 1])
+        assert s.choose(EVENTS) == 2
+        assert s.choose(EVENTS) == 1
+        assert s.choose(EVENTS) == 0
+
+    def test_records_decision_widths(self):
+        s = ScriptedScheduler([])
+        s.choose(EVENTS)
+        s.choose(EVENTS[:2])
+        assert s.decisions == [3, 2]
+
+    def test_out_of_range_script_raises(self):
+        s = ScriptedScheduler([5])
+        with pytest.raises(SchedulerError):
+            s.choose(EVENTS)
+
+
+class TestAdversaries:
+    def test_delay_deliveries_prefers_threads(self):
+        s = DelayDeliveriesScheduler()
+        idx = s.choose(EVENTS)
+        assert EVENTS[idx][0] == "thread"
+
+    def test_delay_deliveries_fires_machine_when_forced(self):
+        s = DelayDeliveriesScheduler()
+        only_machine = [("machine", "k1"), ("machine", "k2")]
+        assert s.choose(only_machine) == 0
+
+    def test_eager_prefers_machine(self):
+        s = EagerDeliveryScheduler()
+        idx = s.choose(EVENTS)
+        assert EVENTS[idx][0] == "machine"
+
+    def test_eager_runs_threads_when_quiescent(self):
+        s = EagerDeliveryScheduler()
+        only_threads = [("thread", "p"), ("thread", "q")]
+        assert s.choose(only_threads) in (0, 1)

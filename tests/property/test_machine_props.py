@@ -1,0 +1,97 @@
+"""Property-based machine tests: random programs, random schedules,
+verdicts always allowed by the machine's model."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checking import check
+from repro.litmus import format_history, parse_history
+from repro.machines import (
+    CausalMachine,
+    CoherentMachine,
+    PCMachine,
+    PRAMMachine,
+    SCMachine,
+    TSOMachine,
+)
+from repro.programs import RandomScheduler, Read, Write, run
+
+RELAXED = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+MACHINES = {
+    "SC": (SCMachine, "SC"),
+    "TSO": (TSOMachine, "TSO-axiomatic"),
+    "PC": (PCMachine, "PC"),
+    "PRAM": (PRAMMachine, "PRAM"),
+    "Causal": (CausalMachine, "Causal"),
+    "Coherent": (CoherentMachine, "Coherence"),
+}
+
+
+@st.composite
+def program_and_seed(draw):
+    """Two straight-line threads with globally distinct write values."""
+    threads = {}
+    value = 1
+    for proc in ("p", "q"):
+        n = draw(st.integers(1, 4))
+        ops = []
+        for _ in range(n):
+            loc = draw(st.sampled_from(("x", "y")))
+            if draw(st.booleans()):
+                ops.append(Write(loc, value))
+                value += 1
+            else:
+                ops.append(Read(loc))
+        threads[proc] = ops
+    return threads, draw(st.integers(0, 2**30))
+
+
+def as_factories(threads):
+    def factory(ops):
+        def gen():
+            for op in ops:
+                yield op
+        return gen
+
+    return {proc: factory(ops) for proc, ops in threads.items()}
+
+
+@given(program_and_seed())
+@RELAXED
+def test_machine_traces_satisfy_models(data):
+    threads, seed = data
+    for name, (cls, model) in MACHINES.items():
+        machine = cls(("p", "q"))
+        run(machine, as_factories(threads), RandomScheduler(seed), max_steps=1000)
+        h = machine.history()
+        assert check(h, model).allowed, f"{name} trace not {model}:\n{h}"
+
+
+@given(program_and_seed())
+@RELAXED
+def test_histories_roundtrip_through_dsl(data):
+    threads, seed = data
+    machine = SCMachine(("p", "q"))
+    run(machine, as_factories(threads), RandomScheduler(seed), max_steps=1000)
+    h = machine.history()
+    assert parse_history(format_history(h)) == h
+
+
+@given(program_and_seed())
+@RELAXED
+def test_machines_record_program_shape(data):
+    threads, seed = data
+    machine = PRAMMachine(("p", "q"))
+    run(machine, as_factories(threads), RandomScheduler(seed), max_steps=1000)
+    h = machine.history()
+    for proc, ops in threads.items():
+        recorded = h.ops_of(proc)
+        assert len(recorded) == len(ops)
+        for req, op in zip(ops, recorded):
+            assert op.location == req.location
+            if isinstance(req, Write):
+                assert op.is_write and op.value == req.value
+            else:
+                assert op.is_pure_read

@@ -1,0 +1,66 @@
+"""Tests for the three characterization parameters."""
+
+import pytest
+
+from repro.litmus import parse_history
+from repro.orders import unique_reads_from
+from repro.spec import MutualConsistency, OperationSet, PO, PPO, CAUSAL, SEMI_CAUSAL
+from repro.spec.parameters import PO_LOC
+
+
+class TestOperationSet:
+    def test_all_remote_members(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 w(y)2")
+        members = OperationSet.ALL_REMOTE.members(h, "p")
+        assert len(members) == 2  # q's read and write both included
+
+    def test_remote_writes_members(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 w(y)2")
+        members = OperationSet.REMOTE_WRITES.members(h, "p")
+        assert len(members) == 1 and members[0].is_write
+
+    def test_view_contents_include_own_ops(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)2")
+        contents = OperationSet.REMOTE_WRITES.view_contents(h, "p")
+        assert len(contents) == 3
+        own = [op for op in contents if op.proc == "p"]
+        assert len(own) == 2
+
+    def test_rmw_counts_as_write_for_views(self):
+        h = parse_history("p: w(x)1 | q: u(l)0->1")
+        members = OperationSet.REMOTE_WRITES.members(h, "p")
+        assert len(members) == 1  # the RMW appears in other views
+
+
+class TestOrderingRules:
+    def test_po_builds_program_order(self):
+        h = parse_history("p: w(x)1 r(y)0")
+        rel = PO.build(h, {}, None)
+        assert rel.orders(h.op("p", 0), h.op("p", 1))
+
+    def test_ppo_drops_write_read(self):
+        h = parse_history("p: w(x)1 r(y)0")
+        rel = PPO.build(h, {}, None)
+        assert not rel.orders(h.op("p", 0), h.op("p", 1))
+
+    def test_po_loc_same_location_only(self):
+        h = parse_history("p: w(x)1 r(x)1 r(y)0")
+        rel = PO_LOC.build(h, {}, None)
+        assert rel.orders(h.op("p", 0), h.op("p", 1))
+        assert not rel.orders(h.op("p", 1), h.op("p", 2))
+
+    def test_causal_includes_wb(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        rel = CAUSAL.build(h, unique_reads_from(h), None)
+        assert rel.orders(h.op("p", 0), h.op("q", 0))
+
+    def test_sem_requires_coherence(self):
+        h = parse_history("p: w(x)1")
+        with pytest.raises(ValueError):
+            SEMI_CAUSAL.build(h, {}, None)
+
+    def test_needs_coherence_flags(self):
+        assert SEMI_CAUSAL.needs_coherence
+        assert not PO.needs_coherence
+        assert not PPO.needs_coherence
+        assert not CAUSAL.needs_coherence

@@ -1,0 +1,105 @@
+"""Tests for the model-spec registry and spec validation."""
+
+import pytest
+
+from repro.core import SpecError
+from repro.spec import (
+    ALL_SPECS,
+    CAUSAL,
+    LabeledDiscipline,
+    MemoryModelSpec,
+    MutualConsistency,
+    OperationSet,
+    PO,
+    PPO,
+    get_spec,
+    spec_names,
+)
+
+
+class TestRegistry:
+    def test_all_paper_models_present(self):
+        names = set(spec_names())
+        for expected in ("SC", "TSO", "PC", "PRAM", "Causal", "RC_sc", "RC_pc"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("tso").name == "TSO"
+        assert get_spec("RC_SC").name == "RC_sc"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SpecError):
+            get_spec("nonsense")
+
+    def test_all_specs_have_descriptions(self):
+        for spec in ALL_SPECS:
+            assert spec.description, f"{spec.name} lacks provenance text"
+
+    def test_spec_parameters_match_the_paper(self):
+        sc = get_spec("SC")
+        assert sc.operation_set is OperationSet.ALL_REMOTE
+        assert sc.mutual_consistency is MutualConsistency.IDENTICAL
+        tso = get_spec("TSO")
+        assert tso.mutual_consistency is MutualConsistency.TOTAL_WRITE_ORDER
+        assert tso.ordering.name == "ppo"
+        pram = get_spec("PRAM")
+        assert pram.mutual_consistency is MutualConsistency.NONE
+        assert pram.ordering.name == "po"
+        causal = get_spec("Causal")
+        assert causal.ordering.name == "causal"
+        pc = get_spec("PC")
+        assert pc.mutual_consistency is MutualConsistency.COHERENCE
+        assert pc.ordering.name == "sem"
+
+    def test_rc_specs(self):
+        rc_sc = get_spec("RC_sc")
+        assert rc_sc.labeled_discipline is LabeledDiscipline.SC
+        assert rc_sc.bracketing and rc_sc.is_release_consistent
+        rc_pc = get_spec("RC_pc")
+        assert rc_pc.labeled_discipline is LabeledDiscipline.PC
+
+    def test_str_rendering(self):
+        assert "δ_p" in str(get_spec("TSO"))
+        assert "labeled=sc" in str(get_spec("RC_sc"))
+
+
+class TestSpecValidation:
+    def test_bracketing_requires_discipline(self):
+        with pytest.raises(SpecError):
+            MemoryModelSpec(
+                name="bad",
+                operation_set=OperationSet.REMOTE_WRITES,
+                mutual_consistency=MutualConsistency.NONE,
+                ordering=PO,
+                bracketing=True,
+            )
+
+    def test_identical_views_require_all_remote(self):
+        with pytest.raises(SpecError):
+            MemoryModelSpec(
+                name="bad",
+                operation_set=OperationSet.REMOTE_WRITES,
+                mutual_consistency=MutualConsistency.IDENTICAL,
+                ordering=PO,
+            )
+
+    def test_sem_requires_coherence_mutual(self):
+        from repro.spec import SEMI_CAUSAL
+
+        with pytest.raises(SpecError):
+            MemoryModelSpec(
+                name="bad",
+                operation_set=OperationSet.REMOTE_WRITES,
+                mutual_consistency=MutualConsistency.NONE,
+                ordering=SEMI_CAUSAL,
+            )
+
+    def test_custom_recombination_allowed(self):
+        # Section 7's recipe: causal + coherence is a valid new memory.
+        spec = MemoryModelSpec(
+            name="custom",
+            operation_set=OperationSet.REMOTE_WRITES,
+            mutual_consistency=MutualConsistency.COHERENCE,
+            ordering=CAUSAL,
+        )
+        assert not spec.is_release_consistent

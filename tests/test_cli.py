@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheck:
+    def test_allowed_exits_zero(self, capsys):
+        rc = main(["check", "p: w(x)1 r(y)0 | q: w(y)1 r(x)0", "--model", "TSO"])
+        assert rc == 0
+        assert "TSO: allowed" in capsys.readouterr().out
+
+    def test_rejected_exits_one(self, capsys):
+        rc = main(["check", "p: w(x)1 r(y)0 | q: w(y)1 r(x)0", "--model", "SC"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "NOT allowed" in out and "reason:" in out
+
+    def test_views_flag(self, capsys):
+        rc = main(["check", "p: w(x)1 | q: r(x)1", "--model", "PRAM", "--views"])
+        assert rc == 0
+        assert "S_{" in capsys.readouterr().out
+
+    def test_parse_error_exits_two(self, capsys):
+        rc = main(["check", "garbage input"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_model_exits_two(self, capsys):
+        rc = main(["check", "p: w(x)1", "--model", "Nonsense"])
+        assert rc == 2
+
+
+class TestClassify:
+    def test_lists_every_model(self, capsys):
+        rc = main(["classify", "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for model in ("SC", "TSO", "PC", "PRAM", "Causal", "Hybrid"):
+            assert model in out
+
+
+class TestCatalog:
+    def test_sweep(self, capsys):
+        rc = main(["catalog"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig1-sb" in out and "fig4-causal-not-tso" in out
+
+    def test_single_entry_shows_verdicts(self, capsys):
+        rc = main(["catalog", "--name", "fig1-sb"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "DIVERGES" not in out
+
+    def test_unknown_entry(self, capsys):
+        rc = main(["catalog", "--name", "nope"])
+        assert rc == 2
+
+
+class TestLattice:
+    def test_default_run(self, capsys):
+        rc = main(["lattice"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5 violations: 0" in out and "strongest" in out
+
+    def test_dot_output(self, capsys):
+        rc = main(["lattice", "--dot"])
+        assert rc == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestBakery:
+    def test_rc_sc_random_runs_clean(self, capsys):
+        rc = main(["bakery", "--machine", "rc_sc", "--runs", "10"])
+        assert rc == 0
+        assert "0/10" in capsys.readouterr().out
+
+    def test_rc_pc_adversarial_violates(self, capsys):
+        rc = main(["bakery", "--machine", "rc_pc", "--adversarial"])
+        assert rc == 0
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_sc_adversarial_holds(self, capsys):
+        rc = main(["bakery", "--machine", "sc", "--adversarial"])
+        assert rc == 0
+        assert "held" in capsys.readouterr().out
+
+
+class TestSpectrum:
+    def test_frontier_reported(self, capsys):
+        rc = main(["spectrum", "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "strength frontier" in out and "TSO" in out
+
+    def test_unsatisfiable_history(self, capsys):
+        rc = main(["spectrum", "p: r(x)9"])
+        assert rc == 1
+        assert "no model allows" in capsys.readouterr().out
+
+
+class TestModels:
+    def test_lists_models(self, capsys):
+        rc = main(["models"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SC" in out and "TSO-axiomatic" in out

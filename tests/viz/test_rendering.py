@@ -1,0 +1,83 @@
+"""Tests for ASCII and DOT rendering."""
+
+import networkx as nx
+
+from repro.checking import check_tso
+from repro.lattice import paper_hasse
+from repro.litmus import parse_history
+from repro.orders import causal_relation, po_relation
+from repro.viz import (
+    lattice_to_dot,
+    relation_to_dot,
+    render_history,
+    render_lattice,
+    render_verdicts,
+    render_views,
+)
+
+
+class TestAsciiHistory:
+    def test_rows_per_processor(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        out = render_history(h, title="demo")
+        assert out.startswith("demo")
+        assert "p: w(x)1" in out and "q: r(x)1" in out
+
+
+class TestAsciiViews:
+    def test_views_in_paper_notation(self, fig1):
+        res = check_tso(fig1)
+        out = render_views(res.views)
+        assert "S_{p+w}" in out and "S_{q+w}" in out
+
+
+class TestAsciiLattice:
+    def test_layers_present(self):
+        out = render_lattice(paper_hasse())
+        assert out.splitlines()[0] == "strongest"
+        assert out.splitlines()[-1] == "weakest"
+        assert "SC" in out and "PRAM" in out
+
+    def test_edges_rendered(self):
+        out = render_lattice(paper_hasse())
+        assert "SC->TSO" in out
+
+
+class TestAsciiVerdicts:
+    def test_flags_divergence(self):
+        out = render_verdicts("t", {"SC": True}, {"SC": False})
+        assert "SC=Y(!)" in out
+
+    def test_plain_verdicts(self):
+        out = render_verdicts("t", {"SC": True, "TSO": False})
+        assert "SC=Y" in out and "TSO=N" in out
+
+
+class TestDot:
+    def test_relation_dot_is_parseable_shape(self):
+        h = parse_history("p: w(x)1 w(y)2")
+        dot = relation_to_dot(po_relation(h))
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_transitive_reduction_applied(self):
+        h = parse_history("p: w(x)1 w(y)2 w(z)3")
+        dot = relation_to_dot(po_relation(h))
+        # Closure has 3 edges; reduction keeps the 2 chain edges.
+        assert dot.count("->") == 2
+
+    def test_reduction_can_be_disabled(self):
+        h = parse_history("p: w(x)1 w(y)2 w(z)3")
+        dot = relation_to_dot(po_relation(h), transitive_reduce=False)
+        assert dot.count("->") == 3
+
+    def test_cyclic_relation_rendered_unreduced(self):
+        h = parse_history("p: w(x)1 | q: r(x)1 w(x)2")
+        rel = causal_relation(h)
+        rel.add(h.op("q", 1), h.op("p", 0))  # force a cycle
+        dot = relation_to_dot(rel)
+        assert "digraph" in dot
+
+    def test_lattice_dot(self):
+        dot = lattice_to_dot(paper_hasse())
+        assert '"SC" -> "TSO"' in dot

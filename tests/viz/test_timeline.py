@@ -1,0 +1,67 @@
+"""Tests for the timeline renderer."""
+
+from repro.litmus import parse_history
+from repro.machines import SCMachine
+from repro.programs import CsEnter, CsExit, RoundRobinScheduler, Write, run
+from repro.viz import render_run, render_timeline
+
+
+class TestRenderTimeline:
+    def test_columns_per_processor(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        out = render_timeline(h)
+        header = out.splitlines()[0]
+        assert "p" in header and "q" in header
+
+    def test_each_op_on_own_row(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)1 r(x)0")
+        out = render_timeline(h)
+        # Header + separator + 4 operation rows.
+        assert len(out.splitlines()) == 6
+
+    def test_explicit_order_respected(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        order = [h.op("q", 0), h.op("p", 0)]
+        lines = render_timeline(h, order).splitlines()
+        assert "r(x)1" in lines[2] and "w(x)1" in lines[3]
+
+    def test_labeled_and_rmw_cells(self):
+        h = parse_history("p: w*(s)1 u(l)0->1")
+        out = render_timeline(h)
+        assert "w*(s)1" in out and "u(l)0->1" in out
+
+
+class TestRenderRun:
+    def test_marks_cs_events_and_violation(self):
+        def thread(ops):
+            def factory():
+                def gen():
+                    for op in ops:
+                        yield op
+                return gen()
+            return factory
+
+        m = SCMachine(("p", "q"))
+        result = run(
+            m,
+            {
+                "p": thread([Write("x", 1), CsEnter(), CsExit()]),
+                "q": thread([CsEnter(), CsExit()]),
+            },
+            RoundRobinScheduler(),
+        )
+        out = render_run(result)
+        assert "critical-section events" in out
+        assert "enter" in out and "exit" in out
+        if result.mutex_violation:
+            assert "MUTUAL EXCLUSION VIOLATED" in out
+
+    def test_run_without_cs_has_no_cs_section(self):
+        def factory():
+            def gen():
+                yield Write("x", 1)
+            return gen()
+
+        m = SCMachine(("p",))
+        result = run(m, {"p": factory}, RoundRobinScheduler())
+        assert "critical-section" not in render_run(result)
