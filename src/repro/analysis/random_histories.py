@@ -20,6 +20,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.errors import HistoryError
 from repro.core.history import HistoryBuilder, SystemHistory
 from repro.machines.base import MemoryMachine
 from repro.programs.ops import Read, Request, Write
@@ -43,6 +44,16 @@ def random_history(
     anywhere in the history}, so samples are never *trivially* illegal —
     every read has at least one candidate writer.
     """
+    if procs < 1:
+        raise HistoryError(f"random_history needs procs >= 1, got {procs}")
+    if ops_per_proc < 1:
+        raise HistoryError(
+            f"random_history needs ops_per_proc >= 1, got {ops_per_proc}"
+        )
+    if not locations:
+        raise HistoryError("random_history needs at least one location")
+    if not 0.0 <= p_write <= 1.0:
+        raise HistoryError(f"p_write must lie in [0, 1], got {p_write}")
     locations = list(locations)
     # First pass: decide shapes, assign distinct write values by slot.
     shapes: list[list[tuple[str, str, int | None]]] = []

@@ -14,8 +14,13 @@ against the classifiers in the test suite.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.checking import check
 from repro.core.history import SystemHistory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses checking)
+    from repro.engine.pool import CheckEngine
 
 __all__ = ["KNOWN_EDGES", "SPECTRUM_MODELS", "accepting_models", "strength_frontier"]
 
@@ -72,20 +77,32 @@ KNOWN_EDGES: frozenset[tuple[str, str]] = frozenset(
 )
 
 
-def accepting_models(history: SystemHistory) -> set[str]:
-    """The spectrum models that allow the history."""
+def accepting_models(
+    history: SystemHistory, engine: "CheckEngine | None" = None
+) -> set[str]:
+    """The spectrum models that allow the history.
+
+    With an ``engine``, the verdicts come from its relation-cached
+    :meth:`~repro.engine.CheckEngine.classify` — one substrate computation
+    shared across all nine models instead of nine re-derivations.
+    """
+    if engine is not None:
+        verdicts = engine.classify(history, SPECTRUM_MODELS)
+        return {m for m in SPECTRUM_MODELS if verdicts[m]}
     return {m for m in SPECTRUM_MODELS if check(history, m).allowed}
 
 
-def strength_frontier(history: SystemHistory) -> tuple[str, ...]:
+def strength_frontier(
+    history: SystemHistory, engine: "CheckEngine | None" = None
+) -> tuple[str, ...]:
     """The strongest models allowing the history (maximal accepting set).
 
     A model is on the frontier when it accepts the history and no known
     strictly-stronger model does.  Returned in :data:`SPECTRUM_MODELS`
     display order; empty iff no model accepts (e.g. a read of a value
-    never written).
+    never written).  ``engine`` is forwarded to :func:`accepting_models`.
     """
-    accepted = accepting_models(history)
+    accepted = accepting_models(history, engine=engine)
     frontier = [
         m
         for m in SPECTRUM_MODELS

@@ -5,7 +5,8 @@
     python -m repro check  "p: w(x)1 r(y)0 | q: w(y)1 r(x)0" --model TSO
     python -m repro classify "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"
     python -m repro catalog [--name fig1-sb]
-    python -m repro lattice [--procs 2] [--ops 2] [--dot]
+    python -m repro lattice [--procs 2] [--ops 2] [--jobs 4] [--dot]
+    python -m repro sweep   [--source catalog] [--models SC,TSO,PC] [--jobs 4]
     python -m repro bakery  [--machine rc_pc] [--runs 100] [--adversarial]
     python -m repro models
 
@@ -20,6 +21,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import __version__
 from repro.checking import MODELS, check, model_names
 from repro.core.errors import ReproError
 from repro.lattice import (
@@ -55,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Characterization framework for scalable shared memories "
         "(Kohli, Neiger & Ahamad, ICPP 1993).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_check = sub.add_parser("check", help="decide one history under one model")
@@ -73,9 +78,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_lattice = sub.add_parser("lattice", help="reproduce Figure 5 by enumeration")
     p_lattice.add_argument("--procs", type=int, default=2)
     p_lattice.add_argument("--ops", type=int, default=2)
+    p_lattice.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
     p_lattice.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p_lattice.add_argument(
         "--report", metavar="FILE", help="write a markdown survey report"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="batch-check a history source against a model set"
+    )
+    p_sweep.add_argument(
+        "--source",
+        choices=("catalog", "space", "random"),
+        default="catalog",
+        help="where histories come from",
+    )
+    p_sweep.add_argument(
+        "--models",
+        default="all",
+        help="comma-separated model names, or 'all' (default)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_sweep.add_argument(
+        "--out", metavar="FILE", help="append results to this JSONL store"
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip keys already completed in --out",
+    )
+    p_sweep.add_argument(
+        "--procs", type=int, default=2, help="history shape (space/random)"
+    )
+    p_sweep.add_argument(
+        "--ops", type=int, default=2, help="ops per processor (space/random)"
+    )
+    p_sweep.add_argument(
+        "--count", type=int, default=100, help="sample count (random)"
+    )
+    p_sweep.add_argument("--seed", type=int, default=0, help="generator seed (random)")
+    p_sweep.add_argument(
+        "--p-write", type=float, default=0.5, help="write probability (random)"
     )
 
     p_bakery = sub.add_parser("bakery", help="run the Section 5 Bakery experiment")
@@ -154,7 +201,9 @@ def _cmd_lattice(args: argparse.Namespace) -> int:
             seen.add(key)
             histories.append(h)
     models = ("SC", "TSO", "PC", "Causal", "PRAM")
-    result = classify_histories(histories, models)
+    from repro.engine import CheckEngine
+
+    result = classify_histories(histories, models, engine=CheckEngine(jobs=args.jobs))
     print(f"{len(histories)} canonical histories; counts: {result.counts()}")
     violations = containment_violations(result, FIGURE5_EDGES)
     print(f"Figure 5 violations: {len(violations)}")
@@ -166,6 +215,32 @@ def _cmd_lattice(args: argparse.Namespace) -> int:
         with open(args.report, "w") as fh:
             fh.write(lattice_report(result))
         print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import CheckEngine, ResultStore, SweepSpec
+
+    models = ("all",) if args.models == "all" else tuple(args.models.split(","))
+    spec = SweepSpec(
+        source=args.source,
+        models=models,
+        procs=args.procs,
+        ops_per_proc=args.ops,
+        count=args.count,
+        seed=args.seed,
+        p_write=args.p_write,
+    )
+    engine = CheckEngine(jobs=args.jobs)
+    if args.out:
+        with ResultStore(args.out) as store:
+            report = engine.run(spec, store=store, resume=args.resume)
+    else:
+        if args.resume:
+            print("error: --resume needs --out", file=sys.stderr)
+            return 2
+        report = engine.run(spec)
+    print(report.render())
     return 0
 
 
@@ -220,6 +295,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "catalog": _cmd_catalog,
     "lattice": _cmd_lattice,
+    "sweep": _cmd_sweep,
     "bakery": _cmd_bakery,
     "spectrum": _cmd_spectrum,
     "models": _cmd_models,

@@ -7,6 +7,7 @@ layer (orders, specs, checkers, machines, programs) is built from.
 from repro.core.errors import (
     AmbiguousValueError,
     CheckerError,
+    EngineError,
     HistoryError,
     IllegalViewError,
     MachineError,
@@ -29,6 +30,7 @@ from repro.core.view import (
 __all__ = [
     "AmbiguousValueError",
     "CheckerError",
+    "EngineError",
     "HistoryBuilder",
     "HistoryError",
     "IllegalViewError",

@@ -19,6 +19,7 @@ __all__ = [
     "SchedulerError",
     "ProgramError",
     "ParseError",
+    "EngineError",
 ]
 
 
@@ -78,3 +79,7 @@ class ProgramError(ReproError):
 
 class ParseError(ReproError):
     """Litmus-notation text could not be parsed into a history."""
+
+
+class EngineError(ReproError):
+    """The batch-checking engine was given an invalid job, spec, or store."""

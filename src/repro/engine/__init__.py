@@ -1,0 +1,44 @@
+"""repro.engine — parallel batch-checking with relation caching.
+
+The engine turns "check these histories against these models" into a
+declarative, resumable, parallelizable workload:
+
+- :mod:`repro.engine.jobs` — :class:`SweepSpec` describes the workload
+  (history source × model set) and expands it into stable-keyed
+  :class:`CheckJob` units.
+- :mod:`repro.engine.pool` — :class:`CheckEngine` executes jobs serially
+  or on a multiprocessing pool; results are byte-identical either way.
+- :mod:`repro.engine.cache` — :class:`RelationCache` computes each
+  history's order-relation substrate once and shares it across models.
+- :mod:`repro.engine.store` — :class:`ResultStore`, the append-only JSONL
+  log with resume-by-key support.
+- :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers.
+
+Quickstart::
+
+    from repro.engine import CheckEngine, SweepSpec, ResultStore
+
+    spec = SweepSpec(source="catalog", models=("SC", "TSO", "PC"))
+    with ResultStore("results.jsonl") as store:
+        report = CheckEngine(jobs=4).run(spec, store=store)
+    print(report.render())
+"""
+
+from repro.engine.cache import RelationCache
+from repro.engine.jobs import SOURCES, CheckJob, SweepSpec
+from repro.engine.metrics import EngineMetrics
+from repro.engine.pool import DEFAULT_CACHE_HISTORIES, CheckEngine, SweepReport
+from repro.engine.store import STORE_VERSION, ResultStore
+
+__all__ = [
+    "CheckEngine",
+    "CheckJob",
+    "DEFAULT_CACHE_HISTORIES",
+    "EngineMetrics",
+    "RelationCache",
+    "ResultStore",
+    "SOURCES",
+    "STORE_VERSION",
+    "SweepReport",
+    "SweepSpec",
+]

@@ -1,0 +1,155 @@
+"""Append-only JSONL result store with resume support.
+
+One line per record, three record types distinguished by ``"type"``:
+
+``run``
+    A run header: store-format version, the sweep's declarative spec,
+    worker count, start timestamp, and how many keys were skipped by
+    resume.  A resumed run appends a second header rather than rewriting
+    history — the store is a log.
+``result``
+    One job's verdicts: ``{"type": "result", "key": ..., "models":
+    {name: bool}, "explored": {name: int}}``.  Result lines are
+    canonically encoded (sorted keys, minimal separators) so identical
+    sweeps produce byte-identical result lines regardless of worker count.
+``summary``
+    End-of-run aggregate: metrics and per-model allowed counts.
+
+Resume contract: :meth:`ResultStore.completed_keys` returns the keys of
+every intact result line; a run killed mid-write leaves at most one
+truncated trailing line, which is ignored (and newline-terminated before
+new records are appended, so the log stays parseable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.core.errors import EngineError
+
+__all__ = ["ResultStore", "STORE_VERSION"]
+
+#: Bumped on any incompatible change to the record format.
+STORE_VERSION = 1
+
+
+def _encode(record: dict) -> str:
+    """Canonical one-line encoding (deterministic bytes for equal records)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """An append-only JSONL store of sweep results at ``path``.
+
+    Usable as a context manager; writes are line-buffered and flushed per
+    record so a killed run loses at most the line being written.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Every intact record currently on disk, in file order.
+
+        Lines that do not decode (the truncated tail of a killed run) are
+        skipped rather than raised: the store is meant to be resumable.
+        """
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def results(self) -> list[dict]:
+        """The intact ``result`` records, in file order."""
+        return [r for r in self.records() if r.get("type") == "result"]
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every intact result record (the resume skip-set)."""
+        return {r["key"] for r in self.results() if "key" in r}
+
+    def summarize(self) -> dict:
+        """Aggregate the on-disk results: totals and per-model allowed counts."""
+        results = self.results()
+        counts: dict[str, int] = {}
+        for record in results:
+            for model, allowed in record.get("models", {}).items():
+                if allowed:
+                    counts[model] = counts.get(model, 0) + 1
+                else:
+                    counts.setdefault(model, 0)
+        return {
+            "results": len(results),
+            "distinct_keys": len({r["key"] for r in results if "key" in r}),
+            "allowed_counts": dict(sorted(counts.items())),
+        }
+
+    # -- writing ----------------------------------------------------------------
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Repair a truncated tail before appending: without the newline
+            # the first new record would merge into the dead partial line.
+            needs_newline = False
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+            self._fh = self.path.open("a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+                self._fh.flush()
+        return self._fh
+
+    def _append(self, record: dict) -> None:
+        fh = self._handle()
+        fh.write(_encode(record) + "\n")
+        fh.flush()
+
+    def append_run_header(self, meta: dict) -> None:
+        """Record the start of a run (spec, workers, resume skip count)."""
+        self._append({"type": "run", "store_version": STORE_VERSION, **meta})
+
+    def append_result(
+        self,
+        key: str,
+        models: dict[str, bool],
+        explored: dict[str, int] | None = None,
+    ) -> None:
+        """Record one job's verdicts (canonical encoding, deterministic bytes)."""
+        if not key:
+            raise EngineError("result records need a non-empty key")
+        record: dict = {"type": "result", "key": key, "models": models}
+        if explored is not None:
+            record["explored"] = explored
+        self._append(record)
+
+    def append_summary(self, summary: dict) -> None:
+        """Record the end-of-run aggregate."""
+        self._append({"type": "summary", **summary})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -11,10 +11,13 @@ memories; :data:`FIGURE5_EDGES` records them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.checking.models import check
 from repro.core.history import SystemHistory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses lattice)
+    from repro.engine.pool import CheckEngine
 
 __all__ = [
     "FIGURE5_EDGES",
@@ -90,10 +93,24 @@ class ClassificationResult:
 def classify_histories(
     histories: Iterable[SystemHistory],
     models: Sequence[str],
+    engine: "CheckEngine | None" = None,
 ) -> ClassificationResult:
-    """Run every named model's checker over every history."""
+    """Run every named model's checker over every history.
+
+    With an ``engine``, the verdicts come from
+    :meth:`repro.engine.CheckEngine.map_classify` instead of direct
+    :func:`check` calls — relation-cached, and parallel when the engine has
+    ``jobs > 1``.  The results are identical either way.
+    """
     hs = list(histories)
     result = ClassificationResult(tuple(models), hs)
+    if engine is not None:
+        rows = engine.map_classify(hs, models)
+        for name in models:
+            result.allowed[name] = {
+                i for i, row in enumerate(rows) if row[name]
+            }
+        return result
     for name in models:
         result.allowed[name] = {
             i for i, h in enumerate(hs) if check(h, name).allowed

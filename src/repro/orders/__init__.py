@@ -5,6 +5,12 @@ These implement the "Ordering" parameter of the paper's framework
 """
 
 from repro.orders.causal import causal_base_pairs, causal_relation
+from repro.orders.memo import (
+    RelationMemo,
+    active_memo,
+    memoized_relation,
+    relation_memo,
+)
 from repro.orders.coherence import (
     CoherenceOrder,
     coherence_position,
@@ -31,8 +37,12 @@ from repro.orders.writes_before import (
 )
 
 __all__ = [
+    "active_memo",
     "causal_base_pairs",
     "causal_relation",
+    "memoized_relation",
+    "relation_memo",
+    "RelationMemo",
     "CoherenceOrder",
     "coherence_position",
     "coherence_relation",

@@ -1,0 +1,159 @@
+"""Per-history memoization of derived order relations.
+
+Every checker derives the same substrate from a history — program order,
+partial program order, the reads-from attribution, writes-before — and a
+batch workload ("check N histories against M models") re-derives that
+substrate M times per history.  This module provides the memo layer the
+:mod:`repro.engine` batch engine activates around its checks: while a
+:class:`RelationMemo` is active, the relation constructors decorated with
+:func:`memoized_relation` compute each (history, relation) pair once and
+serve every later request from the memo.
+
+The layer is opt-in and invisible by default: with no active memo the
+decorated functions behave exactly as before.  Memoization only applies to
+calls that depend on the history alone (optional arguments left at ``None``);
+a call that supplies an explicit reads-from assignment or other argument
+bypasses the memo, because the result is then not a function of the history.
+
+Sharing discipline: memoized values are shared objects.  Every call site in
+the framework treats derived relations as immutable (the
+:class:`~repro.orders.relation.Relation` combinators are functional and
+checkers only mutate relations they construct themselves), which is what
+makes the sharing sound.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator, TypeVar
+
+__all__ = ["RelationMemo", "active_memo", "memoized_relation", "relation_memo"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_ACTIVE: ContextVar["RelationMemo | None"] = ContextVar(
+    "repro_relation_memo", default=None
+)
+
+
+class RelationMemo:
+    """A bounded, history-keyed memo of derived relations.
+
+    One table of named values per history, evicted least-recently-used
+    once ``max_histories`` distinct histories have been seen (the engine
+    checks histories in batches, so recency tracks the working set
+    exactly).  Hit/miss counters feed the engine's metrics.
+    """
+
+    __slots__ = ("max_histories", "hits", "misses", "_tables")
+
+    def __init__(self, max_histories: int = 64) -> None:
+        if max_histories < 1:
+            raise ValueError(f"max_histories must be >= 1, got {max_histories}")
+        self.max_histories = max_histories
+        self.hits = 0
+        self.misses = 0
+        self._tables: OrderedDict[Any, dict[str, Any]] = OrderedDict()
+
+    # -- keying (overridable; the engine cache keys canonically) ---------------
+
+    def _table(self, history: Any) -> dict[str, Any]:
+        """The value table for ``history``, creating (and evicting) as needed."""
+        table = self._tables.get(history)
+        if table is None:
+            table = {}
+            self._tables[history] = table
+            while len(self._tables) > self.max_histories:
+                self._tables.popitem(last=False)
+        else:
+            self._tables.move_to_end(history)
+        return table
+
+    # -- the memo protocol -----------------------------------------------------
+
+    def fetch(self, history: Any, name: str, compute: Callable[[], Any]) -> Any:
+        """The value of ``name`` for ``history``, computing it on first use."""
+        table = self._table(history)
+        if name in table:
+            self.hits += 1
+            return table[name]
+        self.misses += 1
+        value = compute()
+        table[name] = value
+        return value
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def lookups(self) -> int:
+        """Total fetches served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches served from the memo (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss counters as a plain dictionary (for metrics merging)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> None:
+        """Drop every table and reset the counters."""
+        self._tables.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def active_memo() -> RelationMemo | None:
+    """The memo installed by the innermost :func:`relation_memo`, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def relation_memo(memo: RelationMemo | None = None) -> Iterator[RelationMemo]:
+    """Activate ``memo`` (or a fresh one) for the duration of the block.
+
+    Nesting replaces the active memo for the inner block and restores the
+    outer one afterwards; the memo object survives the block, so callers
+    can read its counters or reactivate it later.
+    """
+    if memo is None:
+        memo = RelationMemo()
+    token = _ACTIVE.set(memo)
+    try:
+        yield memo
+    finally:
+        _ACTIVE.reset(token)
+
+
+def memoized_relation(fn: F) -> F:
+    """Route history-only calls of ``fn`` through the active memo.
+
+    ``fn`` must take the history as its first argument and be a pure
+    function of it when every other argument is left at ``None``.  Calls
+    supplying any non-``None`` extra argument bypass the memo (their result
+    depends on more than the history), as do all calls made while no memo
+    is active.
+    """
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(history, *args, **kwargs):
+        memo = _ACTIVE.get()
+        if (
+            memo is None
+            or any(a is not None for a in args)
+            or any(v is not None for v in kwargs.values())
+        ):
+            return fn(history, *args, **kwargs)
+        return memo.fetch(history, name, lambda: fn(history))
+
+    return wrapper  # type: ignore[return-value]

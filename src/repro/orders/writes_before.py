@@ -21,6 +21,7 @@ from typing import Iterator, Mapping
 from repro.core.errors import AmbiguousValueError
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation
+from repro.orders.memo import memoized_relation
 from repro.orders.relation import Relation
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
 ReadsFrom = Mapping[Operation, Operation | None]
 
 
+@memoized_relation
 def reads_from_candidates(
     history: SystemHistory,
 ) -> dict[Operation, tuple[Operation | None, ...]]:
@@ -67,6 +69,7 @@ def reads_from_candidates(
     return out
 
 
+@memoized_relation
 def unique_reads_from(history: SystemHistory) -> dict[Operation, Operation | None]:
     """The reads-from function, when it is unambiguous.
 
@@ -90,6 +93,7 @@ def unique_reads_from(history: SystemHistory) -> dict[Operation, Operation | Non
     return out
 
 
+@memoized_relation
 def unambiguous_reads_from(
     history: SystemHistory,
 ) -> dict[Operation, Operation | None] | None:
@@ -125,6 +129,7 @@ def reads_from_choices(history: SystemHistory) -> Iterator[dict[Operation, Opera
         yield dict(zip(reads, combo))
 
 
+@memoized_relation
 def wb_relation(
     history: SystemHistory, reads_from: ReadsFrom | None = None
 ) -> Relation[Operation]:

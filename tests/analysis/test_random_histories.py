@@ -1,8 +1,10 @@
 """Tests for the random history/program generators."""
 
 import numpy as np
+import pytest
 
 from repro.analysis import machine_history, random_history, random_program_ops
+from repro.core.errors import HistoryError, ReproError
 from repro.machines import SCMachine
 from repro.orders import reads_from_candidates
 from repro.programs.ops import Read, Write
@@ -39,6 +41,30 @@ class TestRandomHistory:
         all_reads = random_history(np.random.default_rng(3), p_write=0.0)
         assert all(op.is_read for op in all_reads.operations)
         assert all(op.value == 0 for op in all_reads.operations)
+
+
+class TestRandomHistoryValidation:
+    def test_zero_procs_rejected(self):
+        with pytest.raises(HistoryError, match="procs"):
+            random_history(np.random.default_rng(0), procs=0)
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(HistoryError, match="ops_per_proc"):
+            random_history(np.random.default_rng(0), ops_per_proc=0)
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(HistoryError, match="location"):
+            random_history(np.random.default_rng(0), locations=())
+
+    @pytest.mark.parametrize("p_write", [-0.1, 1.5])
+    def test_p_write_out_of_range_rejected(self, p_write):
+        with pytest.raises(HistoryError, match="p_write"):
+            random_history(np.random.default_rng(0), p_write=p_write)
+
+    def test_errors_are_repro_errors(self):
+        # Callers catching the framework's base class see these too.
+        with pytest.raises(ReproError):
+            random_history(np.random.default_rng(0), procs=-1)
 
 
 class TestRandomProgram:

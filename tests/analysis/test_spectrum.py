@@ -83,3 +83,16 @@ class TestFrontier:
             for m in frontier:
                 dominators = {s for s, w in KNOWN_EDGES if w == m}
                 assert not (dominators & accepted), f"{m} dominated on:\n{h}"
+
+
+class TestEnginePath:
+    def test_engine_matches_direct(self):
+        from repro.engine import CheckEngine
+
+        engine = CheckEngine()
+        rng = np.random.default_rng(71)
+        for _ in range(10):
+            h = random_history(rng, procs=2, ops_per_proc=3)
+            assert accepting_models(h, engine=engine) == accepting_models(h)
+            assert strength_frontier(h, engine=engine) == strength_frontier(h)
+        assert engine.cache.hit_rate > 0

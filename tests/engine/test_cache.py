@@ -1,0 +1,84 @@
+"""Tests for the canonically-keyed relation cache."""
+
+from repro.engine import RelationCache
+from repro.litmus import parse_history
+from repro.orders import po_relation, relation_memo
+
+
+class TestCanonicalKeying:
+    def test_reparse_hits(self):
+        # Two parses of the same text are distinct objects, one canonical key.
+        a = parse_history("p: w(x)1 | q: r(x)1")
+        b = parse_history("p: w(x)1 | q: r(x)1")
+        assert a == b and a is not b
+        cache = RelationCache()
+        with relation_memo(cache):
+            po_relation(a)
+            po_relation(b)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_renamed_twin_does_not_poison(self):
+        # Same canonical key, different concrete operations: the cache must
+        # not serve p/q relations for the q/p twin.
+        a = parse_history("p: w(x)1 | q: r(x)1")
+        b = parse_history("p: r(x)1 | q: w(x)1")
+        cache = RelationCache()
+        with relation_memo(cache):
+            pa = po_relation(a)
+            pb = po_relation(b)
+        assert set(pa.items) == set(a.operations)
+        assert set(pb.items) == set(b.operations)
+        assert cache.hits == 0 and cache.misses == 2
+
+
+class TestEviction:
+    def test_bound_and_ckey_cleanup(self):
+        # Structurally distinct histories (canonical keys normalize values,
+        # so differing only in the value would collapse to one key).
+        cache = RelationCache(max_histories=2)
+        histories = [
+            parse_history("p: w(x)1"),
+            parse_history("p: r(x)0"),
+            parse_history("p: w(x)1 w(y)2"),
+            parse_history("p: w(x)1 r(y)0"),
+        ]
+        with relation_memo(cache):
+            for h in histories:
+                po_relation(h)
+        assert len(cache._tables) == 2
+        assert len(cache._ckeys) == 2
+
+    def test_clear(self):
+        cache = RelationCache()
+        with relation_memo(cache):
+            po_relation(parse_history("p: w(x)1"))
+        cache.clear()
+        assert not cache._tables and not cache._ckeys
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestSubstrate:
+    def test_unambiguous_history(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)1")
+        sub = RelationCache().substrate(h)
+        assert sub["po"] is not None and sub["ppo"] is not None
+        assert sub["reads_from"] is not None and sub["wb"] is not None
+
+    def test_ambiguous_reads_from_left_none(self):
+        # Duplicate write values: reads-from is not a function of the history.
+        h = parse_history("p: w(x)1 w(x)1 | q: r(x)1")
+        sub = RelationCache().substrate(h)
+        assert sub["reads_from"] is None and sub["wb"] is None
+        assert sub["po"] is not None
+
+    def test_substrate_warms_checkers(self):
+        from repro.checking import check
+
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)1")
+        cache = RelationCache()
+        cache.substrate(h)
+        before = cache.hits
+        with relation_memo(cache):
+            check(h, "SC")
+            check(h, "TSO")
+        assert cache.hits > before

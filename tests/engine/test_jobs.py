@@ -1,0 +1,100 @@
+"""Tests for the declarative sweep specs and their job expansion."""
+
+import pytest
+
+from repro.checking import model_names
+from repro.core.errors import EngineError
+from repro.engine import SweepSpec
+from repro.litmus import CATALOG
+
+
+class TestValidation:
+    def test_unknown_source(self):
+        with pytest.raises(EngineError, match="unknown history source"):
+            SweepSpec(source="nope")
+
+    def test_empty_models(self):
+        with pytest.raises(EngineError, match="at least one model"):
+            SweepSpec(models=())
+
+    def test_unknown_model(self):
+        with pytest.raises(EngineError, match="unknown model"):
+            SweepSpec(models=("SC", "Nonsense"))
+
+    def test_degenerate_shape(self):
+        with pytest.raises(EngineError, match="degenerate"):
+            SweepSpec(source="space", procs=0)
+        with pytest.raises(EngineError, match="degenerate"):
+            SweepSpec(source="space", ops_per_proc=0)
+
+    def test_empty_locations(self):
+        with pytest.raises(EngineError, match="location"):
+            SweepSpec(source="space", locations=())
+
+    def test_random_bad_count(self):
+        with pytest.raises(EngineError, match="count"):
+            SweepSpec(source="random", count=0)
+
+    def test_random_bad_p_write(self):
+        with pytest.raises(EngineError, match="p_write"):
+            SweepSpec(source="random", p_write=1.5)
+
+
+class TestModelResolution:
+    def test_all_expands_to_registry(self):
+        assert SweepSpec().resolved_models() == model_names()
+
+    def test_explicit_names_kept_in_order(self):
+        spec = SweepSpec(models=("TSO", "SC"))
+        assert spec.resolved_models() == ("TSO", "SC")
+
+
+class TestCatalogJobs:
+    def test_one_job_per_entry(self):
+        jobs = list(SweepSpec(source="catalog").jobs())
+        assert len(jobs) == len(CATALOG)
+        assert {j.key for j in jobs} == {f"catalog:{n}" for n in CATALOG}
+
+    def test_deterministic_order(self):
+        spec = SweepSpec(source="catalog", models=("SC",))
+        assert [j.key for j in spec.jobs()] == [j.key for j in spec.jobs()]
+
+
+class TestSpaceJobs:
+    def test_canonical_dedup(self):
+        from repro.lattice.enumeration import canonical_key
+
+        jobs = list(SweepSpec(source="space", models=("SC",)).jobs())
+        keys = [canonical_key(j.history) for j in jobs]
+        assert len(keys) == len(set(keys)) == 210  # the 2x2 canonical count
+
+    def test_stable_indices(self):
+        spec = SweepSpec(source="space", models=("SC",))
+        first = [j.key for j in spec.jobs()]
+        assert first[0] == "space:2x2:000000"
+        assert first == [j.key for j in spec.jobs()]
+
+
+class TestRandomJobs:
+    def test_seeded_and_sized(self):
+        spec = SweepSpec(source="random", models=("SC",), count=5, seed=9)
+        a = list(spec.jobs())
+        b = list(spec.jobs())
+        assert len(a) == 5
+        assert [j.key for j in a] == [f"random:9:{i:06d}" for i in range(5)]
+        assert [j.history for j in a] == [j.history for j in b]
+
+    def test_seed_changes_histories(self):
+        h0 = [j.history for j in SweepSpec(source="random", count=5, seed=0).jobs()]
+        h1 = [j.history for j in SweepSpec(source="random", count=5, seed=1).jobs()]
+        assert h0 != h1
+
+
+class TestDescribe:
+    def test_catalog_omits_shape(self):
+        d = SweepSpec(source="catalog", models=("SC",)).describe()
+        assert d == {"source": "catalog", "models": ["SC"]}
+
+    def test_random_records_generator_params(self):
+        d = SweepSpec(source="random", count=7, seed=3, p_write=0.25).describe()
+        assert d["count"] == 7 and d["seed"] == 3 and d["p_write"] == 0.25

@@ -1,0 +1,66 @@
+"""Tests for the engine's counters and timers."""
+
+from repro.engine import EngineMetrics
+
+
+class TestDerived:
+    def test_hit_rate(self):
+        m = EngineMetrics(cache_hits=3, cache_misses=1)
+        assert m.cache_lookups == 4
+        assert m.cache_hit_rate == 0.75
+
+    def test_hit_rate_empty(self):
+        assert EngineMetrics().cache_hit_rate == 0.0
+
+    def test_histories_per_second(self):
+        m = EngineMetrics(histories=10, wall_seconds=2.0)
+        assert m.histories_per_second == 5.0
+        assert EngineMetrics(histories=10).histories_per_second == 0.0
+
+
+class TestAccumulation:
+    def test_add_model_time(self):
+        m = EngineMetrics()
+        m.add_model_time("SC", 0.5)
+        m.add_model_time("SC", 0.25)
+        assert m.model_seconds == {"SC": 0.75}
+
+    def test_merge_dict(self):
+        m = EngineMetrics(histories=1, cache_hits=2)
+        m.merge(
+            {
+                "histories": 3,
+                "cache_hits": 4,
+                "cache_misses": 1,
+                "model_seconds": {"SC": 0.5},
+            }
+        )
+        assert m.histories == 4
+        assert m.cache_hits == 6 and m.cache_misses == 1
+        assert m.model_seconds == {"SC": 0.5}
+
+    def test_merge_instance(self):
+        m = EngineMetrics()
+        m.merge(EngineMetrics(checks=7, skipped=2))
+        assert m.checks == 7 and m.skipped == 2
+
+
+class TestPresentation:
+    def test_to_dict_json_compatible(self):
+        import json
+
+        m = EngineMetrics(histories=2, checks=26, cache_hits=20, cache_misses=8)
+        m.add_model_time("SC", 0.001)
+        d = m.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["cache_hit_rate"] == round(20 / 28, 4)
+
+    def test_render_mentions_the_headline_figures(self):
+        m = EngineMetrics(
+            histories=17, checks=221, cache_hits=9, cache_misses=1, wall_seconds=0.5
+        )
+        m.add_model_time("SC", 0.2)
+        text = m.render()
+        assert "cache hit rate: 90.0%" in text
+        assert "histories: 17 checked" in text
+        assert "SC" in text

@@ -1,0 +1,100 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine import ResultStore
+
+
+def _make_store(path, keys=("a", "b")):
+    with ResultStore(path) as store:
+        store.append_run_header({"spec": {"source": "catalog"}, "jobs": 1})
+        for key in keys:
+            store.append_result(key, {"SC": True, "TSO": False}, {"SC": 3})
+        store.append_summary(store.summarize())
+    return path
+
+
+class TestRoundTrip:
+    def test_records_back(self, tmp_path):
+        path = _make_store(tmp_path / "r.jsonl")
+        store = ResultStore(path)
+        records = list(store.records())
+        assert [r["type"] for r in records] == ["run", "result", "result", "summary"]
+        assert store.completed_keys() == {"a", "b"}
+
+    def test_result_lines_canonical(self, tmp_path):
+        path = _make_store(tmp_path / "r.jsonl")
+        lines = [
+            line
+            for line in path.read_text().splitlines()
+            if '"type":"result"' in line
+        ]
+        for line in lines:
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert list(store.records()) == []
+        assert store.completed_keys() == set()
+
+    def test_empty_key_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="key"):
+            ResultStore(tmp_path / "r.jsonl").append_result("", {})
+
+
+def _truncate_last_result(path):
+    """Simulate a run killed mid-write: cut the last result line in half."""
+    lines = path.read_text().splitlines(keepends=True)
+    idx = max(i for i, line in enumerate(lines) if '"type":"result"' in line)
+    path.write_text("".join(lines[:idx]) + lines[idx][: len(lines[idx]) // 2])
+
+
+class TestTruncation:
+    def test_truncated_tail_ignored(self, tmp_path):
+        path = _make_store(tmp_path / "r.jsonl")
+        _truncate_last_result(path)
+        store = ResultStore(path)
+        assert store.completed_keys() == {"a"}  # the cut record is gone
+
+    def test_append_after_truncation_stays_parseable(self, tmp_path):
+        path = _make_store(tmp_path / "r.jsonl")
+        _truncate_last_result(path)
+        with ResultStore(path) as store:
+            store.append_result("c", {"SC": True})
+        store = ResultStore(path)
+        assert store.completed_keys() == {"a", "c"}
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('not json\n{"type":"result","key":"k","models":{}}\n')
+        assert ResultStore(path).completed_keys() == {"k"}
+
+
+class TestSummarize:
+    def test_counts_allowed_per_model(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append_result("a", {"SC": True, "TSO": True})
+            store.append_result("b", {"SC": False, "TSO": True})
+        summary = ResultStore(path).summarize()
+        assert summary["results"] == 2
+        assert summary["distinct_keys"] == 2
+        assert summary["allowed_counts"] == {"SC": 1, "TSO": 2}
+
+    def test_rejecting_model_still_listed(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append_result("a", {"SC": False})
+        assert ResultStore(path).summarize()["allowed_counts"] == {"SC": 0}
+
+
+class TestDirectoryCreation:
+    def test_nested_path_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append_result("a", {"SC": True})
+        assert path.exists()

@@ -1,0 +1,46 @@
+"""The engine agrees exactly with direct check() — the acceptance gate.
+
+Every (catalog history × registered model) pair is decided twice: once by
+a direct :func:`repro.checking.check` call (no cache, no engine) and once
+through the batch engine.  Any divergence would mean the relation cache or
+the worker protocol changed a verdict, which is the one thing the engine
+is never allowed to do.
+"""
+
+from repro.checking import check, model_names
+from repro.engine import CheckEngine, SweepSpec
+from repro.litmus import CATALOG
+
+
+def _direct_verdicts():
+    return {
+        f"catalog:{name}": {
+            model: check(test.history, model).allowed for model in model_names()
+        }
+        for name, test in CATALOG.items()
+    }
+
+
+def test_engine_matches_direct_check_for_every_catalog_pair():
+    direct = _direct_verdicts()
+    report = CheckEngine(jobs=1).run(SweepSpec(source="catalog", models=("all",)))
+    engine = {r["key"]: r["models"] for r in report.results}
+    assert engine == direct
+
+
+def test_parallel_engine_matches_direct_check():
+    direct = _direct_verdicts()
+    report = CheckEngine(jobs=4).run(SweepSpec(source="catalog", models=("all",)))
+    engine = {r["key"]: r["models"] for r in report.results}
+    assert engine == direct
+
+
+def test_engine_verdicts_match_catalog_expectations():
+    # The catalog's expected verdicts are the paper's own figures; the
+    # engine must reproduce them model-for-model.
+    report = CheckEngine().run(SweepSpec(source="catalog", models=("all",)))
+    by_key = {r["key"]: r["models"] for r in report.results}
+    for name, test in CATALOG.items():
+        got = by_key[f"catalog:{name}"]
+        for model, expected in test.expected.items():
+            assert got[model] == expected, (name, model)

@@ -72,3 +72,21 @@ class TestClassificationResultAPI:
         assert len(matrix) == len(MODELS) * (len(MODELS) - 1)
         assert matrix[("SC", "TSO")] is True
         assert matrix[("TSO", "SC")] is False
+
+
+class TestEnginePath:
+    def test_engine_matches_direct_classification(self, small_space_result):
+        from repro.engine import CheckEngine
+
+        engine_result = classify_histories(
+            small_space_result.histories, MODELS, engine=CheckEngine()
+        )
+        assert engine_result.allowed == small_space_result.allowed
+
+    def test_parallel_engine_matches_too(self, small_space_result):
+        from repro.engine import CheckEngine
+
+        engine_result = classify_histories(
+            small_space_result.histories, MODELS, engine=CheckEngine(jobs=2)
+        )
+        assert engine_result.allowed == small_space_result.allowed

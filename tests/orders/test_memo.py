@@ -1,0 +1,122 @@
+"""Tests for the opt-in relation memoization layer."""
+
+from repro.litmus import parse_history
+from repro.orders import (
+    RelationMemo,
+    active_memo,
+    po_relation,
+    ppo_relation,
+    relation_memo,
+    wb_relation,
+)
+from repro.orders.memo import memoized_relation
+
+H = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)1")
+
+
+class TestInactiveByDefault:
+    def test_no_memo_outside_context(self):
+        assert active_memo() is None
+
+    def test_decorated_functions_work_without_memo(self):
+        assert set(po_relation(H).pairs()) == set(po_relation(H).pairs())
+
+
+class TestActivation:
+    def test_context_sets_and_restores(self):
+        memo = RelationMemo()
+        with relation_memo(memo):
+            assert active_memo() is memo
+        assert active_memo() is None
+
+    def test_default_memo_created(self):
+        with relation_memo() as memo:
+            assert isinstance(memo, RelationMemo)
+            assert active_memo() is memo
+
+    def test_nesting_restores_outer(self):
+        outer, inner = RelationMemo(), RelationMemo()
+        with relation_memo(outer):
+            with relation_memo(inner):
+                assert active_memo() is inner
+            assert active_memo() is outer
+
+
+class TestCaching:
+    def test_second_call_hits(self):
+        with relation_memo() as memo:
+            first = po_relation(H)
+            second = po_relation(H)
+        assert first is second
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_distinct_functions_distinct_entries(self):
+        with relation_memo() as memo:
+            po_relation(H)
+            wb_relation(H)
+        assert memo.hits == 0
+        # wb internally reuses nothing memoized here besides its own chain.
+        assert memo.misses >= 2
+
+    def test_derived_relations_reuse_base(self):
+        with relation_memo() as memo:
+            ppo_relation(H)
+            before = memo.counters()
+            ppo_relation(H)
+            after = memo.counters()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_results_match_unmemoized(self):
+        bare = set(po_relation(H).pairs())
+        with relation_memo():
+            memoized = set(po_relation(H).pairs())
+        assert bare == memoized
+
+    def test_extra_args_bypass_memo(self):
+        calls = []
+
+        @memoized_relation
+        def probe(history, flag=None):
+            calls.append(flag)
+            return len(calls)
+
+        with relation_memo() as memo:
+            assert probe(H) == 1
+            assert probe(H, flag="x") == 2  # bypass: not cached
+            assert probe(H, flag="x") == 3  # bypass again
+            assert probe(H) == 1  # cached
+        assert memo.hits == 1
+
+
+class TestEviction:
+    def test_lru_bound_respected(self):
+        histories = [
+            parse_history(f"p: w(x){v}")
+            for v in range(1, 6)
+        ]
+        memo = RelationMemo(max_histories=2)
+        with relation_memo(memo):
+            for h in histories:
+                po_relation(h)
+            assert len(memo._tables) == 2
+
+    def test_clear_resets_counters(self):
+        memo = RelationMemo()
+        with relation_memo(memo):
+            po_relation(H)
+            po_relation(H)
+        memo.clear()
+        assert memo.hits == 0 and memo.misses == 0 and not memo._tables
+
+
+class TestCounters:
+    def test_hit_rate(self):
+        memo = RelationMemo()
+        assert memo.hit_rate == 0.0
+        with relation_memo(memo):
+            po_relation(H)
+            po_relation(H)
+            po_relation(H)
+        assert memo.hit_rate == 2 / 3
+        assert memo.lookups == 3

@@ -71,6 +71,76 @@ class TestLattice:
         assert rc == 0
         assert "digraph" in capsys.readouterr().out
 
+    def test_jobs_flag_same_counts(self, capsys):
+        rc = main(["lattice", "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "210 canonical histories" in out
+        assert "Figure 5 violations: 0" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_catalog_sweep(self, capsys):
+        rc = main(["sweep", "--source", "catalog", "--models", "SC,TSO,PC"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "histories: 17 checked" in out
+        assert "cache hit rate" in out
+        assert "allowed counts" in out
+
+    def test_sweep_writes_store(self, capsys, tmp_path):
+        out_file = tmp_path / "results.jsonl"
+        rc = main(
+            ["sweep", "--models", "SC", "--jobs", "2", "--out", str(out_file)]
+        )
+        assert rc == 0
+        lines = out_file.read_text().splitlines()
+        assert any('"type":"result"' in line for line in lines)
+        assert any('"type":"summary"' in line for line in lines)
+
+    def test_sweep_resume_skips(self, capsys, tmp_path):
+        out_file = tmp_path / "results.jsonl"
+        assert main(["sweep", "--models", "SC", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        rc = main(
+            ["sweep", "--models", "SC", "--out", str(out_file), "--resume"]
+        )
+        assert rc == 0
+        assert "17 skipped" in capsys.readouterr().out
+
+    def test_resume_without_out_rejected(self, capsys):
+        rc = main(["sweep", "--resume"])
+        assert rc == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_random_source(self, capsys):
+        rc = main(
+            ["sweep", "--source", "random", "--models", "SC", "--count", "5",
+             "--seed", "1"]
+        )
+        assert rc == 0
+        assert "histories: 5 checked" in capsys.readouterr().out
+
+    def test_unknown_model_exits_two(self, capsys):
+        rc = main(["sweep", "--models", "SC,Bogus"])
+        assert rc == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_bad_p_write_exits_two(self, capsys):
+        rc = main(["sweep", "--source", "random", "--p-write", "2.0"])
+        assert rc == 2
+        assert "p_write" in capsys.readouterr().err
+
 
 class TestBakery:
     def test_rc_sc_random_runs_clean(self, capsys):
