@@ -19,9 +19,9 @@ from repro.checking.models import (
 from repro.checking.pc import check_pc, check_pc_goodman, is_pc, is_pc_goodman
 from repro.checking.pram import check_pram, is_pram
 from repro.checking.rc import check_rc_pc, check_rc_sc, is_rc_pc, is_rc_sc
-from repro.checking.result import CheckResult
+from repro.checking.result import CheckResult, Counterexample, Witness
 from repro.checking.sc import check_sc, is_sequentially_consistent
-from repro.checking.solver import SearchBudget, check_with_spec
+from repro.checking.solver import SearchBudget, check_with_spec, explain_with_spec
 from repro.checking.tso import check_tso, is_tso
 from repro.checking.witness import validate_witness
 
@@ -41,6 +41,8 @@ __all__ = [
     "CheckResult",
     "classify",
     "count_legal_extensions",
+    "Counterexample",
+    "explain_with_spec",
     "find_legal_extension",
     "is_axiomatic_tso",
     "is_causal",
@@ -59,4 +61,5 @@ __all__ = [
     "PAPER_MODELS",
     "SearchBudget",
     "validate_witness",
+    "Witness",
 ]

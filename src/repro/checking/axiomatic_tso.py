@@ -35,8 +35,7 @@ from repro.checking.result import CheckResult
 from repro.core.errors import CheckerError
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation, OpKind
-from repro.orders.coherence import forced_coherence_pairs
-from repro.orders.relation import Relation
+from repro.kernel.serializations import forced_write_order
 from repro.orders.writes_before import unambiguous_reads_from
 
 __all__ = ["check_axiomatic_tso", "is_axiomatic_tso"]
@@ -57,17 +56,9 @@ def check_axiomatic_tso(history: SystemHistory) -> CheckResult:
     if rf is None:
         raise CheckerError(f"{_MODEL}: requires an unambiguous reads-from map")
 
-    writes = history.writes
-    forced: Relation[Operation] = Relation(writes)
-    for proc in history.procs:
-        chain = [op for op in history.ops_of(proc) if op.is_write]
-        for a, b in zip(chain, chain[1:]):
-            forced.add(a, b)
-    for loc in history.locations:
-        for a, b in forced_coherence_pairs(history, loc, rf).pairs():
-            # Forwarded (same-processor) sources impose no cross-store
-            # constraint beyond the FIFO chain already added.
-            forced.add(a, b)
+    # Forwarded (same-processor) sources impose no cross-store constraint
+    # beyond the FIFO chains forced_write_order already includes.
+    forced = forced_write_order(history, rf)
     if not forced.is_acyclic():
         return CheckResult(
             _MODEL, False, reason="reads-from forces a cyclic store order"

@@ -1,199 +1,18 @@
 """Search for legal linear extensions: the kernel of every checker.
 
-Given a set of operations and a constraint relation, find an ordering of
-the operations that (a) is a linear extension of the constraints and
-(b) is *legal* — every read observes the most recent preceding write to its
-location (paper Section 2).  This is the computational core of the whole
-framework: a memory model allows a history exactly when such an extension
-exists for every processor's view contents under the model's constraints.
-
-The search is a depth-first backtracking construction over bitmask states
-with memoized failure states.  A state is the pair *(set of placed
-operations, current value of every location)*; two partial sequences with
-equal state have identical futures, so each failing state is explored once.
-The bitmask representation restricts a single view to 64 operations
-far beyond what the exponential-time problem admits anyway (verifying
-sequential consistency is NP-complete; Gibbons & Korach 1997).
+The implementation moved to :mod:`repro.kernel.search` (the kernel's layer
+4) in the constraint-kernel refactor; this module re-exports the historical
+API.  Semantics are unchanged: deterministic witnesses, the 64-operation
+limit, the ``memoize`` ablation switch, and identical generator behaviour
+for :func:`iter_legal_extensions`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.errors import CheckerError
-from repro.core.operation import INITIAL_VALUE, Operation
-from repro.orders.relation import Relation
+from repro.kernel.search import (
+    count_legal_extensions,
+    find_legal_extension,
+    iter_legal_extensions,
+)
 
 __all__ = ["find_legal_extension", "count_legal_extensions", "iter_legal_extensions"]
-
-_MAX_OPS = 64
-
-
-def _prepare(
-    ops: Sequence[Operation], constraints: Relation[Operation]
-) -> tuple[list[int], list[str], list[int | None], list[int | None]] | None:
-    """Precompute predecessor masks and per-op read/write payloads.
-
-    Returns ``None`` when the constraints are cyclic on ``ops`` (no
-    extension can exist).
-    """
-    n = len(ops)
-    if n > _MAX_OPS:
-        raise CheckerError(
-            f"view of {n} operations exceeds the {_MAX_OPS}-operation solver limit"
-        )
-    index = {op.uid: i for i, op in enumerate(ops)}
-    pred_mask = [0] * n
-    for a, b in constraints.pairs():
-        ia, ib = index.get(a.uid), index.get(b.uid)
-        if ia is not None and ib is not None and ia != ib:
-            pred_mask[ib] |= 1 << ia
-    if not constraints.restrict(list(ops)).is_acyclic():
-        return None
-    locations = [op.location for op in ops]
-    read_vals: list[int | None] = [
-        op.value_read if op.is_read else None for op in ops
-    ]
-    write_vals: list[int | None] = [
-        op.value_written if op.is_write else None for op in ops
-    ]
-    return pred_mask, locations, read_vals, write_vals
-
-
-def find_legal_extension(
-    ops: Sequence[Operation],
-    constraints: Relation[Operation],
-    *,
-    initial: int = INITIAL_VALUE,
-    memoize: bool = True,
-) -> list[Operation] | None:
-    """One legal linear extension of ``constraints`` over ``ops``, or ``None``.
-
-    Parameters
-    ----------
-    ops:
-        The operations the sequence must contain (each exactly once).
-    constraints:
-        Required orderings; pairs mentioning operations outside ``ops``
-        are ignored.
-    initial:
-        Initial value of every location.
-    memoize:
-        Ablation switch: record failing (placed-set, memory-state) pairs
-        so each dead state is explored once.  Disabling it preserves
-        results but revisits dead states exponentially often on
-        unsatisfiable instances (see bench_ablation.py).
-
-    Notes
-    -----
-    Deterministic: given equal inputs the same witness is returned, which
-    keeps test failures and benchmark output reproducible.
-    """
-    prep = _prepare(ops, constraints)
-    if prep is None:
-        return None
-    pred_mask, locations, read_vals, write_vals = prep
-    n = len(ops)
-    loc_names = sorted(set(locations))
-    loc_index = {loc: i for i, loc in enumerate(loc_names)}
-    op_loc = [loc_index[loc] for loc in locations]
-
-    full = (1 << n) - 1
-    failed: set[tuple[int, tuple[int, ...]]] = set()
-    order: list[int] = []
-
-    def dfs(placed: int, values: tuple[int, ...]) -> bool:
-        if placed == full:
-            return True
-        key = (placed, values)
-        if memoize and key in failed:
-            return False
-        for i in range(n):
-            bit = 1 << i
-            if placed & bit or (pred_mask[i] & ~placed):
-                continue
-            li = op_loc[i]
-            rv = read_vals[i]
-            if rv is not None and values[li] != rv:
-                continue
-            wv = write_vals[i]
-            new_values = values
-            if wv is not None and values[li] != wv:
-                new_values = values[:li] + (wv,) + values[li + 1:]
-            order.append(i)
-            if dfs(placed | bit, new_values):
-                return True
-            order.pop()
-        if memoize:
-            failed.add(key)
-        return False
-
-    if dfs(0, tuple([initial] * len(loc_names))):
-        return [ops[i] for i in order]
-    return None
-
-
-def iter_legal_extensions(
-    ops: Sequence[Operation],
-    constraints: Relation[Operation],
-    *,
-    initial: int = INITIAL_VALUE,
-    limit: int | None = None,
-):
-    """Yield every legal linear extension (small inputs only).
-
-    Unlike :func:`find_legal_extension` this cannot memoize failures across
-    branches that must all be enumerated, so it is exponential even on
-    *successful* instances; ``limit`` bounds the number of yields.
-    """
-    prep = _prepare(ops, constraints)
-    if prep is None:
-        return
-    pred_mask, locations, read_vals, write_vals = prep
-    n = len(ops)
-    loc_names = sorted(set(locations))
-    loc_index = {loc: i for i, loc in enumerate(loc_names)}
-    op_loc = [loc_index[loc] for loc in locations]
-    full = (1 << n) - 1
-    order: list[int] = []
-    yielded = 0
-
-    def dfs(placed: int, values: tuple[int, ...]):
-        nonlocal yielded
-        if limit is not None and yielded >= limit:
-            return
-        if placed == full:
-            yielded += 1
-            yield [ops[i] for i in order]
-            return
-        for i in range(n):
-            bit = 1 << i
-            if placed & bit or (pred_mask[i] & ~placed):
-                continue
-            li = op_loc[i]
-            rv = read_vals[i]
-            if rv is not None and values[li] != rv:
-                continue
-            wv = write_vals[i]
-            new_values = values
-            if wv is not None and values[li] != wv:
-                new_values = values[:li] + (wv,) + values[li + 1:]
-            order.append(i)
-            yield from dfs(placed | bit, new_values)
-            order.pop()
-
-    yield from dfs(0, tuple([initial] * len(loc_names)))
-
-
-def count_legal_extensions(
-    ops: Sequence[Operation],
-    constraints: Relation[Operation],
-    *,
-    initial: int = INITIAL_VALUE,
-    limit: int = 1_000_000,
-) -> int:
-    """The number of legal linear extensions (capped at ``limit``)."""
-    count = 0
-    for _ in iter_legal_extensions(ops, constraints, initial=initial, limit=limit):
-        count += 1
-    return count

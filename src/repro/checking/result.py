@@ -1,53 +1,16 @@
 """Checker verdicts with witnesses.
 
-A positive verdict carries the witness processor views — the paper's form
-of evidence that a history is allowed (Sections 3.2, 3.3 exhibit exactly
-such views).  A negative verdict carries a human-readable reason.
+The result types moved to :mod:`repro.kernel.results` so the kernel, the
+fast checkers and the machines all report through one shape; this module
+re-exports them under the historical import path.  A positive verdict
+carries the witness processor views (and, from kernel-backed strategies, a
+full :class:`~repro.kernel.results.Witness`); a negative verdict carries a
+human-readable reason and optionally a
+:class:`~repro.kernel.results.Counterexample`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from repro.kernel.results import CheckResult, Counterexample, Witness
 
-from repro.core.view import View
-
-__all__ = ["CheckResult"]
-
-
-@dataclass(frozen=True)
-class CheckResult:
-    """The outcome of asking whether a history is allowed by a model.
-
-    Attributes
-    ----------
-    model:
-        Name of the memory model consulted.
-    allowed:
-        The verdict.
-    views:
-        For positive verdicts: one witness view per processor (for SC these
-        are all the same sequence).  Empty for negative verdicts.
-    reason:
-        For negative verdicts: why no views exist; for positive ones,
-        optionally which choice (reads-from, write order) succeeded.
-    explored:
-        Number of candidate (reads-from × serialization) combinations the
-        checker examined; a cheap effort metric used by the benchmarks.
-    """
-
-    model: str
-    allowed: bool
-    views: Mapping[Any, View] = field(default_factory=dict)
-    reason: str = ""
-    explored: int = 0
-
-    def __bool__(self) -> bool:
-        return self.allowed
-
-    def __str__(self) -> str:
-        verdict = "allowed" if self.allowed else "NOT allowed"
-        out = [f"{self.model}: {verdict}" + (f" ({self.reason})" if self.reason else "")]
-        for proc in sorted(self.views, key=str):
-            out.append(f"  {self.views[proc]!r}")
-        return "\n".join(out)
+__all__ = ["CheckResult", "Witness", "Counterexample"]

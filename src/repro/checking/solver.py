@@ -1,424 +1,22 @@
-"""The generic, spec-driven consistency checker.
+"""The generic, spec-driven consistency checker (kernel-backed).
 
 ``check_with_spec(spec, history)`` decides whether a system execution
 history is allowed by the memory model a
-:class:`~repro.spec.model_spec.MemoryModelSpec` describes, by direct search
-over the paper's definition:
+:class:`~repro.spec.model_spec.MemoryModelSpec` describes.  Since the
+:mod:`repro.kernel` refactor the implementation lives in the kernel's
+layered packages — attribution enumeration (:mod:`repro.kernel.rf`),
+mutual-consistency candidates (:mod:`repro.kernel.serializations`),
+constraint compilation (:mod:`repro.kernel.constraints`) and the
+incremental-legality search (:mod:`repro.kernel.search`) — and this module
+re-exports the driver under its historical name.
 
-1. fix a reads-from attribution (unique under distinct write values,
-   enumerated otherwise — see *Ambiguity* below);
-2. enumerate the model's mutual-consistency serializations (nothing, a
-   total write order, or per-location coherence orders);
-3. build the per-view ordering constraints (parameter 3, plus release
-   consistency's bracketing and labeled-discipline constraints);
-4. for each processor, search for a legal linear extension of its view
-   contents (parameter 1) under the constraints.
-
-The history is allowed iff some combination of choices yields a legal view
-for every processor; the witness views are returned.
-
-Ambiguity
----------
-The paper (and the litmus-test tradition) assumes distinct write values so
-the writes-before relation is a function of the history.  When a history
-violates that discipline we define "allowed" as: *there exists* a
-reads-from attribution under which the model's constraints are satisfiable.
-All fast paths and all experiments use distinct values.
-
-Release consistency
--------------------
-Labeled-SC (``RC_sc``) is handled by enumerating legal, program-ordered
-serializations of the labeled operations and constraining every view's
-labeled subsequence to agree with one of them.  Labeled-PC (``RC_pc``)
-adds the semi-causality order of the *labeled sub-history* (computed under
-the coherence order restricted to labeled writes) to the view constraints.
-Both use the framework assumption, made by the paper's Bakery discussion,
-that synchronization locations are accessed only by labeled operations.
-
-Note on the paper's release condition: Section 3.4 literally writes that
-an ordinary operation *preceding* a release "follows" it in all histories;
-that is a typo for *precedes* (RC's defining guarantee is that ordinary
-operations complete before the following release performs), and we
-implement *precedes*.
+Verdicts, witnesses, ``explored`` counts and budget semantics are identical
+to the pre-kernel monolithic solver (asserted against the frozen copy in
+``_legacy_solver.py`` by the kernel test suite).
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Iterator
+from repro.kernel.search import SearchBudget, check_with_spec, explain_with_spec
 
-from repro.checking.extension import find_legal_extension, iter_legal_extensions
-from repro.checking.result import CheckResult
-from repro.core.errors import CheckerError
-from repro.core.history import SystemHistory
-from repro.core.operation import Operation
-from repro.core.view import View
-from repro.orders.coherence import (
-    CoherenceOrder,
-    coherence_relation,
-    enumerate_coherence_orders,
-    forced_coherence_pairs,
-)
-from repro.orders.program_order import in_program_order, po_relation
-from repro.orders.relation import Relation
-from repro.orders.writes_before import (
-    ReadsFrom,
-    reads_from_candidates,
-    reads_from_choices,
-    unambiguous_reads_from,
-)
-from repro.spec.model_spec import MemoryModelSpec
-from repro.spec.parameters import LabeledDiscipline, MutualConsistency, OperationSet
-
-__all__ = ["check_with_spec", "SearchBudget"]
-
-
-class SearchBudget:
-    """Caps on the solver's enumeration, to fail loudly instead of hanging.
-
-    The decision problem is NP-hard, so *some* budget is unavoidable; the
-    defaults comfortably cover every litmus test and the exhaustive lattice
-    enumeration while keeping pathological inputs from running away.
-    """
-
-    def __init__(
-        self,
-        max_reads_from: int = 4096,
-        max_serializations: int = 200_000,
-        max_labeled_orders: int = 100_000,
-        use_reads_from_pruning: bool = True,
-    ) -> None:
-        self.max_reads_from = max_reads_from
-        self.max_serializations = max_serializations
-        self.max_labeled_orders = max_labeled_orders
-        #: Ablation switch: derive forced write-order edges from the
-        #: reads-from attribution before enumerating serializations.
-        #: Disabling it preserves verdicts but multiplies the number of
-        #: candidate write orders examined (see bench_ablation.py).
-        self.use_reads_from_pruning = use_reads_from_pruning
-
-
-def check_with_spec(
-    spec: MemoryModelSpec,
-    history: SystemHistory,
-    budget: SearchBudget | None = None,
-) -> CheckResult:
-    """Decide whether ``history`` is allowed by the model ``spec`` describes."""
-    budget = budget or SearchBudget()
-
-    # A read of a value no write stores (and which is not the initial
-    # value) cannot be legal in any view under any model.
-    for op, cands in reads_from_candidates(history).items():
-        if not cands:
-            return CheckResult(
-                spec.name,
-                False,
-                reason=f"{op} observes a value never written to {op.location!r}",
-            )
-
-    explored = 0
-    for rf in _reads_from_assignments(history, budget):
-        # The ordering relation depends on the coherence order only for
-        # semi-causality (PC); hoist it out of the candidate loop otherwise.
-        fixed_ordering = (
-            None
-            if spec.ordering.needs_coherence
-            else spec.ordering.build(history, rf, None)
-        )
-        for coherence, mutual_edges in _mutual_candidates(spec, history, rf, budget):
-            prepared = _base_constraints(
-                spec, history, rf, coherence, mutual_edges, fixed_ordering
-            )
-            if prepared is None:
-                continue
-            base, own_ordering = prepared
-            for extra in _labeled_constraints(spec, history, rf, coherence, budget):
-                explored += 1
-                if explored > budget.max_serializations:
-                    raise CheckerError(
-                        f"{spec.name}: search budget exceeded after "
-                        f"{budget.max_serializations} candidate serializations"
-                    )
-                constraints = base.union(extra) if extra is not None else base
-                views = _solve_views(spec, history, constraints, own_ordering)
-                if views is not None:
-                    return CheckResult(
-                        spec.name, True, views=views, explored=explored
-                    )
-    return CheckResult(
-        spec.name,
-        False,
-        reason="no choice of views satisfies the model's requirements",
-        explored=explored,
-    )
-
-
-# -- choice enumeration -------------------------------------------------------
-
-
-def _reads_from_assignments(
-    history: SystemHistory, budget: SearchBudget
-) -> Iterator[ReadsFrom]:
-    unambiguous = unambiguous_reads_from(history)
-    if unambiguous is not None:
-        yield unambiguous
-        return
-    count = 0
-    for rf in reads_from_choices(history):
-        count += 1
-        if count > budget.max_reads_from:
-            raise CheckerError(
-                f"more than {budget.max_reads_from} reads-from attributions; "
-                "use distinct write values"
-            )
-        yield rf
-
-
-def _mutual_candidates(
-    spec: MemoryModelSpec,
-    history: SystemHistory,
-    rf: ReadsFrom,
-    budget: SearchBudget,
-) -> Iterator[tuple[CoherenceOrder | None, Relation[Operation] | None]]:
-    """Yield (coherence order, induced cross-view edge relation) pairs."""
-    mc = spec.mutual_consistency
-    # Reads-from based pruning is only sound when the attribution is the
-    # unique one (distinct write values *and* no initial-value ambiguity).
-    unambiguous = (
-        budget.use_reads_from_pruning
-        and unambiguous_reads_from(history) is not None
-    )
-    if mc in (MutualConsistency.NONE, MutualConsistency.IDENTICAL):
-        yield None, None
-        return
-
-    if mc is MutualConsistency.TOTAL_WRITE_ORDER:
-        writes = history.writes
-        forced: Relation[Operation] = Relation(writes)
-        for proc in history.procs:
-            chain = [op for op in history.ops_of(proc) if op.is_write]
-            for a, b in zip(chain, chain[1:]):
-                forced.add(a, b)
-        if unambiguous:
-            # Sound pruning: reads-from fixes some inter-write orderings.
-            for loc in history.locations:
-                for a, b in forced_coherence_pairs(history, loc, rf).pairs():
-                    forced.add(a, b)
-        if not forced.is_acyclic():
-            return
-        for order in forced.all_topological_sorts():
-            rel: Relation[Operation] = Relation(history.operations)
-            for i, a in enumerate(order):
-                for b in order[i + 1:]:
-                    rel.add(a, b)
-            coherence = _split_by_location(order)
-            yield coherence, rel
-        return
-
-    if mc is MutualConsistency.COHERENCE:
-        for coherence in enumerate_coherence_orders(
-            history, rf if unambiguous else None
-        ):
-            yield coherence, coherence_relation(history, coherence)
-        return
-
-    if mc is MutualConsistency.LABELED_TOTAL_ORDER:
-        # Hybrid consistency: one agreed total order over the labeled
-        # (strong) operations, extending each processor's program order
-        # on them.
-        labeled = history.labeled_ops
-        forced_l: Relation[Operation] = Relation(labeled)
-        for proc in history.procs:
-            chain = [op for op in history.ops_of(proc) if op.labeled]
-            for a, b in zip(chain, chain[1:]):
-                forced_l.add(a, b)
-        for order in forced_l.all_topological_sorts():
-            rel: Relation[Operation] = Relation(history.operations)
-            for i, a in enumerate(order):
-                for b in order[i + 1:]:
-                    rel.add(a, b)
-            yield None, rel
-        return
-
-    raise CheckerError(f"unhandled mutual consistency {mc}")  # pragma: no cover
-
-
-def _split_by_location(order: list[Operation]) -> dict[str, tuple[Operation, ...]]:
-    chains: dict[str, list[Operation]] = {}
-    for op in order:
-        chains.setdefault(op.location, []).append(op)
-    return {loc: tuple(ops) for loc, ops in chains.items()}
-
-
-# -- constraint assembly -------------------------------------------------------
-
-
-def _base_constraints(
-    spec: MemoryModelSpec,
-    history: SystemHistory,
-    rf: ReadsFrom,
-    coherence: CoherenceOrder | None,
-    mutual_edges: Relation[Operation] | None,
-    fixed_ordering: Relation[Operation] | None = None,
-) -> tuple[Relation[Operation], Relation[Operation] | None] | None:
-    """Assemble the cross-view constraints and the per-view ordering.
-
-    Returns ``(global_constraints, own_ordering)`` where ``own_ordering``
-    is ``None`` when the ordering already lives in the global constraints
-    (models where orderings bind every view), or the ordering relation to
-    be restricted to each view owner's own operations (release
-    consistency's "o1 precedes o2 in S_p" reading).  ``None`` overall when
-    the global constraints are cyclic (no views can exist).
-    """
-    if fixed_ordering is not None:
-        ordering = fixed_ordering
-    else:
-        ordering = spec.ordering.build(history, rf, coherence)
-    parts: list[Relation[Operation]] = []
-    own_ordering: Relation[Operation] | None = None
-    if spec.ordering_own_view_only:
-        own_ordering = ordering
-    else:
-        parts.append(ordering)
-    if mutual_edges is not None:
-        parts.append(mutual_edges)
-    if spec.bracketing:
-        parts.append(_bracketing_edges(history, rf))
-    if not parts:
-        parts.append(Relation(history.operations))
-    combined = parts[0].union(*parts[1:]) if len(parts) > 1 else parts[0]
-    if not combined.is_acyclic():
-        return None
-    # Close transitively so restriction to any view preserves all orderings.
-    return combined.transitive_closure(), own_ordering
-
-
-def _bracketing_edges(history: SystemHistory, rf: ReadsFrom) -> Relation[Operation]:
-    """Release consistency's two bracketing conditions (Section 3.4).
-
-    * An ordinary operation following an acquire is ordered after the write
-      the acquire read, in every view containing both.
-    * An ordinary operation preceding a release is ordered before that
-      release, in every view containing both.
-    """
-    rel: Relation[Operation] = Relation(history.operations)
-    for proc in history.procs:
-        ops = history.ops_of(proc)
-        for op in ops:
-            if op.labeled:
-                continue
-            # Acquires earlier in program order bracket this ordinary op.
-            for earlier in ops[: op.index]:
-                if earlier.is_acquire:
-                    src = rf.get(earlier)
-                    if src is not None:
-                        rel.add(src, op)
-            # Releases later in program order bracket it from above.
-            for later in ops[op.index + 1:]:
-                if later.is_release:
-                    rel.add(op, later)
-    return rel
-
-
-def _labeled_constraints(
-    spec: MemoryModelSpec,
-    history: SystemHistory,
-    rf: ReadsFrom,
-    coherence: CoherenceOrder | None,
-    budget: SearchBudget,
-) -> Iterator[Relation[Operation] | None]:
-    """Extra per-view edges enforcing the labeled discipline, if any."""
-    if spec.labeled_discipline is None:
-        yield None
-        return
-
-    labeled = history.labeled_ops
-    if not labeled:
-        yield None
-        return
-
-    if spec.labeled_discipline is LabeledDiscipline.SC:
-        # Enumerate legal SC serializations of the labeled operations and
-        # force every view's labeled subsequence to agree with one.
-        po_labeled: Relation[Operation] = Relation(labeled)
-        for a in labeled:
-            for b in labeled:
-                if in_program_order(a, b):
-                    po_labeled.add(a, b)
-        count = 0
-        for order in iter_legal_extensions(labeled, po_labeled):
-            count += 1
-            if count > budget.max_labeled_orders:
-                raise CheckerError(
-                    "too many labeled serializations; raise the budget"
-                )
-            rel: Relation[Operation] = Relation(history.operations)
-            for i, a in enumerate(order):
-                for b in order[i + 1:]:
-                    rel.add(a, b)
-            yield rel
-        return
-
-    # Labeled-PC: add the semi-causality of the labeled sub-history.  The
-    # attribution is inherited from the ambient reads-from choice so the
-    # two levels of the model never disagree about who a labeled read saw.
-    from repro.orders.semi_causal import sem_relation  # local to avoid cycle
-
-    sub, back = history.project(lambda op: op.labeled)
-    fwd = {back[new.uid].uid: new for new in sub.operations}
-    rf_sub: dict[Operation, Operation | None] = {}
-    for new_op in sub.operations:
-        if new_op.is_read:
-            src = rf.get(back[new_op.uid])
-            if src is not None and src.uid in fwd and fwd[src.uid].is_write:
-                rf_sub[new_op] = fwd[src.uid]
-            else:
-                rf_sub[new_op] = None
-    coherence_sub: dict[str, tuple[Operation, ...]] = {}
-    if coherence is not None:
-        for loc, chain in coherence.items():
-            projected = tuple(fwd[w.uid] for w in chain if w.uid in fwd)
-            if projected:
-                coherence_sub[loc] = projected
-    sem_sub = sem_relation(sub, rf_sub, coherence_sub)
-    rel = Relation(history.operations)
-    for a, b in sem_sub.pairs():
-        rel.add(back[a.uid], back[b.uid])
-    if not rel.is_acyclic():
-        return
-    yield rel.transitive_closure()
-
-
-# -- view construction -----------------------------------------------------------
-
-
-def _solve_views(
-    spec: MemoryModelSpec,
-    history: SystemHistory,
-    constraints: Relation[Operation],
-    own_ordering: Relation[Operation] | None = None,
-) -> dict[Any, View] | None:
-    if spec.mutual_consistency is MutualConsistency.IDENTICAL:
-        order = find_legal_extension(history.operations, constraints)
-        if order is None:
-            return None
-        return {
-            proc: View(proc, order, history, validate=False)
-            for proc in history.procs
-        }
-    views: dict[Any, View] = {}
-    for proc in history.procs:
-        contents = spec.operation_set.view_contents(history, proc)
-        per_view = constraints
-        if own_ordering is not None:
-            own = {op.uid for op in history.ops_of(proc)}
-            per_view = constraints.union(
-                own_ordering.restrict(lambda op: op.uid in own)
-            )
-            if not per_view.is_acyclic():
-                return None
-        order = find_legal_extension(contents, per_view)
-        if order is None:
-            return None
-        views[proc] = View(proc, order, history, validate=False)
-    return views
+__all__ = ["check_with_spec", "explain_with_spec", "SearchBudget"]

@@ -32,7 +32,7 @@ from repro.checking.solver import SearchBudget, check_with_spec
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation, OpKind
 from repro.core.view import View
-from repro.orders.coherence import forced_coherence_pairs
+from repro.kernel.serializations import forced_write_order
 from repro.orders.program_order import ppo_relation
 from repro.orders.relation import Relation
 from repro.orders.writes_before import unambiguous_reads_from
@@ -48,15 +48,7 @@ def check_tso(history: SystemHistory, budget: SearchBudget | None = None) -> Che
         # Ambiguous reads-from or RMWs: the greedy argument does not apply.
         return check_with_spec(TSO_SPEC, history, budget)
 
-    writes = history.writes
-    forced: Relation[Operation] = Relation(writes)
-    for proc in history.procs:
-        chain = [op for op in history.ops_of(proc) if op.is_write]
-        for a, b in zip(chain, chain[1:]):
-            forced.add(a, b)
-    for loc in history.locations:
-        for a, b in forced_coherence_pairs(history, loc, rf).pairs():
-            forced.add(a, b)
+    forced = forced_write_order(history, rf)
     if not forced.is_acyclic():
         return CheckResult(
             "TSO", False, reason="reads-from forces a cyclic write order"

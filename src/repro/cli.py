@@ -4,6 +4,7 @@
 
     python -m repro check  "p: w(x)1 r(y)0 | q: w(y)1 r(x)0" --model TSO
     python -m repro classify "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"
+    python -m repro explain fig1-sb SC
     python -m repro catalog [--name fig1-sb]
     python -m repro lattice [--procs 2] [--ops 2] [--jobs 4] [--dot]
     python -m repro sweep   [--source catalog] [--models SC,TSO,PC] [--jobs 4]
@@ -72,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify = sub.add_parser("classify", help="decide one history under all models")
     p_classify.add_argument("history")
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain why a model rejects (or how it admits) a history",
+    )
+    p_explain.add_argument(
+        "history", help="litmus notation or a catalog entry name (e.g. fig1-sb)"
+    )
+    p_explain.add_argument("model", help="spec-backed model name (see `models`)")
+
     p_catalog = sub.add_parser("catalog", help="sweep or show litmus catalog entries")
     p_catalog.add_argument("--name", help="show just this entry")
 
@@ -110,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip keys already completed in --out",
+    )
+    p_sweep.add_argument(
+        "--store-views",
+        action="store_true",
+        help="also record witness views in result records",
     )
     p_sweep.add_argument(
         "--procs", type=int, default=2, help="history shape (space/random)"
@@ -168,6 +183,38 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             continue
         print(f"  {name:16s} {'allowed' if allowed else 'NOT allowed'}")
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.checking import explain_with_spec
+
+    entry = CATALOG.get(args.history)
+    history = entry.history if entry is not None else parse_history(args.history)
+    model = MODELS.get(args.model)
+    if model is None:
+        print(f"unknown model {args.model!r}", file=sys.stderr)
+        return 2
+    if model.spec is None:
+        print(
+            f"{args.model} is an axiomatic reference model without a "
+            "parameter spec; explain needs a spec-backed model",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_history(history, title="history:"))
+    result = explain_with_spec(model.spec, history)
+    if result.allowed:
+        print(f"\n{args.model}: allowed "
+              f"(after {result.explored} candidate serialization(s))")
+        if result.views:
+            print(render_views(result.views))
+        return 0
+    print(f"\n{args.model}: NOT allowed")
+    if result.counterexample is not None:
+        print(result.counterexample.render())
+    elif result.reason:
+        print(result.reason)
+    return 1
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
@@ -231,7 +278,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         p_write=args.p_write,
     )
-    engine = CheckEngine(jobs=args.jobs)
+    engine = CheckEngine(jobs=args.jobs, store_views=args.store_views)
     if args.out:
         with ResultStore(args.out) as store:
             report = engine.run(spec, store=store, resume=args.resume)
@@ -293,6 +340,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "check": _cmd_check,
     "classify": _cmd_classify,
+    "explain": _cmd_explain,
     "catalog": _cmd_catalog,
     "lattice": _cmd_lattice,
     "sweep": _cmd_sweep,

@@ -26,6 +26,8 @@ __all__ = [
     "history_from_json",
     "view_to_dict",
     "view_from_dict",
+    "check_result_to_dict",
+    "check_result_from_dict",
 ]
 
 #: Bumped on any incompatible change to the wire format.
@@ -121,3 +123,149 @@ def view_from_dict(d: dict[str, Any], history: SystemHistory | None = None) -> V
     return View(
         d["proc"], [operation_from_dict(o) for o in d["ops"]], history
     )
+
+
+# -- check results (verdict + witness/counterexample) --------------------------
+
+
+def _witness_to_dict(witness: Any) -> dict[str, Any]:
+    d: dict[str, Any] = {
+        "views": [
+            view_to_dict(witness.views[proc])
+            for proc in sorted(witness.views, key=str)
+        ]
+    }
+    if witness.reads_from is not None:
+        d["reads_from"] = [
+            {
+                "read": operation_to_dict(r),
+                "source": None if src is None else operation_to_dict(src),
+            }
+            for r, src in witness.reads_from.items()
+        ]
+    if witness.coherence is not None:
+        d["coherence"] = {
+            loc: [operation_to_dict(w) for w in chain]
+            for loc, chain in witness.coherence.items()
+        }
+    return d
+
+
+def _witness_from_dict(d: dict[str, Any], history: SystemHistory | None):
+    from repro.kernel.results import Witness
+
+    views = {}
+    for vd in d["views"]:
+        view = view_from_dict(vd, history)
+        views[view.proc] = view
+    reads_from = None
+    if "reads_from" in d:
+        reads_from = {
+            operation_from_dict(e["read"]): (
+                None if e["source"] is None else operation_from_dict(e["source"])
+            )
+            for e in d["reads_from"]
+        }
+    coherence = None
+    if "coherence" in d:
+        coherence = {
+            loc: tuple(operation_from_dict(o) for o in chain)
+            for loc, chain in d["coherence"].items()
+        }
+    return Witness(views=views, reads_from=reads_from, coherence=coherence)
+
+
+def _counterexample_to_dict(cx: Any) -> dict[str, Any]:
+    d: dict[str, Any] = {"model": cx.model, "kind": cx.kind, "detail": cx.detail}
+    if cx.proc is not None:
+        d["proc"] = cx.proc
+    if cx.cycle:
+        d["cycle"] = [operation_to_dict(op) for op in cx.cycle]
+    if cx.stuck_after:
+        d["stuck_after"] = cx.stuck_after
+    if cx.blocked:
+        d["blocked"] = [
+            {"op": operation_to_dict(op), "why": why} for op, why in cx.blocked
+        ]
+    return d
+
+
+def _counterexample_from_dict(d: dict[str, Any]):
+    from repro.kernel.results import Counterexample
+
+    return Counterexample(
+        model=d["model"],
+        kind=d["kind"],
+        detail=d["detail"],
+        proc=d.get("proc"),
+        cycle=tuple(operation_from_dict(o) for o in d.get("cycle", ())),
+        stuck_after=d.get("stuck_after", 0),
+        blocked=tuple(
+            (operation_from_dict(e["op"]), e["why"]) for e in d.get("blocked", ())
+        ),
+    )
+
+
+def check_result_to_dict(result: Any) -> dict[str, Any]:
+    """Encode a :class:`~repro.kernel.results.CheckResult`, views included.
+
+    The engine's result store uses this (under ``--store-views``) so that a
+    positive verdict's witness survives the trip to disk instead of being
+    reduced to a boolean.
+    """
+    d: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "model": result.model,
+        "allowed": result.allowed,
+        "reason": result.reason,
+        "explored": result.explored,
+        "views": [
+            view_to_dict(result.views[proc])
+            for proc in sorted(result.views, key=str)
+        ],
+    }
+    if result.witness is not None:
+        d["witness"] = _witness_to_dict(result.witness)
+    if result.counterexample is not None:
+        d["counterexample"] = _counterexample_to_dict(result.counterexample)
+    return d
+
+
+def check_result_from_dict(
+    d: dict[str, Any], history: SystemHistory | None = None
+):
+    """Decode :func:`check_result_to_dict` output back to a ``CheckResult``.
+
+    Views are re-validated against ``history`` when one is provided.  The
+    decoded operations compare equal to (but are not identical with) the
+    history's own objects, like every decoder in this module.
+    """
+    from repro.kernel.results import CheckResult
+
+    version = d.get("version")
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported check-result format version {version!r}")
+    try:
+        views = {}
+        for vd in d["views"]:
+            view = view_from_dict(vd, history)
+            views[view.proc] = view
+        return CheckResult(
+            model=d["model"],
+            allowed=d["allowed"],
+            views=views,
+            reason=d.get("reason", ""),
+            explored=d.get("explored", 0),
+            witness=(
+                _witness_from_dict(d["witness"], history)
+                if "witness" in d
+                else None
+            ),
+            counterexample=(
+                _counterexample_from_dict(d["counterexample"])
+                if "counterexample" in d
+                else None
+            ),
+        )
+    except KeyError as exc:
+        raise ParseError(f"malformed check-result record: missing {exc}") from exc

@@ -23,7 +23,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.checking.models import check, model_names
 from repro.core.errors import EngineError
 from repro.core.history import SystemHistory
-from repro.core.serialization import history_from_dict, history_to_dict
+from repro.core.serialization import history_from_dict, history_to_dict, view_to_dict
 from repro.engine.cache import RelationCache
 from repro.engine.jobs import SweepSpec
 from repro.engine.metrics import EngineMetrics
@@ -42,8 +42,13 @@ _Payload = tuple[str, dict, tuple[str, ...]]
 _WORKER_STATE: dict | None = None
 
 
-def _fresh_state(cache_histories: int = DEFAULT_CACHE_HISTORIES) -> dict:
-    return {"cache": RelationCache(max_histories=cache_histories)}
+def _fresh_state(
+    cache_histories: int = DEFAULT_CACHE_HISTORIES, store_views: bool = False
+) -> dict:
+    return {
+        "cache": RelationCache(max_histories=cache_histories),
+        "store_views": store_views,
+    }
 
 
 def _warm_models() -> None:
@@ -59,21 +64,23 @@ def _warm_models() -> None:
         check(tiny, name)
 
 
-def _init_worker(cache_histories: int) -> None:
+def _init_worker(cache_histories: int, store_views: bool) -> None:
     global _WORKER_STATE
     _warm_models()
-    _WORKER_STATE = _fresh_state(cache_histories)
+    _WORKER_STATE = _fresh_state(cache_histories, store_views)
 
 
 def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
     """Check every payload of ``chunk``; returns records plus cache deltas."""
     cache: RelationCache = state["cache"]
+    store_views: bool = state.get("store_views", False)
     hits0, misses0 = cache.hits, cache.misses
     records: list[dict] = []
     for key, history_dict, models in chunk:
         history = history_from_dict(history_dict)
         verdicts: dict[str, bool] = {}
         explored: dict[str, int] = {}
+        views: dict[str, list[dict]] = {}
         model_seconds: dict[str, float] = {}
         with relation_memo(cache):
             for model in models:
@@ -82,14 +89,20 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
                 model_seconds[model] = time.perf_counter() - t0
                 verdicts[model] = result.allowed
                 explored[model] = result.explored
-        records.append(
-            {
-                "key": key,
-                "models": verdicts,
-                "explored": explored,
-                "model_seconds": model_seconds,
-            }
-        )
+                if store_views and result.views:
+                    views[model] = [
+                        view_to_dict(result.views[proc])
+                        for proc in sorted(result.views, key=str)
+                    ]
+        record = {
+            "key": key,
+            "models": verdicts,
+            "explored": explored,
+            "model_seconds": model_seconds,
+        }
+        if store_views:
+            record["views"] = views
+        records.append(record)
     return {
         "records": records,
         "cache_hits": cache.hits - hits0,
@@ -135,6 +148,10 @@ class CheckEngine:
         sees several chunks (load balance without dispatch overhead).
     cache_histories:
         Per-worker relation-cache bound (distinct histories).
+    store_views:
+        Also record witness views (wire-format, per model) in result
+        records, so positive verdicts keep their evidence; off by default
+        because views dominate record size on large sweeps.
     """
 
     def __init__(
@@ -142,6 +159,7 @@ class CheckEngine:
         jobs: int = 1,
         chunk_size: int | None = None,
         cache_histories: int = DEFAULT_CACHE_HISTORIES,
+        store_views: bool = False,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -150,6 +168,7 @@ class CheckEngine:
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.cache_histories = cache_histories
+        self.store_views = store_views
         self._local_state: dict | None = None
 
     # -- serial cached checking (the in-process fast path) ----------------------
@@ -235,7 +254,10 @@ class CheckEngine:
                 metrics.checks += len(record["models"])
                 if store is not None:
                     store.append_result(
-                        record["key"], record["models"], record["explored"]
+                        record["key"],
+                        record["models"],
+                        record["explored"],
+                        views=record.get("views"),
                     )
                 results.append(record)
         metrics.wall_seconds = time.perf_counter() - t0
@@ -275,8 +297,9 @@ class CheckEngine:
             state = (
                 self._local_state
                 if self._local_state is not None
-                else _fresh_state(self.cache_histories)
+                else _fresh_state(self.cache_histories, self.store_views)
             )
+            state["store_views"] = self.store_views
             self._local_state = state
             for chunk in chunks:
                 yield _run_chunk_impl(chunk, state)
@@ -285,6 +308,6 @@ class CheckEngine:
         with ctx.Pool(
             processes=self.jobs,
             initializer=_init_worker,
-            initargs=(self.cache_histories,),
+            initargs=(self.cache_histories, self.store_views),
         ) as pool:
             yield from pool.imap(_run_chunk, chunks)

@@ -130,13 +130,24 @@ class ResultStore:
         key: str,
         models: dict[str, bool],
         explored: dict[str, int] | None = None,
+        views: dict[str, list[dict]] | None = None,
     ) -> None:
-        """Record one job's verdicts (canonical encoding, deterministic bytes)."""
+        """Record one job's verdicts (canonical encoding, deterministic bytes).
+
+        ``views`` maps model names to witness views in the wire format of
+        :func:`repro.core.serialization.view_to_dict` (one entry per
+        processor, sorted by processor name).  Without it a positive
+        verdict is reduced to a boolean and the witness is lost — pass it
+        (the engine's ``store_views`` option does) when the sweep's
+        consumers need to re-validate or display witnesses.
+        """
         if not key:
             raise EngineError("result records need a non-empty key")
         record: dict = {"type": "result", "key": key, "models": models}
         if explored is not None:
             record["explored"] = explored
+        if views is not None:
+            record["views"] = views
         self._append(record)
 
     def append_summary(self, summary: dict) -> None:

@@ -1,0 +1,610 @@
+"""Layer 3 of the constraint kernel: spec compilation onto the mask plane.
+
+A :class:`~repro.spec.model_spec.MemoryModelSpec` is declarative; this layer
+*compiles* it, for one history, into the integer-bitmask data plane the
+search layer runs on:
+
+* the operation universe (``history.operations``) with per-operation
+  location ids and read/write payloads,
+* each processor's view membership (parameter 1) as index lists in the
+  view-contents order the witnesses are built in,
+* the per-view ordering constraints (parameter 3) plus release
+  consistency's bracketing edges as predecessor bitmasks, and
+* the reads-from propagation edges that make the search incremental
+  (see :func:`CompiledConstraints.candidate_propagation`).
+
+Compilation is split into what depends on the history and spec alone
+(:class:`CompiledConstraints`, cacheable across checks — the engine's
+:class:`~repro.engine.cache.RelationCache` stores these keyed by
+``(history, spec.cache_key)``) and what depends on the reads-from
+attribution (:class:`AttributionPlane`, one per enumerated attribution and
+cached for the unambiguous one).
+
+Mask conventions: ``masks[j]`` bit ``i`` set means *operation i must precede
+operation j*.  :func:`close_masks` is a bitset Floyd–Warshall transitive
+closure; :func:`masks_acyclic` a Kahn peeling test.  Both replace the
+``Relation``-object churn the pre-kernel solver paid per candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.history import SystemHistory
+from repro.core.operation import Operation
+from repro.orders.memo import active_memo
+from repro.orders.relation import Relation
+from repro.orders.writes_before import ReadsFrom, reads_from_candidates
+from repro.spec.model_spec import MemoryModelSpec
+from repro.spec.parameters import MutualConsistency, OperationSet
+
+__all__ = [
+    "CompiledConstraints",
+    "AttributionPlane",
+    "HistoryPlane",
+    "ViewPlane",
+    "compile_constraints",
+    "history_plane",
+    "bracketing_edges",
+    "chain_masks",
+    "close_masks",
+    "masks_acyclic",
+    "restrict_masks",
+]
+
+
+# -- mask primitives ----------------------------------------------------------
+
+
+def chain_masks(masks: list[int], chain: Iterable[int]) -> None:
+    """Add the total order of ``chain`` (universe indices) into ``masks``.
+
+    Each chain member's predecessor mask gains every earlier member, i.e.
+    the full set of within-chain pairs — already transitively closed, so a
+    chain never needs re-closing.
+    """
+    seen = 0
+    for i in chain:
+        masks[i] |= seen
+        seen |= 1 << i
+
+
+def close_masks(masks: Sequence[int]) -> list[int]:
+    """Transitive closure of predecessor masks (bitset Floyd–Warshall)."""
+    out = list(masks)
+    n = len(out)
+    for k in range(n):
+        pk = out[k]
+        if not pk:
+            continue
+        bit = 1 << k
+        for i in range(n):
+            if out[i] & bit:
+                out[i] |= pk
+    return out
+
+
+def masks_acyclic(masks: Sequence[int], n: int) -> bool:
+    """True when the constraint graph the masks encode has no cycle."""
+    remaining = (1 << n) - 1
+    changed = True
+    while remaining and changed:
+        changed = False
+        m = remaining
+        while m:
+            bit = m & -m
+            m ^= bit
+            if not masks[bit.bit_length() - 1] & remaining:
+                remaining ^= bit
+                changed = True
+    return not remaining
+
+
+def restrict_masks(masks: Sequence[int], members: Sequence[int]) -> list[int]:
+    """Re-index universe masks onto the sub-universe ``members``.
+
+    ``members`` lists universe indices in view-contents order; the result
+    is the predecessor masks of the restriction, in local bit positions.
+    """
+    out = []
+    for gj in members:
+        m = masks[gj]
+        local = 0
+        for k, gk in enumerate(members):
+            if (m >> gk) & 1:
+                local |= 1 << k
+        out.append(local)
+    return out
+
+
+# -- release consistency's bracketing (moved verbatim from the old solver) ----
+
+
+def bracketing_edges(history: SystemHistory, rf: ReadsFrom) -> Relation[Operation]:
+    """Release consistency's two bracketing conditions (Section 3.4).
+
+    * An ordinary operation following an acquire is ordered after the write
+      the acquire read, in every view containing both.
+    * An ordinary operation preceding a release is ordered before that
+      release, in every view containing both.
+    """
+    rel: Relation[Operation] = Relation(history.operations)
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for op in ops:
+            if op.labeled:
+                continue
+            # Acquires earlier in program order bracket this ordinary op.
+            for earlier in ops[: op.index]:
+                if earlier.is_acquire:
+                    src = rf.get(earlier)
+                    if src is not None:
+                        rel.add(src, op)
+            # Releases later in program order bracket it from above.
+            for later in ops[op.index + 1:]:
+                if later.is_release:
+                    rel.add(op, later)
+    return rel
+
+
+# -- compiled planes ----------------------------------------------------------
+
+
+class ViewPlane:
+    """One processor's static view data: membership and legality payloads.
+
+    Built by slicing the universe payload arrays of the owning
+    :class:`CompiledConstraints` — the per-operation classification work is
+    done once per compilation, not once per view.
+    """
+
+    __slots__ = ("proc", "members", "op_loc", "read_vals", "write_vals", "n_locs")
+
+    def __init__(
+        self,
+        proc: Any,
+        members: Sequence[int],
+        uni_loc: Sequence[int],
+        uni_read: Sequence[int | None],
+        uni_write: Sequence[int | None],
+    ) -> None:
+        self.proc = proc
+        self.members: tuple[int, ...] = tuple(members)
+        # Local location ids: ranks of the universe location ids present in
+        # this view.  Universe ids follow sorted location-name order, so
+        # ranking preserves the sorted-name order the search's memory-state
+        # tuples are laid out in.
+        present = sorted({uni_loc[g] for g in self.members})
+        rank = {u: i for i, u in enumerate(present)}
+        self.n_locs = len(present)
+        self.op_loc: tuple[int, ...] = tuple(rank[uni_loc[g]] for g in self.members)
+        self.read_vals: tuple[int | None, ...] = tuple(
+            uni_read[g] for g in self.members
+        )
+        self.write_vals: tuple[int | None, ...] = tuple(
+            uni_write[g] for g in self.members
+        )
+
+
+_UNSET = object()
+
+
+class HistoryPlane:
+    """The spec-independent compiled data of one history.
+
+    A sweep checks the same history against many specs (the registry has a
+    dozen; the lattice enumerates hundreds), and everything here is a
+    function of the history alone, so the kernel shares one instance across
+    those checks through a single-slot identity cache
+    (:func:`history_plane`).  Entries in :attr:`masks` are keyed by an
+    ordering rule (or a derived tag) and are populated only under the
+    *unique* reads-from attribution, where the attribution-dependent
+    relations collapse to functions of the history.
+    """
+
+    __slots__ = (
+        "history",
+        "ops",
+        "index",
+        "n",
+        "uni_loc",
+        "uni_read",
+        "uni_write",
+        "writers_by_loc",
+        "write_idx",
+        "ranges",
+        "_views",
+        "_universe_plane",
+        "_candidates",
+        "_unique_rf",
+        "masks",
+    )
+
+    def __init__(self, history: SystemHistory) -> None:
+        self.history = history
+        self.ops: tuple[Operation, ...] = history.operations
+        # Keyed by operation *value*, not identity: the engine's relation
+        # cache serves one table to value-equal histories (two parses of the
+        # same litmus text), so a compiled plane must accept the equal twin's
+        # operation objects.  Values are unique within a history (proc,
+        # index), so the map is bijective either way.
+        self.index: dict[Operation, int] = {op: i for i, op in enumerate(self.ops)}
+        self.n = len(self.ops)
+        # One classification pass over the universe; every view plane is a
+        # slice of these arrays.  Location ids follow sorted location-name
+        # order (``history.locations``), matching the per-view inventories
+        # the pre-kernel solver derived independently per view.
+        loc_id = {loc: i for i, loc in enumerate(history.locations)}
+        uni_loc: list[int] = []
+        uni_read: list[int | None] = []
+        uni_write: list[int | None] = []
+        writers: dict[str, list[int]] = {}
+        for i, op in enumerate(self.ops):
+            uni_loc.append(loc_id[op.location])
+            uni_read.append(op.value_read if op.is_read else None)
+            if op.is_write:
+                uni_write.append(op.value_written)
+                writers.setdefault(op.location, []).append(i)
+            else:
+                uni_write.append(None)
+        self.uni_loc = uni_loc
+        self.uni_read = uni_read
+        self.uni_write = uni_write
+        self.writers_by_loc: dict[str, tuple[int, ...]] = {
+            loc: tuple(idxs) for loc, idxs in writers.items()
+        }
+        self.write_idx: list[int] = [
+            i for i, v in enumerate(uni_write) if v is not None
+        ]
+        # ``history.operations`` groups operations by processor, so each
+        # processor's own operations are one contiguous index range and the
+        # remote part of its view is the universe order outside that range
+        # (exactly ``OperationSet.view_contents``'s order).
+        ranges: dict[Any, tuple[int, int]] = {}
+        start = 0
+        for proc in history.procs:
+            end = start + len(history[proc])
+            ranges[proc] = (start, end)
+            start = end
+        self.ranges = ranges
+        self._views: dict[OperationSet, dict[Any, ViewPlane]] = {}
+        self._universe_plane: ViewPlane | None = None
+        self._candidates: Any = None
+        self._unique_rf: Any = _UNSET
+        self.masks: dict[Any, Any] = {}
+
+    def views(self, operation_set: OperationSet) -> dict[Any, ViewPlane]:
+        """Per-processor view planes for one choice of parameter 1."""
+        cached = self._views.get(operation_set)
+        if cached is None:
+            all_remote = operation_set is OperationSet.ALL_REMOTE
+            cached = {}
+            for proc, (start, end) in self.ranges.items():
+                if all_remote:
+                    remote = [i for i in range(self.n) if i < start or i >= end]
+                else:
+                    remote = [i for i in self.write_idx if i < start or i >= end]
+                cached[proc] = ViewPlane(
+                    proc,
+                    list(range(start, end)) + remote,
+                    self.uni_loc,
+                    self.uni_read,
+                    self.uni_write,
+                )
+            self._views[operation_set] = cached
+        return cached
+
+    @property
+    def universe_plane(self) -> ViewPlane:
+        """Payloads for the whole-universe search of IDENTICAL models."""
+        if self._universe_plane is None:
+            self._universe_plane = ViewPlane(
+                None, range(self.n), self.uni_loc, self.uni_read, self.uni_write
+            )
+        return self._universe_plane
+
+    @property
+    def candidates(self):
+        """The per-read candidate-source table (layer 1's input)."""
+        if self._candidates is None:
+            self._candidates = reads_from_candidates(self.history)
+        return self._candidates
+
+    @property
+    def unique_rf(self) -> ReadsFrom | None:
+        """The unique attribution when every read has at most one candidate.
+
+        ``None`` when the history is ambiguous and layer 1 must enumerate.
+        The dict matches :func:`repro.kernel.rf.iter_attributions`'s
+        unambiguous yield exactly.
+        """
+        if self._unique_rf is _UNSET:
+            cands = self.candidates
+            if all(len(c) <= 1 for c in cands.values()):
+                self._unique_rf = {op: c[0] for op, c in cands.items() if c}
+            else:
+                self._unique_rf = None
+        return self._unique_rf
+
+
+#: Single-slot identity cache: (history, plane).  Holding the history
+#: strongly keeps its id() stable for the lifetime of the slot.
+_ACTIVE_PLANE: tuple[SystemHistory, HistoryPlane] | None = None
+
+
+def history_plane(history: SystemHistory) -> HistoryPlane:
+    """The shared :class:`HistoryPlane` of ``history`` (identity-cached).
+
+    One slot suffices: checkers sweep spec-by-spec over one history before
+    moving to the next, so consecutive checks hit.  A stale slot is merely
+    rebuilt — the cache is keyed by object identity, never by value.
+    """
+    global _ACTIVE_PLANE
+    if _ACTIVE_PLANE is not None and _ACTIVE_PLANE[0] is history:
+        return _ACTIVE_PLANE[1]
+    plane = HistoryPlane(history)
+    _ACTIVE_PLANE = (history, plane)
+    return plane
+
+
+class AttributionPlane:
+    """The reads-from-dependent slice of a compiled constraint set."""
+
+    __slots__ = ("rf", "ordering", "own_ordering", "bracketing", "src_idx", "prop")
+
+    def __init__(
+        self,
+        cc: "CompiledConstraints",
+        rf: ReadsFrom,
+        unique: bool = False,
+    ) -> None:
+        self.rf = rf
+        spec = cc.spec
+        history = cc.history
+        # Under the unique attribution every rf-derived relation is a pure
+        # function of the history, so the masks are cached on the shared
+        # HistoryPlane across the specs that reuse the same ordering rule.
+        cache = cc.hp.masks if unique else None
+        #: Static ordering pred masks; ``None`` when the ordering needs a
+        #: coherence order and must be built per mutual candidate.
+        self.ordering: list[int] | None = None
+        self.own_ordering: dict[Any, list[int]] | None = None
+        if not spec.ordering.needs_coherence:
+            rule = spec.ordering
+            if cache is not None and rule in cache:
+                self.ordering = cache[rule]
+            else:
+                self.ordering = rule.build(history, rf, None).pred_masks(cc.ops)
+                if cache is not None:
+                    cache[rule] = self.ordering
+            if spec.ordering_own_view_only:
+                key = (rule, "own")
+                if cache is not None and key in cache:
+                    self.own_ordering = cache[key]
+                else:
+                    self.own_ordering = cc.restrict_to_own(self.ordering)
+                    if cache is not None:
+                        cache[key] = self.own_ordering
+        self.bracketing: list[int] | None = None
+        if spec.bracketing:
+            if cache is not None and "bracketing" in cache:
+                self.bracketing = cache["bracketing"]
+            else:
+                self.bracketing = bracketing_edges(history, rf).pred_masks(cc.ops)
+                if cache is not None:
+                    cache["bracketing"] = self.bracketing
+        if cache is not None and "prop" in cache:
+            self.src_idx, self.prop = cache["prop"]
+            return
+        #: Per universe index of a read: index of its source write, or -1
+        #: for an initial-value read.  Non-reads are absent.
+        self.src_idx: dict[int, int] = {}
+        #: Attribution-forced edges used by incremental-legality propagation
+        #: (sound only under the unambiguous attribution — the driver gates):
+        #: ``src -> read``, and an initial-value read before every write to
+        #: its location.
+        prop = [0] * cc.n
+        for r, src in rf.items():
+            ir = cc.index[r]
+            if src is None:
+                self.src_idx[ir] = -1
+                bit = 1 << ir
+                for iw in cc.writers_by_loc.get(r.location, ()):
+                    if iw != ir:
+                        prop[iw] |= bit
+            else:
+                isrc = cc.index[src]
+                self.src_idx[ir] = isrc
+                if isrc != ir:
+                    prop[ir] |= 1 << isrc
+        self.prop = prop
+        if cache is not None:
+            cache["prop"] = (self.src_idx, prop)
+
+
+class CompiledConstraints:
+    """Everything about ``(history, spec)`` the search reuses across choices."""
+
+    __slots__ = (
+        "spec",
+        "history",
+        "hp",
+        "ops",
+        "index",
+        "n",
+        "identical",
+        "own_view_only",
+        "bracketing",
+        "needs_coherence",
+        "procs",
+        "views",
+        "own_bits",
+        "writers_by_loc",
+        "_plane_rf",
+        "_plane",
+    )
+
+    def __init__(self, spec: MemoryModelSpec, history: SystemHistory) -> None:
+        self.spec = spec
+        self.history = history
+        hp = history_plane(history)
+        self.hp = hp
+        self.ops = hp.ops
+        self.index = hp.index
+        self.n = hp.n
+        self.identical = spec.mutual_consistency is MutualConsistency.IDENTICAL
+        self.own_view_only = spec.ordering_own_view_only
+        self.bracketing = spec.bracketing
+        self.needs_coherence = spec.ordering.needs_coherence
+        self.procs = history.procs
+        self.views = hp.views(spec.operation_set)
+        self.writers_by_loc = hp.writers_by_loc
+        self.own_bits: dict[Any, int] = {}
+        if self.own_view_only:
+            for proc, (start, end) in hp.ranges.items():
+                self.own_bits[proc] = ((1 << end) - 1) ^ ((1 << start) - 1)
+        self._plane_rf: ReadsFrom | None = None
+        self._plane: AttributionPlane | None = None
+
+    @property
+    def universe_plane(self) -> ViewPlane:
+        """Payloads for the whole-universe search of IDENTICAL models."""
+        return self.hp.universe_plane
+
+    # -- attribution planes ----------------------------------------------------
+
+    def plane(self, rf: ReadsFrom, unique: bool = False) -> AttributionPlane:
+        """The attribution-dependent plane for ``rf`` (cached single-slot).
+
+        Histories under the distinct-write-values discipline have exactly
+        one attribution, so the slot makes repeated checks of the same
+        history (a sweep, the classification lattice) compile it once;
+        ``unique`` additionally lets the plane share its masks through the
+        HistoryPlane across specs.
+        """
+        if self._plane is not None and (
+            self._plane_rf is rf or self._plane_rf == rf
+        ):
+            return self._plane
+        plane = AttributionPlane(self, rf, unique)
+        self._plane_rf = rf
+        self._plane = plane
+        return plane
+
+    def restrict_to_own(self, ordering: Sequence[int]) -> dict[Any, list[int]]:
+        """Per-processor restriction of ordering masks to own operations.
+
+        Release consistency's reading of parameter 3: the ordering binds a
+        processor's operations only in that processor's *own* view.
+        """
+        out: dict[Any, list[int]] = {}
+        for proc in self.procs:
+            bits = self.own_bits[proc]
+            restricted = [0] * self.n
+            for i in range(self.n):
+                if (bits >> i) & 1:
+                    restricted[i] = ordering[i] & bits
+            out[proc] = restricted
+        return out
+
+    # -- per-candidate assembly ------------------------------------------------
+
+    def assemble_base(
+        self,
+        plane: AttributionPlane,
+        chains: tuple[tuple[Operation, ...], ...],
+        ordering: Sequence[int] | None = None,
+    ) -> tuple[list[int], dict[Any, list[int]] | None] | None:
+        """Cross-view constraints for one mutual candidate, closed, or ``None``.
+
+        Mirrors the pre-kernel solver's ``_base_constraints``: assemble
+        ordering (unless it binds own views only) + mutual chains +
+        bracketing, reject cyclic combinations, transitively close so that
+        restriction to any view preserves all orderings.  Returns the
+        closed masks and the per-processor own-ordering masks (``None``
+        when the ordering already lives in the base).
+        """
+        if ordering is None:
+            ordering = plane.ordering
+        own: dict[Any, list[int]] | None = None
+        if self.own_view_only:
+            assert ordering is not None
+            own = (
+                plane.own_ordering
+                if plane.own_ordering is not None
+                else self.restrict_to_own(ordering)
+            )
+            masks = [0] * self.n
+        else:
+            assert ordering is not None
+            masks = list(ordering)
+        for chain in chains:
+            chain_masks(masks, (self.index[op] for op in chain))
+        if plane.bracketing is not None:
+            for i in range(self.n):
+                masks[i] |= plane.bracketing[i]
+        if not masks_acyclic(masks, self.n):
+            return None
+        return close_masks(masks), own
+
+    def extra_masks(self, extra) -> list[int] | None:
+        """Universe masks of a labeled-discipline candidate (layer 2)."""
+        if extra is None:
+            return None
+        masks = [0] * self.n
+        for chain in extra.chains:
+            chain_masks(masks, (self.index[op] for op in chain))
+        if extra.relation is not None:
+            for i, m in enumerate(extra.relation.pred_masks(self.ops)):
+                masks[i] |= m
+        return masks
+
+    def candidate_propagation(
+        self,
+        plane: AttributionPlane,
+        coherence: Mapping[str, tuple[Operation, ...]] | None,
+    ) -> list[int]:
+        """Propagation masks for one candidate: rf edges + coherence successors.
+
+        Under the unambiguous attribution a read's source is the unique
+        write of the observed value, so in every legal view the source
+        precedes the read and — once the candidate fixes a per-location
+        write order the views embed — the read precedes the source's
+        coherence successor.  These edges turn the search's dynamic
+        value-legality failures into static predecessor-mask failures
+        without changing which extensions exist, which is what makes the
+        per-view search incremental instead of re-validating prefixes.
+        """
+        if coherence is None:
+            return plane.prop  # shared, never mutated by the search
+        prop = list(plane.prop)
+        succ: dict[int, int] = {}
+        for chain in coherence.values():
+            for a, b in zip(chain, chain[1:]):
+                succ[self.index[a]] = self.index[b]
+        for ir, isrc in plane.src_idx.items():
+            if isrc < 0:
+                continue
+            inext = succ.get(isrc)
+            if inext is not None and inext != ir:
+                prop[inext] |= 1 << ir
+        return prop
+
+
+def compile_constraints(
+    spec: MemoryModelSpec, history: SystemHistory
+) -> CompiledConstraints:
+    """Compile ``spec`` for ``history``, via the active relation memo if any.
+
+    Inside an engine sweep (or any :func:`~repro.orders.memo.relation_memo`
+    block) each ``(history, parameter-bundle)`` pair is compiled once and
+    shared by every subsequent check.
+    """
+    memo = active_memo()
+    if memo is None:
+        return CompiledConstraints(spec, history)
+    return memo.fetch(
+        history,
+        f"kernel:{spec.cache_key}",
+        lambda: CompiledConstraints(spec, history),
+    )

@@ -1,0 +1,142 @@
+"""Shared verdict, witness and counterexample types of the constraint kernel.
+
+Every decision procedure in the framework — the generic kernel search, the
+per-model fast checkers, and the machines' soundness harness — reports
+through these types, so that clients (the engine's result store, the CLI,
+the property suite) handle one shape regardless of which strategy decided.
+
+A :class:`Witness` records not only the views but the *choices* that led to
+them (reads-from attribution, coherence order), which is what the paper
+exhibits when it argues a history is allowed.  A :class:`Counterexample`
+records the first unsatisfiable view constraint the kernel hit, which is
+what ``python -m repro explain`` prints for disallowed histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.operation import Operation
+from repro.core.view import View
+
+__all__ = ["CheckResult", "Witness", "Counterexample"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """The evidence that a history is allowed: views plus the choices made.
+
+    Attributes
+    ----------
+    views:
+        One legal view per processor, satisfying the model's constraints.
+    reads_from:
+        The reads-from attribution the witness was found under (``None``
+        entries are initial-value reads).  ``None`` when the strategy did
+        not fix one explicitly.
+    coherence:
+        The per-location write order the views agree on, for models with a
+        coherence or total-write-order requirement; ``None`` otherwise.
+    """
+
+    views: Mapping[Any, View]
+    reads_from: Mapping[Operation, Operation | None] | None = None
+    coherence: Mapping[str, tuple[Operation, ...]] | None = None
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """Why no views exist: the first unsatisfiable view constraint.
+
+    Attributes
+    ----------
+    model:
+        The model whose constraints are unsatisfiable.
+    kind:
+        ``"impossible-value"`` (a read observes a value never written),
+        ``"cyclic-constraints"`` (the per-view constraint graph has a
+        cycle), or ``"stuck-view"`` (constraints are acyclic but no legal
+        placement exists).
+    proc:
+        The processor whose view fails first, when meaningful.
+    cycle:
+        For ``cyclic-constraints``: the operations forming the cycle.
+    stuck_after:
+        For ``stuck-view``: how many operations the deepest partial view
+        placed before every remaining operation was blocked.
+    blocked:
+        For ``stuck-view``: each frontier operation paired with why it
+        could not be placed next (a constraint or a legality conflict).
+    detail:
+        One-line human-readable summary (what ``repro explain`` prints).
+    """
+
+    model: str
+    kind: str
+    detail: str
+    proc: Any = None
+    cycle: tuple[Operation, ...] = ()
+    stuck_after: int = 0
+    blocked: tuple[tuple[Operation, str], ...] = ()
+
+    def render(self) -> str:
+        lines = [f"{self.model}: {self.detail}"]
+        if self.cycle:
+            lines.append("  constraint cycle:")
+            for op in self.cycle:
+                lines.append(f"    {op}")
+        if self.blocked:
+            lines.append(
+                f"  view stuck after {self.stuck_after} placed operation(s); "
+                "every remaining operation is blocked:"
+            )
+            for op, why in self.blocked:
+                lines.append(f"    {op}: {why}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of asking whether a history is allowed by a model.
+
+    Attributes
+    ----------
+    model:
+        Name of the memory model consulted.
+    allowed:
+        The verdict.
+    views:
+        For positive verdicts: one witness view per processor (for SC these
+        are all the same sequence).  Empty for negative verdicts.
+    reason:
+        For negative verdicts: why no views exist; for positive ones,
+        optionally which choice (reads-from, write order) succeeded.
+    explored:
+        Number of candidate (reads-from × serialization) combinations the
+        checker examined; a cheap effort metric used by the benchmarks.
+    witness:
+        For positive verdicts from kernel-backed strategies: the full
+        :class:`Witness` (views plus the choices behind them).
+    counterexample:
+        For negative verdicts from kernel-backed strategies: the first
+        unsatisfiable view constraint (``repro explain`` prints it).
+    """
+
+    model: str
+    allowed: bool
+    views: Mapping[Any, View] = field(default_factory=dict)
+    reason: str = ""
+    explored: int = 0
+    witness: Witness | None = None
+    counterexample: Counterexample | None = None
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def __str__(self) -> str:
+        verdict = "allowed" if self.allowed else "NOT allowed"
+        out = [f"{self.model}: {verdict}" + (f" ({self.reason})" if self.reason else "")]
+        for proc in sorted(self.views, key=str):
+            out.append(f"  {self.views[proc]!r}")
+        return "\n".join(out)

@@ -1,0 +1,78 @@
+"""Layer 1 of the constraint kernel: reads-from attribution enumeration.
+
+Every decision in the framework starts by fixing *which write each read
+observed*.  Under the distinct-write-values discipline the attribution is a
+function of the history; otherwise the kernel enumerates the choices and a
+history is allowed when *some* attribution satisfies the model (the
+ambiguity convention documented in :mod:`repro.kernel.search`).
+
+This layer is a thin, budgeted front over :mod:`repro.orders.writes_before`
+so that the enumeration policy (unique-fast-path first, bounded product
+otherwise) lives in exactly one place instead of being re-implemented by
+each checker.  Callers that already hold the candidate table (the driver
+derives it once per check) pass it in to avoid re-deriving it per layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping
+
+from repro.core.errors import CheckerError
+from repro.core.history import SystemHistory
+from repro.core.operation import Operation
+from repro.orders.writes_before import ReadsFrom, reads_from_candidates
+
+__all__ = ["ReadsFrom", "impossible_read", "iter_attributions"]
+
+#: The per-read candidate-source table of a history.
+Candidates = Mapping[Operation, tuple[Operation | None, ...]]
+
+
+def impossible_read(
+    history: SystemHistory, candidates: Candidates | None = None
+) -> Operation | None:
+    """The first read observing a value no write stores, if any.
+
+    Such a read cannot be legal in any view under any model, so every
+    checker may reject without search.  Returns ``None`` when every read
+    has at least one candidate source.
+    """
+    if candidates is None:
+        candidates = reads_from_candidates(history)
+    for op, cands in candidates.items():
+        if not cands:
+            return op
+    return None
+
+
+def iter_attributions(
+    history: SystemHistory,
+    max_attributions: int,
+    candidates: Candidates | None = None,
+) -> Iterator[ReadsFrom]:
+    """Yield the reads-from attributions the kernel must consider.
+
+    The unambiguous attribution alone when one exists (the litmus
+    discipline); the full product of per-read candidate choices otherwise,
+    capped at ``max_attributions`` to fail loudly instead of hanging.
+    Yields nothing when some read has no candidate source at all.
+    """
+    if candidates is None:
+        candidates = reads_from_candidates(history)
+    if all(len(cands) <= 1 for cands in candidates.values()):
+        yield {op: cands[0] for op, cands in candidates.items() if cands}
+        return
+    reads = list(candidates)
+    option_lists = [candidates[r] for r in reads]
+    if any(not opts for opts in option_lists):
+        return
+    count = 0
+    for combo in itertools.product(*option_lists):
+        count += 1
+        if count > max_attributions:
+            raise CheckerError(
+                f"more than {max_attributions} reads-from attributions; "
+                "use distinct write values"
+            )
+        yield dict(zip(reads, combo))

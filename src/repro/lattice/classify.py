@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.checking.models import check
 from repro.core.history import SystemHistory
+from repro.orders.memo import relation_memo
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine uses lattice)
     from repro.engine.pool import CheckEngine
@@ -111,10 +112,17 @@ def classify_histories(
                 i for i, row in enumerate(rows) if row[name]
             }
         return result
+    # Serial path: history-major under a relation memo, so the order
+    # relations and compiled constraint kernels are derived once per
+    # history and shared by every model (the engine path gets the same
+    # sharing from its per-worker relation cache).
     for name in models:
-        result.allowed[name] = {
-            i for i, h in enumerate(hs) if check(h, name).allowed
-        }
+        result.allowed[name] = set()
+    with relation_memo():
+        for i, h in enumerate(hs):
+            for name in models:
+                if check(h, name).allowed:
+                    result.allowed[name].add(i)
     return result
 
 

@@ -122,6 +122,33 @@ class Relation(Generic[T]):
             deg[b] += 1
         return deg
 
+    def pred_masks(self, items: Iterable[T]) -> list[int]:
+        """Bit-encoded predecessor sets of the relation restricted to ``items``.
+
+        ``masks[j]`` has bit ``i`` set exactly when ``(items[i], items[j])``
+        is a pair of the relation; pairs mentioning items outside ``items``
+        are ignored.  This is the representation the constraint kernel's
+        linear-extension search runs on (one arbitrary-precision integer per
+        item), shared by every checker instead of being rebuilt ad hoc.
+        """
+        ordered = list(items)
+        index = {x: i for i, x in enumerate(ordered)}
+        # Translate the relation's internal indices once, then walk the
+        # successor sets directly — O(universe) hash lookups instead of one
+        # per pair, which matters for dense (closed) relations.
+        pos = [index.get(x) for x in self._items]
+        masks = [0] * len(ordered)
+        for ia, succs in enumerate(self._succ):
+            pa = pos[ia]
+            if pa is None:
+                continue
+            abit = 1 << pa
+            for ib in succs:
+                pb = pos[ib]
+                if pb is not None and pb != pa:
+                    masks[pb] |= abit
+        return masks
+
     # -- combinators ---------------------------------------------------------------
 
     def _copy(self) -> "Relation[T]":

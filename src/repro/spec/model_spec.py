@@ -91,6 +91,24 @@ class MemoryModelSpec:
         """True when the model distinguishes labeled from ordinary operations."""
         return self.labeled_discipline is not None
 
+    @property
+    def cache_key(self) -> str:
+        """Stable identity of the spec's *parameters* (not its name).
+
+        Two specs with equal parameters compile to the same constraint
+        kernel, so the engine's compiled-constraint cache keys on this
+        rather than on the display name.
+        """
+        parts = [
+            self.operation_set.value,
+            self.mutual_consistency.value,
+            self.ordering.name,
+            self.labeled_discipline.value if self.labeled_discipline else "-",
+            "brk" if self.bracketing else "-",
+            "own" if self.ordering_own_view_only else "-",
+        ]
+        return "/".join(parts)
+
     def __str__(self) -> str:
         parts = [
             f"δ_p={self.operation_set.value}",

@@ -1,0 +1,94 @@
+"""Witnesses survive the result store: serialization round-trip regression.
+
+Before ``store_views`` the engine reduced every positive verdict to a
+boolean — the witness views were dropped on the floor.  These tests pin
+the full round trip: check → wire dicts → JSONL store → decoded views
+that re-validate against the history.
+"""
+
+import json
+
+from repro.checking import check
+from repro.core.serialization import (
+    check_result_from_dict,
+    check_result_to_dict,
+    view_from_dict,
+)
+from repro.core.view import check_view_contents, is_legal_sequence
+from repro.engine import CheckEngine, ResultStore, SweepSpec
+from repro.litmus import CATALOG
+
+
+class TestCheckResultRoundTrip:
+    def test_allowed_result_round_trips_views(self):
+        h = CATALOG["mp-ok"].history
+        result = check(h, "SC")
+        assert result.allowed and result.views
+        decoded = check_result_from_dict(check_result_to_dict(result), h)
+        assert decoded.model == result.model
+        assert decoded.allowed == result.allowed
+        assert decoded.reason == result.reason
+        assert decoded.explored == result.explored
+        assert set(decoded.views) == set(result.views)
+        for proc, view in result.views.items():
+            assert list(decoded.views[proc]) == list(view)
+
+    def test_denied_result_round_trips_empty_views(self):
+        h = CATALOG["fig1-sb"].history
+        result = check(h, "SC")
+        assert not result.allowed
+        decoded = check_result_from_dict(check_result_to_dict(result), h)
+        assert not decoded.allowed
+        assert decoded.views == {}
+        assert decoded.reason == result.reason
+
+    def test_wire_dicts_are_json_serializable(self):
+        h = CATALOG["mp-ok"].history
+        d = check_result_to_dict(check(h, "SC"))
+        assert check_result_from_dict(json.loads(json.dumps(d)), h).allowed
+
+
+class TestStoreViews:
+    SPEC = SweepSpec(source="catalog", models=("SC", "PRAM"))
+
+    def test_views_absent_by_default(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            CheckEngine(jobs=1).run(self.SPEC, store=store)
+            assert all("views" not in r for r in store.results())
+
+    def test_store_views_round_trip(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            CheckEngine(jobs=1, store_views=True).run(self.SPEC, store=store)
+            records = store.results()
+        assert records
+        histories = {f"catalog:{name}": t.history for name, t in CATALOG.items()}
+        seen_views = 0
+        for record in records:
+            h = histories[record["key"]]
+            for model, allowed in record["models"].items():
+                if not allowed:
+                    assert model not in record.get("views", {})
+                    continue
+                view_dicts = record["views"][model]
+                assert view_dicts, f"{record['key']} × {model} lost its witness"
+                for vd in view_dicts:
+                    view = view_from_dict(vd, h)
+                    seen_views += 1
+                    assert is_legal_sequence(list(view))
+                    check_view_contents(list(view), h, view.proc)
+        assert seen_views > 0
+
+    def test_store_views_identical_across_worker_counts(self, tmp_path):
+        paths = []
+        for jobs in (1, 2):
+            path = tmp_path / f"r{jobs}.jsonl"
+            with ResultStore(path) as store:
+                CheckEngine(jobs=jobs, store_views=True).run(
+                    self.SPEC, store=store
+                )
+            paths.append(path)
+        lines = [
+            [ln for ln in p.read_text().splitlines() if '"type":"result"' in ln]
+            for p in paths
+        ]
+        assert lines[0] == lines[1]

@@ -1,0 +1,53 @@
+"""The kernel is byte-identical to the pre-kernel generic solver.
+
+The refactor's acceptance bar: on every catalog history × spec pair the
+kernel must reproduce the frozen legacy solver's verdict, exploration
+count, reason string, and witness views exactly — not just the boolean.
+"""
+
+import pytest
+
+from repro.checking._legacy_solver import legacy_check_with_spec
+from repro.kernel.search import check_with_spec
+from repro.litmus import CATALOG
+from repro.spec import ALL_SPECS
+
+
+def _fingerprint(result):
+    views = sorted(result.views.items(), key=lambda kv: str(kv[0]))
+    return (
+        result.allowed,
+        result.explored,
+        result.reason,
+        [(proc, list(view)) for proc, view in views],
+    )
+
+
+@pytest.mark.parametrize("name", list(CATALOG))
+def test_kernel_matches_legacy_on_catalog(name):
+    h = CATALOG[name].history
+    for spec in ALL_SPECS:
+        legacy = legacy_check_with_spec(spec, h)
+        kernel = check_with_spec(spec, h)
+        assert _fingerprint(kernel) == _fingerprint(legacy), (
+            f"{name} × {spec.name}"
+        )
+
+
+def test_kernel_matches_legacy_on_ambiguous_histories():
+    """Duplicate write values force attribution enumeration in both."""
+    from repro.litmus import parse_history
+
+    texts = (
+        "p: w(x)1 | q: w(x)1 | r: r(x)1",
+        "p: w(x)1 w(y)1 | q: r(y)1 r(x)1",
+        "p: w(x)1 | q: w(x)1 r(x)1 | r: r(x)1 r(x)0",
+    )
+    for text in texts:
+        h = parse_history(text)
+        for spec in ALL_SPECS:
+            legacy = legacy_check_with_spec(spec, h)
+            kernel = check_with_spec(spec, h)
+            assert _fingerprint(kernel) == _fingerprint(legacy), (
+                f"{text} × {spec.name}"
+            )
