@@ -15,7 +15,6 @@ Also measured: the TSO fast path (greedy read placement) against the
 generic solver on the same histories, quantifying the third design choice.
 """
 
-import pytest
 
 from repro.checking import MODELS, SearchBudget, check_with_spec, find_legal_extension
 from repro.litmus import parse_history

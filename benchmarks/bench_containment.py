@@ -7,13 +7,12 @@ agreement; a single violation anywhere fails the run.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import machine_history, random_history
 from repro.checking import check
 from repro.lattice import FIGURE5_EDGES
 from repro.litmus import CATALOG
-from repro.machines import PCMachine, PRAMMachine, SCMachine, TSOMachine
+from repro.machines import PCMachine, PRAMMachine, SCMachine
 
 EXTRA_EDGES = (
     ("SC", "Coherence"),

@@ -1,0 +1,127 @@
+"""E13 — the static pre-pass: soundness at scale and searches saved.
+
+Two claims from the staticcheck acceptance criteria, asserted rather than
+just measured:
+
+* **Verdict equivalence** — over the full litmus catalog and 200 seeded
+  random histories, every (history, spec) check returns byte-identical
+  verdicts with the pre-pass on and off (the pre-pass is sound for DENY
+  and never admits).
+* **Coverage** — the pre-pass alone decides at least 25% of the
+  catalog's DENY checks without invoking the linear-extension search.
+
+The timed groups compare a DENY-heavy engine sweep with the pre-pass on
+and off; the saved searches are the E13 speedup recorded in
+EXPERIMENTS.md.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.random_histories import random_history
+from repro.kernel.search import check_with_spec
+from repro.litmus import CATALOG
+from repro.spec import ALL_SPECS
+from repro.staticcheck import prepass_check
+
+CATALOG_HISTORIES = [t.history for t in CATALOG.values()]
+RANDOM_HISTORIES = [
+    random_history(np.random.default_rng(seed), procs=3, ops_per_proc=4)
+    for seed in range(200)
+]
+
+
+def _verdict_fingerprint(spec, history, prepass):
+    result = check_with_spec(spec, history, prepass=prepass)
+    return (spec.name, result.allowed)
+
+
+def test_prepass_verdicts_identical_on_catalog_and_random():
+    """(pre-pass + kernel) == kernel alone, on every check."""
+    for history in CATALOG_HISTORIES + RANDOM_HISTORIES:
+        for spec in ALL_SPECS:
+            plain = _verdict_fingerprint(spec, history, prepass=False)
+            fast = _verdict_fingerprint(spec, history, prepass=True)
+            assert plain == fast
+
+
+def test_prepass_decides_a_quarter_of_catalog_denies():
+    """≥ 25% of catalog DENY checks are decided without the search."""
+    denies = decided = 0
+    for history in CATALOG_HISTORIES:
+        for spec in ALL_SPECS:
+            if check_with_spec(spec, history).allowed:
+                continue
+            denies += 1
+            if prepass_check(spec, history).decided:
+                decided += 1
+    fraction = decided / denies
+    print(
+        f"\ncatalog DENY checks: {denies}; decided by pre-pass alone: "
+        f"{decided} ({fraction:.1%})"
+    )
+    assert fraction >= 0.25, (
+        f"pre-pass coverage regressed: {fraction:.1%} of catalog DENY "
+        "checks decided, need >= 25%"
+    )
+
+
+def test_report_fraction_decided_without_search():
+    """The headline E13 number: checks decided across catalog + random."""
+    total = decided = 0
+    for history in CATALOG_HISTORIES + RANDOM_HISTORIES:
+        for spec in ALL_SPECS:
+            total += 1
+            if prepass_check(spec, history).decided:
+                decided += 1
+    print(
+        f"\n{decided}/{total} checks ({decided / total:.1%}) decided "
+        "without search (catalog + 200 random histories x "
+        f"{len(ALL_SPECS)} specs)"
+    )
+    assert decided > 0
+
+
+def _engine_sweep(prepass):
+    from repro.engine import CheckEngine, SweepSpec
+
+    spec = SweepSpec(
+        source="random", models=("all",), procs=3, ops_per_proc=4, count=60
+    )
+    return CheckEngine(jobs=1, prepass=prepass).run(spec)
+
+
+def test_sweep_speedup_with_prepass():
+    """The engine-level effect on a DENY-heavy random sweep."""
+    fast = _engine_sweep(prepass=True)
+    slow = _engine_sweep(prepass=False)
+    assert [r["models"] for r in fast.results] == [
+        r["models"] for r in slow.results
+    ]
+    t_fast = min(
+        _timed(lambda: _engine_sweep(prepass=True)) for _ in range(3)
+    )
+    t_slow = min(
+        _timed(lambda: _engine_sweep(prepass=False)) for _ in range(3)
+    )
+    print(
+        f"\nrandom sweep (60 histories x all models): "
+        f"prepass {t_fast * 1e3:.1f}ms vs plain {t_slow * 1e3:.1f}ms "
+        f"({t_slow / t_fast:.2f}x); "
+        f"{fast.metrics.prepass_decided}/{fast.metrics.checks} checks "
+        "decided without search"
+    )
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("prepass", [True, False], ids=["prepass", "plain"])
+def test_bench_random_sweep(benchmark, prepass):
+    benchmark.group = "engine sweep: 60 random histories x all models"
+    benchmark(lambda: _engine_sweep(prepass))

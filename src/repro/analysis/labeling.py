@@ -19,7 +19,6 @@ This module provides the corresponding checks on histories:
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.core.history import SystemHistory
 from repro.core.operation import Operation

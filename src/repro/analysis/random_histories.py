@@ -45,15 +45,19 @@ def random_history(
     every read has at least one candidate writer.
     """
     if procs < 1:
-        raise HistoryError(f"random_history needs procs >= 1, got {procs}")
+        raise HistoryError(f"random_history: procs must be >= 1, got {procs}")
     if ops_per_proc < 1:
         raise HistoryError(
-            f"random_history needs ops_per_proc >= 1, got {ops_per_proc}"
+            f"random_history: ops_per_proc must be >= 1, got {ops_per_proc}"
         )
     if not locations:
-        raise HistoryError("random_history needs at least one location")
+        raise HistoryError(
+            f"random_history: locations must be non-empty, got {locations!r}"
+        )
     if not 0.0 <= p_write <= 1.0:
-        raise HistoryError(f"p_write must lie in [0, 1], got {p_write}")
+        raise HistoryError(
+            f"random_history: p_write must lie in [0, 1], got {p_write}"
+        )
     locations = list(locations)
     # First pass: decide shapes, assign distinct write values by slot.
     shapes: list[list[tuple[str, str, int | None]]] = []

@@ -9,8 +9,7 @@ cleanly into EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 __all__ = ["Timer", "verdict_table", "fraction", "format_counts"]
 

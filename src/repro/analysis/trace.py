@@ -14,8 +14,8 @@ traces — with linear-time tools:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation

@@ -7,7 +7,7 @@ and ``classify`` are the top-level entry points most client code uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.checking.axiomatic_tso import check_axiomatic_tso

@@ -9,6 +9,9 @@
     python -m repro lattice [--procs 2] [--ops 2] [--jobs 4] [--dot]
     python -m repro sweep   [--source catalog] [--models SC,TSO,PC] [--jobs 4]
     python -m repro bakery  [--machine rc_pc] [--runs 100] [--adversarial]
+    python -m repro lint history "p: w(x)1 | q: r(x)2" [--model SC]
+    python -m repro lint spec [--broken-fixtures]
+    python -m repro lint program figure6
     python -m repro models
 
 Exit status: 0 on success; for ``check``, 0 when the history is allowed
@@ -139,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--p-write", type=float, default=0.5, help="write probability (random)"
     )
+    p_sweep.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="disable the static DENY pre-pass (same verdicts, more searching)",
+    )
 
     p_bakery = sub.add_parser("bakery", help="run the Section 5 Bakery experiment")
     p_bakery.add_argument(
@@ -155,6 +163,54 @@ def build_parser() -> argparse.ArgumentParser:
         "spectrum", help="the strongest models allowing a history"
     )
     p_spec.add_argument("history")
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: history pre-pass, spec linter, progcheck"
+    )
+    lint_sub = p_lint.add_subparsers(dest="lint_target", required=True)
+
+    p_lint_history = lint_sub.add_parser(
+        "history", help="polynomial DENY pre-pass on one history"
+    )
+    p_lint_history.add_argument(
+        "history", help="litmus notation or a catalog entry name"
+    )
+    p_lint_history.add_argument(
+        "--model",
+        default="all",
+        help="spec-backed model name, or 'all' (default)",
+    )
+
+    p_lint_spec = lint_sub.add_parser(
+        "spec", help="lint memory-model specs (registry by default)"
+    )
+    p_lint_spec.add_argument("--name", help="lint just this registered spec")
+    p_lint_spec.add_argument(
+        "--broken-fixtures",
+        action="store_true",
+        help="lint the deliberately broken fixture specs instead",
+    )
+
+    p_lint_program = lint_sub.add_parser(
+        "program", help="static race/labeling analysis of a pseudocode program"
+    )
+    p_lint_program.add_argument(
+        "program",
+        nargs="?",
+        help="a built-in name (figure6, peterson, naive-lock, "
+        "mislabeled-bakery) — or use --file",
+    )
+    p_lint_program.add_argument(
+        "--file", metavar="PATH", help="analyze pseudocode read from a file"
+    )
+    p_lint_program.add_argument(
+        "--shared",
+        default="",
+        help="comma-separated bare shared names (with --file)",
+    )
+    p_lint_program.add_argument(
+        "--threads", type=int, default=2, help="concurrent copies to assume"
+    )
 
     sub.add_parser("models", help="list registered memory models")
     return parser
@@ -278,7 +334,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         p_write=args.p_write,
     )
-    engine = CheckEngine(jobs=args.jobs, store_views=args.store_views)
+    engine = CheckEngine(
+        jobs=args.jobs,
+        store_views=args.store_views,
+        prepass=not args.no_prepass,
+    )
     if args.out:
         with ResultStore(args.out) as store:
             report = engine.run(spec, store=store, resume=args.resume)
@@ -328,6 +388,123 @@ def _cmd_spectrum(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return {
+        "history": _lint_history,
+        "spec": _lint_spec,
+        "program": _lint_program,
+    }[args.lint_target](args)
+
+
+def _lint_history(args: argparse.Namespace) -> int:
+    """Run the polynomial pre-pass; exit 1 when any model gets a DENY."""
+    from repro.staticcheck import prepass_check
+
+    entry = CATALOG.get(args.history)
+    history = entry.history if entry is not None else parse_history(args.history)
+    if args.model == "all":
+        names = [n for n in model_names() if MODELS[n].spec is not None]
+    else:
+        model = MODELS.get(args.model)
+        if model is None or model.spec is None:
+            print(
+                f"unknown or spec-less model {args.model!r} "
+                "(the pre-pass needs a spec-backed model)",
+                file=sys.stderr,
+            )
+            return 2
+        names = [args.model]
+    print(render_history(history, title="history:"))
+    denied = 0
+    for name in names:
+        spec = MODELS[name].spec
+        assert spec is not None
+        verdict = prepass_check(spec, history)
+        if verdict.decided:
+            denied += 1
+            print(f"  {name:16s} DENY ({verdict.check}): {verdict.reason}")
+        else:
+            ran = ", ".join(verdict.checks_run)
+            print(f"  {name:16s} unknown (search needed; ran {ran})")
+    return 1 if denied else 0
+
+
+def _lint_spec(args: argparse.Namespace) -> int:
+    """Lint specs; exit 1 when any error-level finding is reported."""
+    from repro.spec import ALL_SPECS
+    from repro.staticcheck import broken_fixture_specs, lint_registry, lint_spec
+
+    if args.broken_fixtures:
+        reports = {
+            spec.name: lint_spec(spec) for spec in broken_fixture_specs()
+        }
+    elif args.name:
+        by_name = {spec.name: spec for spec in ALL_SPECS}
+        spec = by_name.get(args.name)
+        if spec is None:
+            print(f"unknown spec {args.name!r}", file=sys.stderr)
+            return 2
+        reports = {spec.name: lint_spec(spec)}
+    else:
+        reports = lint_registry()
+    errors = 0
+    for name, findings in reports.items():
+        if not findings:
+            print(f"{name}: clean")
+            continue
+        print(f"{name}:")
+        for finding in findings:
+            if finding.level == "error":
+                errors += 1
+            print(f"  {finding.render()}")
+    return 1 if errors else 0
+
+
+#: Built-in analyzable programs: name -> (text factory, shared names).
+_LINT_PROGRAMS = {
+    "figure6": ("repro.programs.figure6", "FIGURE6_TEXT", ("shared",)),
+    "peterson": (
+        "repro.programs.algorithm_texts",
+        "PETERSON_TEXT",
+        ("turn", "shared"),
+    ),
+    "naive-lock": ("repro.programs.algorithm_texts", "NAIVE_LOCK_TEXT", ("lock",)),
+    "mislabeled-bakery": (
+        "repro.programs.algorithm_texts",
+        "MISLABELED_BAKERY_TEXT",
+        ("shared",),
+    ),
+}
+
+
+def _lint_program(args: argparse.Namespace) -> int:
+    """Static race analysis; exit 1 when potential races are reported."""
+    import importlib
+
+    from repro.staticcheck import analyze_program
+
+    if args.file:
+        with open(args.file) as fh:
+            text = fh.read()
+        shared = tuple(s for s in args.shared.split(",") if s)
+        name = args.file
+    elif args.program in _LINT_PROGRAMS:
+        module_name, attr, shared = _LINT_PROGRAMS[args.program]
+        text = getattr(importlib.import_module(module_name), attr)
+        name = args.program
+    else:
+        known = ", ".join(sorted(_LINT_PROGRAMS))
+        print(
+            f"unknown program {args.program!r} (known: {known}; "
+            "or pass --file)",
+            file=sys.stderr,
+        )
+        return 2
+    report = analyze_program(text, shared=shared, name=name, threads=args.threads)
+    print(report.render())
+    return 1 if report.races else 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     for name in model_names():
         spec = MODELS[name].spec
@@ -346,6 +523,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "bakery": _cmd_bakery,
     "spectrum": _cmd_spectrum,
+    "lint": _cmd_lint,
     "models": _cmd_models,
 }
 

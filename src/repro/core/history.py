@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.errors import HistoryError
-from repro.core.operation import Operation, OpKind, read, rmw, write
+from repro.core.operation import Operation, read, rmw, write
 
 __all__ = ["ProcessorHistory", "SystemHistory", "HistoryBuilder"]
 

@@ -17,7 +17,7 @@ are rejected when histories are constructed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.errors import MalformedOperationError

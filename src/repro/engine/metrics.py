@@ -25,6 +25,7 @@ class EngineMetrics:
     histories: int = 0
     checks: int = 0
     skipped: int = 0
+    prepass_decided: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
@@ -44,6 +45,7 @@ class EngineMetrics:
         self.histories += partial.get("histories", 0)
         self.checks += partial.get("checks", 0)
         self.skipped += partial.get("skipped", 0)
+        self.prepass_decided += partial.get("prepass_decided", 0)
         self.cache_hits += partial.get("cache_hits", 0)
         self.cache_misses += partial.get("cache_misses", 0)
         for model, seconds in partial.get("model_seconds", {}).items():
@@ -73,6 +75,7 @@ class EngineMetrics:
             "histories": self.histories,
             "checks": self.checks,
             "skipped": self.skipped,
+            "prepass_decided": self.prepass_decided,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
@@ -95,6 +98,11 @@ class EngineMetrics:
             f"cache hit rate: {self.cache_hit_rate:.1%} "
             f"(hits={self.cache_hits}, misses={self.cache_misses})",
         ]
+        if self.prepass_decided:
+            lines.append(
+                f"static pre-pass: {self.prepass_decided}/{self.checks} "
+                "checks decided without search"
+            )
         if self.model_seconds:
             total = sum(self.model_seconds.values())
             lines.append(f"per-model time (total {total:.3f}s):")

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from repro.checking.models import check, model_names
+from repro.checking.models import MODELS, check, model_names
 from repro.core.errors import EngineError
 from repro.core.history import SystemHistory
 from repro.core.serialization import history_from_dict, history_to_dict, view_to_dict
@@ -43,11 +43,14 @@ _WORKER_STATE: dict | None = None
 
 
 def _fresh_state(
-    cache_histories: int = DEFAULT_CACHE_HISTORIES, store_views: bool = False
+    cache_histories: int = DEFAULT_CACHE_HISTORIES,
+    store_views: bool = False,
+    prepass: bool = True,
 ) -> dict:
     return {
         "cache": RelationCache(max_histories=cache_histories),
         "store_views": store_views,
+        "prepass": prepass,
     }
 
 
@@ -64,17 +67,23 @@ def _warm_models() -> None:
         check(tiny, name)
 
 
-def _init_worker(cache_histories: int, store_views: bool) -> None:
+def _init_worker(cache_histories: int, store_views: bool, prepass: bool) -> None:
     global _WORKER_STATE
     _warm_models()
-    _WORKER_STATE = _fresh_state(cache_histories, store_views)
+    _WORKER_STATE = _fresh_state(cache_histories, store_views, prepass)
 
 
 def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
     """Check every payload of ``chunk``; returns records plus cache deltas."""
+    # Lazy import: the static layer sits above the kernel, and the engine
+    # only needs it when the pre-pass is enabled.
+    from repro.staticcheck.prepass import prepass_check
+
     cache: RelationCache = state["cache"]
     store_views: bool = state.get("store_views", False)
+    prepass: bool = state.get("prepass", True)
     hits0, misses0 = cache.hits, cache.misses
+    prepass_decided = 0
     records: list[dict] = []
     for key, history_dict, models in chunk:
         history = history_from_dict(history_dict)
@@ -85,6 +94,14 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
         with relation_memo(cache):
             for model in models:
                 t0 = time.perf_counter()
+                spec = MODELS[model].spec if prepass else None
+                if spec is not None and prepass_check(spec, history).decided:
+                    # Sound definite DENY: skip the search entirely.
+                    verdicts[model] = False
+                    explored[model] = 0
+                    prepass_decided += 1
+                    model_seconds[model] = time.perf_counter() - t0
+                    continue
                 result = check(history, model)
                 model_seconds[model] = time.perf_counter() - t0
                 verdicts[model] = result.allowed
@@ -107,6 +124,7 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
         "records": records,
         "cache_hits": cache.hits - hits0,
         "cache_misses": cache.misses - misses0,
+        "prepass_decided": prepass_decided,
     }
 
 
@@ -152,6 +170,12 @@ class CheckEngine:
         Also record witness views (wire-format, per model) in result
         records, so positive verdicts keep their evidence; off by default
         because views dominate record size on large sweeps.
+    prepass:
+        Run the polynomial static pre-pass
+        (:mod:`repro.staticcheck.prepass`) before each spec-backed check
+        and skip the search on a definite DENY.  Sound — verdicts are
+        identical with it on or off — so it defaults on; disable to
+        benchmark the raw kernel (``sweep --no-prepass``).
     """
 
     def __init__(
@@ -160,6 +184,7 @@ class CheckEngine:
         chunk_size: int | None = None,
         cache_histories: int = DEFAULT_CACHE_HISTORIES,
         store_views: bool = False,
+        prepass: bool = True,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -169,6 +194,7 @@ class CheckEngine:
         self.chunk_size = chunk_size
         self.cache_histories = cache_histories
         self.store_views = store_views
+        self.prepass = prepass
         self._local_state: dict | None = None
 
     # -- serial cached checking (the in-process fast path) ----------------------
@@ -189,8 +215,17 @@ class CheckEngine:
         order relations are derived once and shared across the models.
         """
         names = tuple(models) if models is not None else model_names()
+        from repro.staticcheck.prepass import prepass_check
+
+        verdicts: dict[str, bool] = {}
         with relation_memo(self.cache):
-            return {name: check(history, name).allowed for name in names}
+            for name in names:
+                spec = MODELS[name].spec if self.prepass else None
+                if spec is not None and prepass_check(spec, history).decided:
+                    verdicts[name] = False
+                else:
+                    verdicts[name] = check(history, name).allowed
+        return verdicts
 
     def map_classify(
         self, histories: Iterable[SystemHistory], models: Sequence[str]
@@ -247,6 +282,7 @@ class CheckEngine:
         for out in self._execute(self._chunks(payloads)):
             metrics.cache_hits += out["cache_hits"]
             metrics.cache_misses += out["cache_misses"]
+            metrics.prepass_decided += out.get("prepass_decided", 0)
             for record in out["records"]:
                 for model, seconds in record.pop("model_seconds").items():
                     metrics.add_model_time(model, seconds)
@@ -297,9 +333,10 @@ class CheckEngine:
             state = (
                 self._local_state
                 if self._local_state is not None
-                else _fresh_state(self.cache_histories, self.store_views)
+                else _fresh_state(self.cache_histories, self.store_views, self.prepass)
             )
             state["store_views"] = self.store_views
+            state["prepass"] = self.prepass
             self._local_state = state
             for chunk in chunks:
                 yield _run_chunk_impl(chunk, state)
@@ -308,6 +345,6 @@ class CheckEngine:
         with ctx.Pool(
             processes=self.jobs,
             initializer=_init_worker,
-            initargs=(self.cache_histories, self.store_views),
+            initargs=(self.cache_histories, self.store_views, self.prepass),
         ) as pool:
             yield from pool.imap(_run_chunk, chunks)

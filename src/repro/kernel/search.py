@@ -275,6 +275,8 @@ def check_with_spec(
     spec,
     history: SystemHistory,
     budget: SearchBudget | None = None,
+    *,
+    prepass: bool = False,
 ) -> CheckResult:
     """Decide whether ``history`` is allowed by the model ``spec`` describes.
 
@@ -283,8 +285,24 @@ def check_with_spec(
     over the compiled constraint plane (layer 3), searching each
     processor's view (this layer) until some combination yields legal
     views for every processor.
+
+    With ``prepass=True``, the polynomial static pre-pass
+    (:mod:`repro.staticcheck.prepass`) runs first and short-circuits the
+    search on a definite DENY.  Verdicts are unchanged either way (the
+    pre-pass is sound for DENY and never admits); the default is off so
+    the kernel surface stays byte-comparable to the frozen legacy solver,
+    and the engine opts in on top.
     """
     budget = budget or SearchBudget()
+
+    if prepass:
+        # Imported lazily: repro.staticcheck imports kernel modules, so a
+        # top-level import here would be circular.
+        from repro.staticcheck.prepass import prepass_check
+
+        verdict = prepass_check(spec, history)
+        if verdict.decided:
+            return verdict.to_result()
 
     # Derive the candidate-source table once (shared across the specs a
     # sweep checks this history against); every layer below receives it.

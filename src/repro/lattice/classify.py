@@ -11,7 +11,7 @@ memories; :data:`FIGURE5_EDGES` records them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.checking.models import check
 from repro.core.history import SystemHistory
@@ -95,6 +95,7 @@ def classify_histories(
     histories: Iterable[SystemHistory],
     models: Sequence[str],
     engine: "CheckEngine | None" = None,
+    prepass: bool = True,
 ) -> ClassificationResult:
     """Run every named model's checker over every history.
 
@@ -102,6 +103,10 @@ def classify_histories(
     :meth:`repro.engine.CheckEngine.map_classify` instead of direct
     :func:`check` calls — relation-cached, and parallel when the engine has
     ``jobs > 1``.  The results are identical either way.
+
+    ``prepass`` (serial path; the engine path is governed by the engine's
+    own flag) runs the sound polynomial DENY pre-pass before each search —
+    same verdicts, fewer searches on DENY-heavy collections.
     """
     hs = list(histories)
     result = ClassificationResult(tuple(models), hs)
@@ -112,6 +117,9 @@ def classify_histories(
                 i for i, row in enumerate(rows) if row[name]
             }
         return result
+    from repro.checking.models import MODELS
+    from repro.staticcheck.prepass import prepass_check
+
     # Serial path: history-major under a relation memo, so the order
     # relations and compiled constraint kernels are derived once per
     # history and shared by every model (the engine path gets the same
@@ -121,6 +129,9 @@ def classify_histories(
     with relation_memo():
         for i, h in enumerate(hs):
             for name in models:
+                spec = MODELS[name].spec if prepass else None
+                if spec is not None and prepass_check(spec, h).decided:
+                    continue  # sound DENY: not in the allowed set
                 if check(h, name).allowed:
                     result.allowed[name].add(i)
     return result

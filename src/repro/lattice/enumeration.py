@@ -22,7 +22,7 @@ shrinking the space by close to ``procs! × locations!``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.history import HistoryBuilder, SystemHistory

@@ -9,7 +9,6 @@ the paper's figure.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import networkx as nx
 

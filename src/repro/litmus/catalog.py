@@ -8,7 +8,7 @@ record our measured verdict in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.history import SystemHistory

@@ -29,7 +29,6 @@ identifiers (letters, digits, ``_``, ``[]`` for array cells).
 from __future__ import annotations
 
 import re
-from typing import Iterable
 
 from repro.core.errors import ParseError
 from repro.core.history import HistoryBuilder, SystemHistory

@@ -16,8 +16,10 @@ from repro.programs.runner import ThreadFactory
 __all__ = [
     "PETERSON_TEXT",
     "NAIVE_LOCK_TEXT",
+    "MISLABELED_BAKERY_TEXT",
     "peterson_text_program",
     "naive_lock_text_program",
+    "mislabeled_bakery_program",
 ]
 
 PETERSON_TEXT = """
@@ -48,6 +50,33 @@ if f == 0:
   lock := 0
 """
 
+MISLABELED_BAKERY_TEXT = """
+# Figure 6's Bakery algorithm with every `sync` label dropped — a
+# deliberately improperly-labeled variant (paper Section 3.4): the
+# choosing/number handshake operations compete but are left ordinary.
+choosing[i] := 1
+m := 0
+for j in 0..n-1:
+  if j != i:
+    t := read number[j]
+    m := max(m, t)
+mine := 1 + m
+number[i] := mine
+choosing[i] := 0
+for j in 0..n-1:
+  if j != i:
+    await choosing[j] == 0
+    while true:
+      other := read number[j]
+      if other == 0 or (mine, i) < (other, j):
+        break
+cs_enter
+d := read shared
+shared := d * n + i + 1
+cs_exit
+number[i] := 0
+"""
+
 
 def peterson_text_program() -> Mapping[Any, ThreadFactory]:
     """Thread factories compiled from :data:`PETERSON_TEXT` (procs p0, p1)."""
@@ -59,3 +88,9 @@ def naive_lock_text_program(n: int = 2) -> Mapping[Any, ThreadFactory]:
     """Thread factories for the broken protocol (exhaustively refutable)."""
     program = parse_program(NAIVE_LOCK_TEXT, shared=("lock",))
     return {f"p{i}": (lambda i=i: program.thread(i=i)) for i in range(n)}
+
+
+def mislabeled_bakery_program(n: int = 2) -> Mapping[Any, ThreadFactory]:
+    """Thread factories for the improperly-labeled Bakery variant."""
+    program = parse_program(MISLABELED_BAKERY_TEXT, shared=("shared",))
+    return {f"p{i}": (lambda i=i: program.thread(i=i, n=n)) for i in range(n)}

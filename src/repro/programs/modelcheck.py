@@ -19,7 +19,7 @@ studies, not a general-purpose model checker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable
 
 from repro.core.history import SystemHistory
 from repro.programs.runner import RunResult, Setup, explore

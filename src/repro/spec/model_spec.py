@@ -9,7 +9,7 @@ suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import SpecError
 from repro.spec.parameters import (

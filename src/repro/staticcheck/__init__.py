@@ -1,0 +1,58 @@
+"""repro.staticcheck — the static analysis layer in front of the kernel.
+
+Three coordinated analyzers, all polynomial-time, all *without* running the
+kernel's exponential linear-extension search or executing a program:
+
+* :mod:`repro.staticcheck.prepass` — per-spec necessary-condition checks on
+  histories.  Sound for DENY (a decided verdict is always correct), never
+  ADMITs; UNKNOWN falls through to the kernel.  The engine runs it as an
+  opt-out fast path in front of every spec-backed checker.
+* :mod:`repro.staticcheck.speclint` — validation of
+  :class:`~repro.spec.model_spec.MemoryModelSpec` parameter triples, plus
+  small-history probing that flags specs indistinguishable from (or
+  contained in) an existing lattice node.
+* :mod:`repro.staticcheck.progcheck` — static race and proper-labeling
+  analysis of pseudocode programs (paper Section 3.4), cross-validated in
+  the test suite against the dynamic :mod:`repro.analysis.labeling` checks
+  on scheduler-generated histories.
+
+All three are exposed by ``python -m repro lint {history,spec,program}``.
+"""
+
+from repro.staticcheck.prepass import (
+    HistoryPrepass,
+    PrepassVerdict,
+    compile_prepass,
+    prepass_check,
+)
+from repro.staticcheck.progcheck import (
+    PotentialRace,
+    ProgramReport,
+    SharedAccess,
+    analyze_program,
+    report_covers_races,
+)
+from repro.staticcheck.speclint import (
+    SpecFinding,
+    broken_fixture_specs,
+    lint_parameters,
+    lint_registry,
+    lint_spec,
+)
+
+__all__ = [
+    "HistoryPrepass",
+    "PrepassVerdict",
+    "compile_prepass",
+    "prepass_check",
+    "SpecFinding",
+    "broken_fixture_specs",
+    "lint_parameters",
+    "lint_registry",
+    "lint_spec",
+    "PotentialRace",
+    "ProgramReport",
+    "SharedAccess",
+    "analyze_program",
+    "report_covers_races",
+]

@@ -1,0 +1,324 @@
+"""Static race and proper-labeling analysis of pseudocode programs (§3.4).
+
+The dynamic checks in :mod:`repro.analysis.labeling` need an executed
+history; this module inspects the program *text* — the parsed AST from
+:mod:`repro.programs.pseudocode` — and reports which shared locations can
+race when ``threads`` copies of the program run concurrently.
+
+The analysis is deliberately conservative, mirroring the paper's notion of
+*competing* operations:
+
+* every shared access in the AST is collected with its label (``sync``)
+  and whether it sits between ``cs_enter``/``cs_exit`` markers;
+* two accesses from distinct threads form a *potential race* when they
+  touch locations that may alias, at least one is a write, and at least
+  one is unlabeled — exactly the pairs that §3.4's proper-labeling
+  discipline forbids;
+* pairs where **both** sides lie inside declared critical sections are
+  reported separately (:attr:`ProgramReport.cs_protected`): the markers
+  assert mutual exclusion, but that assertion is only as good as the
+  labeled synchronization implementing the section, which a static
+  analysis of one thread body cannot verify.
+
+Aliasing of indexed locations (``flag[1 - i]`` vs ``flag[i]``) is decided
+by evaluating the index expressions over all assignments of distinct
+thread ids to the thread parameter; any expression mentioning other
+variables (loop counters, locals) is conservatively assumed to alias.
+
+Soundness direction: the analyzer may over-report (an access guarded by
+data flow it cannot see), but on the repository's algorithm suite every
+potential race it reports is confirmed by the dynamic
+:func:`repro.analysis.labeling.find_races` — see
+``tests/staticcheck/test_progcheck.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.operation import Operation
+from repro.programs.pseudocode import (
+    PseudoProgram,
+    _Assign,
+    _Await,
+    _For,
+    _If,
+    _Node,
+    _SharedRead,
+    _Simple,
+    _While,
+    parse_program,
+)
+
+__all__ = [
+    "SharedAccess",
+    "PotentialRace",
+    "ProgramReport",
+    "analyze_program",
+    "report_covers_races",
+]
+
+
+@dataclass(frozen=True)
+class SharedAccess:
+    """One static shared-memory access site in a program body."""
+
+    line: int
+    kind: str  # "read" | "write"
+    base: str  # location name without the index, e.g. "number"
+    index: str | None  # raw index expression text, e.g. "1 - i"
+    labeled: bool  # carries the ``sync`` suffix
+    in_cs: bool  # between cs_enter and cs_exit markers
+
+    @property
+    def location(self) -> str:
+        return self.base if self.index is None else f"{self.base}[{self.index}]"
+
+    def render(self) -> str:
+        marks = [self.kind]
+        if self.labeled:
+            marks.append("sync")
+        if self.in_cs:
+            marks.append("cs")
+        return f"line {self.line}: {self.location} ({', '.join(marks)})"
+
+
+@dataclass(frozen=True)
+class PotentialRace:
+    """A pair of access sites that can compete without both being labeled."""
+
+    first: SharedAccess
+    second: SharedAccess
+    reason: str
+
+    @property
+    def base(self) -> str:
+        return self.first.base
+
+    def render(self) -> str:
+        return (
+            f"{self.base}: {self.first.render()} vs {self.second.render()} "
+            f"— {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """Everything :func:`analyze_program` learned about one program."""
+
+    name: str
+    threads: int
+    accesses: tuple[SharedAccess, ...]
+    races: tuple[PotentialRace, ...]
+    cs_protected: tuple[PotentialRace, ...]
+
+    @property
+    def properly_labeled(self) -> bool:
+        """No potential race outside declared critical sections (§3.4)."""
+        return not self.races
+
+    @property
+    def race_bases(self) -> frozenset[str]:
+        return frozenset(race.base for race in self.races)
+
+    @property
+    def cs_protected_bases(self) -> frozenset[str]:
+        return frozenset(race.base for race in self.cs_protected)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.name}: {len(self.accesses)} shared access sites, "
+            f"{self.threads} threads"
+        ]
+        if self.properly_labeled:
+            lines.append("  properly labeled: no potential races outside CS")
+        for race in self.races:
+            lines.append(f"  RACE {race.render()}")
+        for race in self.cs_protected:
+            lines.append(f"  cs-protected {race.render()}")
+        return "\n".join(lines)
+
+
+# -- access collection ----------------------------------------------------------
+
+
+def _split_location(text: str) -> tuple[str, str | None]:
+    text = text.strip()
+    if "[" in text and text.endswith("]"):
+        base, index = text.split("[", 1)
+        return base.strip(), index[:-1].strip()
+    return text, None
+
+
+def _collect(
+    body: list[_Node], shared_names: frozenset[str], depth: int
+) -> Iterator[tuple[SharedAccess, int]]:
+    """Pre-order walk yielding (access, cs-depth-after-node)."""
+    for node in body:
+        if isinstance(node, _Simple):
+            if node.kind == "cs_enter":
+                depth += 1
+            elif node.kind == "cs_exit":
+                depth = max(0, depth - 1)
+        elif isinstance(node, _Assign):
+            base = node.target.split("[", 1)[0].strip()
+            if node.shared or base in shared_names:
+                base, index = _split_location(node.target)
+                yield (
+                    SharedAccess(node.line, "write", base, index, node.sync, depth > 0),
+                    depth,
+                )
+        elif isinstance(node, _SharedRead):
+            base, index = _split_location(node.loc)
+            yield (
+                SharedAccess(node.line, "read", base, index, node.sync, depth > 0),
+                depth,
+            )
+        elif isinstance(node, _Await):
+            base, index = _split_location(node.loc)
+            yield (
+                SharedAccess(node.line, "read", base, index, node.sync, depth > 0),
+                depth,
+            )
+        elif isinstance(node, _If):
+            for _, arm_body in node.arms:
+                for item in _collect(arm_body, shared_names, depth):
+                    yield item
+                    depth = item[1]
+        elif isinstance(node, (_While, _For)):
+            for item in _collect(node.body, shared_names, depth):
+                yield item
+                depth = item[1]
+
+
+def collect_accesses(program: PseudoProgram) -> tuple[SharedAccess, ...]:
+    """All static shared-access sites of a program, in program order."""
+    return tuple(
+        access for access, _ in _collect(program.body, program.shared_names, 0)
+    )
+
+
+# -- aliasing -------------------------------------------------------------------
+
+
+def _eval_index(
+    expr: str, env: Mapping[str, Any]
+) -> int | None:
+    """Evaluate an index expression, or ``None`` when it is not closed
+    over the thread parameters (loop variables, locals → conservative)."""
+    try:
+        value = eval(expr, {"__builtins__": {}}, dict(env))
+    except Exception:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def _indices_may_collide(
+    a: str | None,
+    b: str | None,
+    thread_param: str,
+    threads: int,
+    params: Mapping[str, Any],
+) -> bool:
+    """May ``base[a]`` on one thread and ``base[b]`` on a *different*
+    thread name the same location?"""
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        # "turn" and "turn[0]" are distinct location strings in the runner.
+        return False
+    for ta in range(threads):
+        for tb in range(threads):
+            if ta == tb:
+                continue
+            va = _eval_index(a, {**params, thread_param: ta})
+            vb = _eval_index(b, {**params, thread_param: tb})
+            if va is None or vb is None:
+                return True  # unknown index → conservative alias
+            if va == vb:
+                return True
+    return False
+
+
+# -- race detection -------------------------------------------------------------
+
+
+def analyze_program(
+    program: PseudoProgram | str,
+    *,
+    shared: tuple[str, ...] = (),
+    name: str = "program",
+    threads: int = 2,
+    thread_param: str = "i",
+    params: Mapping[str, Any] | None = None,
+) -> ProgramReport:
+    """Statically analyze ``threads`` concurrent copies of a program.
+
+    ``program`` is either a parsed :class:`PseudoProgram` or pseudocode
+    text (then ``shared`` lists the bare shared names, as for
+    :func:`~repro.programs.pseudocode.parse_program`).  ``thread_param``
+    is the parameter that identifies a thread (distinct per thread);
+    ``params`` supplies any other parameters index expressions may use
+    (e.g. ``{"n": 3}``).
+    """
+    if isinstance(program, str):
+        program = parse_program(program, shared=shared)
+    env = dict(params or {})
+    env.setdefault("n", threads)
+    accesses = collect_accesses(program)
+    races: list[PotentialRace] = []
+    protected: list[PotentialRace] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i:]:
+            if a.base != b.base:
+                continue
+            if a.kind != "write" and b.kind != "write":
+                continue
+            if not _indices_may_collide(
+                a.index, b.index, thread_param, threads, env
+            ):
+                continue
+            if a.labeled and b.labeled:
+                continue  # competing but labeled: exactly what §3.4 allows
+            unlabeled = [s for s in (a, b) if not s.labeled]
+            reason = (
+                "unlabeled "
+                + " and ".join(
+                    f"{s.kind} at line {s.line}" for s in unlabeled
+                )
+                + " can compete across threads"
+            )
+            race = PotentialRace(a, b, reason)
+            if a.in_cs and b.in_cs:
+                protected.append(race)
+            else:
+                races.append(race)
+    return ProgramReport(name, threads, accesses, tuple(races), tuple(protected))
+
+
+# -- cross-validation against the dynamic analysis ------------------------------
+
+
+def _location_base(location: str) -> str:
+    return location.split("[", 1)[0]
+
+
+def report_covers_races(
+    report: ProgramReport, races: Iterable[tuple[Operation, Operation]]
+) -> bool:
+    """Does the static report account for every dynamic race?
+
+    ``races`` is the output of
+    :func:`repro.analysis.labeling.find_races` on a history generated by
+    running the analyzed program.  Each racing pair must touch a location
+    whose base the static analysis flagged — either as a potential race
+    or as a cs-protected pair (the static analysis trusts the
+    ``cs_enter``/``cs_exit`` markers; the dynamic one does not).
+    """
+    covered = report.race_bases | report.cs_protected_bases
+    return all(
+        _location_base(first.location) in covered for first, _ in races
+    )

@@ -1,0 +1,374 @@
+"""Spec linting: validate memory-model parameter triples before trusting them.
+
+A :class:`~repro.spec.model_spec.MemoryModelSpec` is data, and data can be
+wrong in ways the constructor cannot see: an ordering callable that is not
+a partial order, a parameter combination that type-checks but contradicts
+the paper's definitions, or a "new" memory that is observationally the
+same as a registry node.  The linter catches all three:
+
+* **SL001** (error) — the ordering is not a partial order over H: it
+  relates an operation to itself or is cyclic on an SC-allowed probe
+  history (a broken ordering denies even a sequential execution);
+* **SL002** (error) — the mutual-consistency class is inconsistent with
+  the set-of-operations parameter, or bracketing/labeled-discipline flags
+  contradict each other (the constructor's rules, reported as findings
+  instead of raised);
+* **SL003** (warning) — a labeled discipline is declared but nothing in
+  the spec (bracketing, a label-aware ordering, labeled agreement) uses it;
+* **SL101** (warning) — probe histories cannot distinguish the spec from
+  an existing registry spec (trivially equal lattice node);
+* **SL102** (info) — the spec's allowed set is strictly contained in (or
+  strictly contains) a registry spec's on the probe set.
+
+Probing is small-history: the fixed SC-allowed texts below for the
+partial-order check, plus the litmus catalog and two labeled probes for
+the equivalence/containment sweep.  Probe verdicts come from the kernel
+(:func:`~repro.kernel.search.check_with_spec`), so the linter inherits the
+kernel's semantics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.history import SystemHistory
+from repro.kernel.search import check_with_spec
+from repro.orders.coherence import enumerate_coherence_orders
+from repro.orders.relation import Relation
+from repro.orders.writes_before import ReadsFrom, unambiguous_reads_from
+from repro.core.operation import Operation
+from repro.spec.model_spec import MemoryModelSpec
+from repro.spec.parameters import (
+    PO,
+    LabeledDiscipline,
+    MutualConsistency,
+    OperationSet,
+    OrderingRule,
+)
+
+__all__ = [
+    "SpecFinding",
+    "lint_spec",
+    "lint_parameters",
+    "lint_registry",
+    "broken_fixture_specs",
+]
+
+#: SC-allowed probe texts: any ordering that is cyclic on one of these
+#: would deny a sequentially consistent execution, so it cannot be a
+#: partial order over admissible histories.
+_ORDERING_PROBES: tuple[str, ...] = (
+    "p: w(x)1 r(x)1 | q: w(y)2 r(y)2",
+    "p: w(x)1 w(y)2 | q: r(y)2 r(x)1",
+    "p: w(x)1 r(y)0 | q: r(x)1 w(y)2",
+)
+
+#: Labeled probes for the equivalence sweep (separate the RC/hybrid specs,
+#: which collapse onto their unlabeled cousins on label-free histories).
+_LABELED_PROBES: tuple[str, ...] = (
+    "p: w*(s)1 r(x)0 w(x)1 w*(s)2 | q: r*(s)2 r(x)1 w(x)2 w*(s)3",
+    "p: w(x)1 w*(s)1 | q: r*(s)1 r(x)0",
+    "p: w*(x)1 r*(y)0 | q: w*(y)1 r*(x)0",  # labeled SB: RC_sc ≠ RC_pc
+)
+
+
+@dataclass(frozen=True)
+class SpecFinding:
+    """One linter diagnosis about one spec.
+
+    Attributes
+    ----------
+    level:
+        ``"error"`` (the spec is unusable), ``"warning"`` (probably not
+        what the author meant) or ``"info"`` (lattice-position note).
+    code:
+        Stable finding code (``SL001`` …), for filtering and tests.
+    spec:
+        Name of the spec the finding is about.
+    message:
+        Human-readable one-liner.
+    """
+
+    level: str
+    code: str
+    spec: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.level:7s} {self.code} [{self.spec}] {self.message}"
+
+
+def _probe_histories(texts: Iterable[str]) -> list[SystemHistory]:
+    from repro.litmus import parse_history
+
+    return [parse_history(text) for text in texts]
+
+
+def _default_probes() -> list[SystemHistory]:
+    """The equivalence-probe set: the catalog plus the labeled probes."""
+    from repro.litmus import CATALOG
+
+    probes = [test.history for test in CATALOG.values()]
+    probes.extend(_probe_histories(_LABELED_PROBES))
+    return probes
+
+
+def _build_ordering(
+    spec: MemoryModelSpec, history: SystemHistory, rf: ReadsFrom
+) -> Relation[Operation] | None:
+    """The spec's ordering on ``history``, or ``None`` when unbuildable."""
+    co = None
+    if spec.ordering.needs_coherence:
+        co = next(enumerate_coherence_orders(history, rf), None)
+        if co is None:
+            return None
+    return spec.ordering.build(history, rf, co)
+
+
+def _check_ordering(spec: MemoryModelSpec) -> list[SpecFinding]:
+    """SL001: the ordering must be a partial order over admissible H."""
+    findings: list[SpecFinding] = []
+    for history in _probe_histories(_ORDERING_PROBES):
+        rf = unambiguous_reads_from(history)
+        if rf is None:  # pragma: no cover - probes use distinct values
+            continue
+        try:
+            rel = _build_ordering(spec, history, rf)
+        except ReproError as exc:
+            findings.append(
+                SpecFinding(
+                    "error",
+                    "SL001",
+                    spec.name,
+                    f"ordering {spec.ordering.name!r} failed to build on an "
+                    f"SC-allowed probe: {exc}",
+                )
+            )
+            continue
+        if rel is None:
+            continue
+        reflexive = next((a for a, b in rel.pairs() if a == b), None)
+        if reflexive is not None:
+            findings.append(
+                SpecFinding(
+                    "error",
+                    "SL001",
+                    spec.name,
+                    f"ordering {spec.ordering.name!r} is not irreflexive: "
+                    f"it orders {reflexive} before itself",
+                )
+            )
+            break
+        cycle = rel.find_cycle()
+        if cycle is not None:
+            findings.append(
+                SpecFinding(
+                    "error",
+                    "SL001",
+                    spec.name,
+                    f"ordering {spec.ordering.name!r} is cyclic on an "
+                    f"SC-allowed probe history (cycle of {len(cycle) - 1} "
+                    "operations): not a partial order over H",
+                )
+            )
+            break
+    return findings
+
+
+def lint_parameters(
+    name: str,
+    operation_set: OperationSet,
+    mutual_consistency: MutualConsistency,
+    ordering: OrderingRule,
+    labeled_discipline: LabeledDiscipline | None = None,
+    bracketing: bool = False,
+    ordering_own_view_only: bool = False,
+) -> list[SpecFinding]:
+    """Lint a raw parameter triple that may not survive the constructor.
+
+    The constructor's consistency rules, reported as SL002 findings
+    instead of a raised :class:`~repro.core.errors.SpecError` — so a bad
+    combination can be diagnosed (and all of its problems listed) without
+    ever building the spec.
+    """
+    findings: list[SpecFinding] = []
+    if bracketing and labeled_discipline is None:
+        findings.append(
+            SpecFinding(
+                "error",
+                "SL002",
+                name,
+                "bracketing conditions require a labeled discipline",
+            )
+        )
+    if (
+        mutual_consistency is MutualConsistency.IDENTICAL
+        and operation_set is not OperationSet.ALL_REMOTE
+    ):
+        findings.append(
+            SpecFinding(
+                "error",
+                "SL002",
+                name,
+                "identical views require every operation in every view "
+                "(set-of-operations must be ALL_REMOTE)",
+            )
+        )
+    if ordering.needs_coherence and mutual_consistency not in (
+        MutualConsistency.COHERENCE,
+        MutualConsistency.TOTAL_WRITE_ORDER,
+    ):
+        findings.append(
+            SpecFinding(
+                "error",
+                "SL002",
+                name,
+                f"ordering {ordering.name!r} needs a coherence order but "
+                f"mutual consistency {mutual_consistency.value!r} provides none",
+            )
+        )
+    if (
+        labeled_discipline is not None
+        and not bracketing
+        and mutual_consistency is not MutualConsistency.LABELED_TOTAL_ORDER
+    ):
+        findings.append(
+            SpecFinding(
+                "warning",
+                "SL003",
+                name,
+                "a labeled discipline is declared but neither bracketing nor "
+                "labeled agreement uses it",
+            )
+        )
+    return findings
+
+
+def lint_spec(
+    spec: MemoryModelSpec,
+    *,
+    registry: Sequence[MemoryModelSpec] | None = None,
+    probes: Sequence[SystemHistory] | None = None,
+) -> list[SpecFinding]:
+    """All findings about one spec (see the module docstring for codes).
+
+    ``registry`` defaults to :data:`repro.spec.ALL_SPECS`; the spec itself
+    (matched by name) is never compared against.  ``probes`` defaults to
+    the litmus catalog plus two labeled probes.
+    """
+    findings = lint_parameters(
+        spec.name,
+        spec.operation_set,
+        spec.mutual_consistency,
+        spec.ordering,
+        spec.labeled_discipline,
+        spec.bracketing,
+        spec.ordering_own_view_only,
+    )
+    findings.extend(_check_ordering(spec))
+    if any(f.level == "error" for f in findings):
+        # Probing runs the kernel on the spec; skip it for broken specs.
+        return findings
+    findings.extend(_probe_position(spec, registry, probes))
+    return findings
+
+
+def _probe_position(
+    spec: MemoryModelSpec,
+    registry: Sequence[MemoryModelSpec] | None,
+    probes: Sequence[SystemHistory] | None,
+) -> list[SpecFinding]:
+    """SL101/SL102: where the spec sits relative to the registry lattice."""
+    if registry is None:
+        from repro.spec import ALL_SPECS
+
+        registry = ALL_SPECS
+    others = [s for s in registry if s.name != spec.name]
+    if not others:
+        return []
+    if probes is None:
+        probes = _default_probes()
+    vector = _verdict_vector(spec, probes)
+    findings: list[SpecFinding] = []
+    for other in others:
+        other_vector = _verdict_vector(other, probes)
+        if vector == other_vector:
+            findings.append(
+                SpecFinding(
+                    "warning",
+                    "SL101",
+                    spec.name,
+                    f"indistinguishable from registry spec {other.name!r} on "
+                    f"{len(probes)} probe histories (trivially equal lattice "
+                    "node?)",
+                )
+            )
+        elif all(b for a, b in zip(vector, other_vector) if a):
+            findings.append(
+                SpecFinding(
+                    "info",
+                    "SL102",
+                    spec.name,
+                    f"contained in registry spec {other.name!r} on the probe "
+                    "set (every probe it allows, the registry spec allows)",
+                )
+            )
+    return findings
+
+
+def _verdict_vector(
+    spec: MemoryModelSpec, probes: Sequence[SystemHistory]
+) -> tuple[bool, ...]:
+    return tuple(check_with_spec(spec, h).allowed for h in probes)
+
+
+def lint_registry() -> dict[str, list[SpecFinding]]:
+    """Lint every registered spec against the rest of the registry."""
+    from repro.spec import ALL_SPECS
+
+    probes = _default_probes()
+    return {
+        spec.name: lint_spec(spec, registry=ALL_SPECS, probes=probes)
+        for spec in ALL_SPECS
+    }
+
+
+# -- seeded bad fixtures --------------------------------------------------------
+
+
+def _build_reversed_po(
+    history: SystemHistory, rf: ReadsFrom, co: object
+) -> Relation[Operation]:
+    """A deliberately broken ordering: program order plus its converse."""
+    rel: Relation[Operation] = Relation(history.operations)
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for a, b in zip(ops, ops[1:]):
+            rel.add(a, b)
+            rel.add(b, a)
+    return rel
+
+
+def broken_fixture_specs() -> tuple[MemoryModelSpec, ...]:
+    """Deliberately bad specs the linter must flag (tests and the CLI demo).
+
+    The constructor cannot reject these — the parameters type-check — but
+    SL001 catches the non-partial-order ordering by probing.
+    """
+    contradictory = MemoryModelSpec(
+        name="BrokenOrdering",
+        operation_set=OperationSet.ALL_REMOTE,
+        mutual_consistency=MutualConsistency.NONE,
+        ordering=OrderingRule("po+po⁻¹", _build_reversed_po),
+        description="Fixture: orders every program-order pair both ways.",
+    )
+    shadow_sc = MemoryModelSpec(
+        name="ShadowSC",
+        operation_set=OperationSet.ALL_REMOTE,
+        mutual_consistency=MutualConsistency.IDENTICAL,
+        ordering=PO,
+        description="Fixture: SC under a new name (SL101 must flag it).",
+    )
+    return (contradictory, shadow_sc)

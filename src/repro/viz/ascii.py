@@ -8,7 +8,7 @@ notation of Section 3, and the Figure 5 lattice as layered text.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import networkx as nx
 

@@ -8,7 +8,6 @@ histories.
 
 from __future__ import annotations
 
-from typing import Mapping
 
 import networkx as nx
 

@@ -11,7 +11,7 @@ with critical-section spans marked.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.core.history import SystemHistory
 from repro.core.operation import Operation

@@ -84,3 +84,65 @@ class TestProperlyLabeled:
         # writes race (that is the point of the violation) but the
         # location discipline holds.
         assert location_discipline_violations(bakery_violation) == {}
+
+
+class TestAlgorithmHistories:
+    """find_races / is_properly_labeled on executions of whole algorithms,
+    in agreement with the static analyzer where the two overlap."""
+
+    def _history(self, factory, seed=0):
+        from repro.machines import SCMachine
+        from repro.programs import RandomScheduler, run
+
+        result = run(
+            SCMachine(("p0", "p1")), factory(), RandomScheduler(seed),
+            max_steps=5000,
+        )
+        assert result.completed
+        return result.history
+
+    def test_bakery_executions_are_race_free(self):
+        from repro.programs.figure6 import figure6_program
+
+        for seed in range(4):
+            h = self._history(lambda: figure6_program(2), seed)
+            assert find_races(h) == []
+
+    def test_peterson_executions_are_race_free(self):
+        from repro.programs.algorithm_texts import peterson_text_program
+
+        for seed in range(4):
+            assert find_races(self._history(peterson_text_program, seed)) == []
+
+    def test_mislabeled_bakery_races_dynamically(self):
+        from repro.programs.algorithm_texts import mislabeled_bakery_program
+
+        h = self._history(mislabeled_bakery_program)
+        races = find_races(h)
+        assert races
+        assert not is_properly_labeled(h)
+        bases = {a.location.split("[")[0] for a, _ in races}
+        assert bases & {"choosing", "number"}
+
+    def test_dynamic_and_static_verdicts_agree(self):
+        # The overlap cases: the static analyzer must flag exactly the
+        # algorithms whose executions race dynamically.
+        from repro.programs.algorithm_texts import (
+            MISLABELED_BAKERY_TEXT,
+            PETERSON_TEXT,
+            mislabeled_bakery_program,
+            peterson_text_program,
+        )
+        from repro.staticcheck import analyze_program, report_covers_races
+
+        clean = analyze_program(
+            PETERSON_TEXT, shared=("turn", "shared"), name="peterson"
+        )
+        racy = analyze_program(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="mislabeled"
+        )
+        assert clean.properly_labeled
+        assert not racy.properly_labeled
+        assert find_races(self._history(peterson_text_program)) == []
+        races = find_races(self._history(mislabeled_bakery_program))
+        assert races and report_covers_races(racy, races)

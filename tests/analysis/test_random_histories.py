@@ -66,6 +66,20 @@ class TestRandomHistoryValidation:
         with pytest.raises(ReproError):
             random_history(np.random.default_rng(0), procs=-1)
 
+    def test_messages_name_the_parameter_and_value(self):
+        # Every rejection names the offending parameter AND the value it
+        # received, so a failing sweep config is diagnosable from the
+        # message alone.
+        cases = [
+            (dict(procs=0), r"procs must be >= 1, got 0"),
+            (dict(ops_per_proc=-2), r"ops_per_proc must be >= 1, got -2"),
+            (dict(locations=()), r"locations must be non-empty, got \(\)"),
+            (dict(p_write=1.5), r"p_write must lie in \[0, 1\], got 1\.5"),
+        ]
+        for kwargs, pattern in cases:
+            with pytest.raises(HistoryError, match=pattern):
+                random_history(np.random.default_rng(0), **kwargs)
+
 
 class TestRandomProgram:
     def test_ops_count_and_kinds(self):

@@ -1,7 +1,6 @@
 """Tests for the strength-frontier analysis."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import random_history
 from repro.analysis.spectrum import (

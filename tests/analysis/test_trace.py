@@ -1,6 +1,6 @@
 """Tests for streaming legality and trace statistics."""
 
-from repro.analysis.trace import TraceStats, streaming_legality, trace_stats
+from repro.analysis.trace import streaming_legality, trace_stats
 from repro.core.operation import read, write
 from repro.litmus import parse_history
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import random_history
-from repro.checking import MODELS, SearchBudget
+from repro.checking import MODELS
 from repro.lattice import HistorySpace, canonical_key, enumerate_histories
 
 FAST_MODELS = ("SC", "TSO", "PRAM")

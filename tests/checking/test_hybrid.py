@@ -7,7 +7,6 @@ extends program order; weak operations are ordered only relative to the
 same processor's strong operations.
 """
 
-import pytest
 
 from repro.checking import MODELS, check
 from repro.litmus import parse_history

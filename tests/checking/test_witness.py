@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.checking import MODELS, check
+from repro.checking import MODELS
 from repro.checking.witness import validate_witness
 from repro.core import CheckerError, View
 from repro.lattice import HistorySpace, canonical_key, enumerate_histories

@@ -1,0 +1,75 @@
+"""Engine integration of the static DENY pre-pass."""
+
+from repro.engine import CheckEngine, SweepSpec
+
+
+def _verdicts(report):
+    return [(r["key"], r["models"]) for r in report.results]
+
+
+class TestEnginePrepass:
+    def test_catalog_verdicts_identical_with_and_without(self):
+        spec = SweepSpec(source="catalog", models=("all",))
+        on = CheckEngine(jobs=1).run(spec)
+        off = CheckEngine(jobs=1, prepass=False).run(spec)
+        assert _verdicts(on) == _verdicts(off)
+
+    def test_parallel_workers_agree_with_serial(self):
+        spec = SweepSpec(source="catalog", models=("SC", "TSO", "Causal"))
+        serial = CheckEngine(jobs=1).run(spec)
+        parallel = CheckEngine(jobs=2).run(spec)
+        assert _verdicts(serial) == _verdicts(parallel)
+        assert (
+            serial.metrics.prepass_decided == parallel.metrics.prepass_decided
+        )
+
+    def test_metrics_count_decided_checks(self):
+        spec = SweepSpec(source="catalog", models=("all",))
+        on = CheckEngine(jobs=1).run(spec)
+        off = CheckEngine(jobs=1, prepass=False).run(spec)
+        assert on.metrics.prepass_decided > 0
+        assert off.metrics.prepass_decided == 0
+        assert on.metrics.prepass_decided <= on.metrics.checks
+
+    def test_decided_checks_skip_the_search(self):
+        # A pre-pass DENY records explored=0 where the plain kernel run
+        # explored candidates — those are exactly the searches skipped.
+        spec = SweepSpec(source="catalog", models=("SC",))
+        on = CheckEngine(jobs=1).run(spec)
+        off = CheckEngine(jobs=1, prepass=False).run(spec)
+        explored_off = {r["key"]: r["explored"]["SC"] for r in off.results}
+        skipped = [
+            r
+            for r in on.results
+            if r["explored"]["SC"] == 0 and explored_off[r["key"]] > 0
+        ]
+        assert on.metrics.prepass_decided > 0
+        assert len(skipped) <= on.metrics.prepass_decided
+        for r in skipped:
+            assert not r["models"]["SC"]
+
+    def test_metrics_render_and_serialize_the_counter(self):
+        spec = SweepSpec(source="catalog", models=("all",))
+        metrics = CheckEngine(jobs=1).run(spec).metrics
+        assert "static pre-pass" in metrics.render()
+        assert metrics.to_dict()["prepass_decided"] == metrics.prepass_decided
+
+    def test_engine_classify_respects_the_flag(self):
+        from repro.litmus import CATALOG
+
+        h = CATALOG["fig1-sb"].history
+        on = CheckEngine(jobs=1).classify(h, ("SC", "TSO"))
+        off = CheckEngine(jobs=1, prepass=False).classify(h, ("SC", "TSO"))
+        assert on == off == {"SC": False, "TSO": True}
+
+
+class TestClassifyHistoriesPrepass:
+    def test_serial_classification_unchanged(self):
+        from repro.lattice import classify_histories
+        from repro.litmus import CATALOG
+
+        histories = [t.history for t in CATALOG.values()]
+        models = ("SC", "TSO", "PC", "Causal", "PRAM")
+        with_prepass = classify_histories(histories, models)
+        without = classify_histories(histories, models, prepass=False)
+        assert with_prepass.allowed == without.allowed

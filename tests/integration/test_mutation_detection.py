@@ -9,11 +9,8 @@ system implementations, which is exactly the use the paper's formal
 characterizations were meant to enable.
 """
 
-from collections import deque
-from typing import Any
 
 import numpy as np
-import pytest
 
 from repro.analysis import machine_history
 from repro.checking import check

@@ -9,7 +9,6 @@ same-location write→read edge that forwarding breaks.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import machine_history, random_history
 from repro.checking import check_axiomatic_tso, check_tso

@@ -1,6 +1,5 @@
 """Tests for program order and the partial program order ``->ppo``."""
 
-from repro.core import HistoryBuilder
 from repro.litmus import parse_history
 from repro.orders import in_program_order, po_relation, ppo_base_pairs, ppo_relation
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import SchedulerError
-from repro.machines import PRAMMachine, RCMachine
-from repro.programs import BiasedScheduler, Write, run
+from repro.machines import RCMachine
+from repro.programs import BiasedScheduler, run
 from repro.programs.mutex import bakery_program
 
 EVENTS = [("thread", "p"), ("machine", "k1"), ("machine", "k2")]

@@ -6,7 +6,6 @@ from repro.core import ParseError, ProgramError
 from repro.machines import RCMachine, SCMachine
 from repro.programs import DelayDeliveriesScheduler, RandomScheduler, run
 from repro.programs.figure6 import FIGURE6_TEXT, figure6_program
-from repro.programs.ops import CsEnter, CsExit, Read, Write
 from repro.programs.pseudocode import parse_program
 
 

@@ -7,7 +7,6 @@ from repro.machines import PRAMMachine, SCMachine
 from repro.programs import (
     CsEnter,
     CsExit,
-    RandomScheduler,
     Read,
     RoundRobinScheduler,
     Write,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.litmus import parse_history
 from repro.orders import unique_reads_from
-from repro.spec import MutualConsistency, OperationSet, PO, PPO, CAUSAL, SEMI_CAUSAL
+from repro.spec import OperationSet, PO, PPO, CAUSAL, SEMI_CAUSAL
 from repro.spec.parameters import PO_LOC
 
 

@@ -11,7 +11,6 @@ from repro.spec import (
     MutualConsistency,
     OperationSet,
     PO,
-    PPO,
     get_spec,
     spec_names,
 )

@@ -1,0 +1,124 @@
+"""Tests for the polynomial history pre-pass.
+
+The load-bearing property is soundness: whenever the pre-pass decides, the
+kernel must deny.  It is exercised here over the full litmus catalog and a
+seeded random sample for every registered spec (the 200-history sweep with
+exact byte comparison lives in ``benchmarks/bench_staticcheck.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.random_histories import random_history
+from repro.kernel.search import check_with_spec
+from repro.litmus import CATALOG, parse_history
+from repro.spec import ALL_SPECS
+from repro.staticcheck import compile_prepass, prepass_check
+
+SPECS = {spec.name: spec for spec in ALL_SPECS}
+
+
+class TestSoundness:
+    def test_catalog_decided_implies_kernel_deny(self):
+        for test in CATALOG.values():
+            for spec in ALL_SPECS:
+                verdict = prepass_check(spec, test.history)
+                if verdict.decided:
+                    result = check_with_spec(spec, test.history)
+                    assert not result.allowed, (
+                        f"{test.name} x {spec.name}: pre-pass denied "
+                        f"({verdict.check}) but the kernel admits"
+                    )
+
+    def test_random_histories_decided_implies_kernel_deny(self):
+        for seed in range(40):
+            h = random_history(
+                np.random.default_rng(seed), procs=3, ops_per_proc=4
+            )
+            for spec in ALL_SPECS:
+                verdict = prepass_check(spec, h)
+                if verdict.decided:
+                    assert not check_with_spec(spec, h).allowed, (
+                        f"seed {seed} x {spec.name}: unsound pre-pass DENY "
+                        f"({verdict.check}: {verdict.reason})"
+                    )
+
+    def test_kernel_opt_in_matches_plain_verdicts(self):
+        # check_with_spec(prepass=True) must yield the same allowed bit
+        # as the default path on every catalog entry and spec.
+        for test in CATALOG.values():
+            for spec in ALL_SPECS:
+                plain = check_with_spec(spec, test.history)
+                fast = check_with_spec(spec, test.history, prepass=True)
+                assert plain.allowed == fast.allowed
+                if not fast.allowed:
+                    assert fast.reason  # a DENY always carries a reason
+
+
+class TestSpecificDenies:
+    def test_store_buffering_denied_under_sc(self):
+        verdict = prepass_check(SPECS["SC"], CATALOG["fig1-sb"].history)
+        assert verdict.decided
+        assert verdict.check == "view-cycle"
+        assert verdict.counterexample is not None
+        assert verdict.counterexample.kind == "cyclic-constraints"
+
+    def test_message_passing_denied_under_sc(self):
+        assert prepass_check(SPECS["SC"], CATALOG["mp"].history).decided
+
+    def test_coherence_read_reordering_denied(self):
+        # corr needs the from-read edges: reads of x=2 then x=1 against
+        # the forced write order w(x)1 -> w(x)2.
+        verdict = prepass_check(SPECS["Coherence"], CATALOG["corr"].history)
+        assert verdict.decided
+
+    def test_allowed_history_never_decided(self):
+        h = CATALOG["mp-ok"].history
+        for spec in ALL_SPECS:
+            verdict = prepass_check(spec, h)
+            if verdict.decided:
+                assert not check_with_spec(spec, h).allowed
+
+    def test_impossible_value_denied_for_every_spec(self):
+        h = parse_history("p: w(x)1 | q: r(x)7")
+        for spec in ALL_SPECS:
+            verdict = prepass_check(spec, h)
+            assert verdict.decided
+            assert verdict.check == "rf-sanity"
+            assert "never written" in verdict.reason
+
+
+class TestUnknown:
+    def test_ambiguous_attribution_is_unknown(self):
+        # Two writers of the same value: the rf attribution is ambiguous,
+        # so every check past rf-sanity is skipped.
+        h = parse_history("p: w(x)1 | q: w(x)1 | r: r(x)1")
+        verdict = prepass_check(SPECS["SC"], h)
+        assert not verdict.decided
+        assert verdict.checks_run == ("rf-sanity",)
+
+    def test_unknown_to_result_raises(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        verdict = prepass_check(SPECS["SC"], h)
+        assert not verdict.decided
+        with pytest.raises(ValueError):
+            verdict.to_result()
+
+    def test_decided_to_result_is_a_deny(self):
+        verdict = prepass_check(SPECS["SC"], CATALOG["fig1-sb"].history)
+        result = verdict.to_result()
+        assert not result.allowed
+        assert result.explored == 0
+        assert result.counterexample is not None
+
+
+class TestCompilation:
+    def test_compile_is_cached_per_spec(self):
+        spec = SPECS["Causal"]
+        assert compile_prepass(spec) is compile_prepass(spec)
+
+    def test_checks_listed_per_spec(self):
+        # Coherence-class specs get the write-order cycle check; PRAM
+        # (no write agreement) does not.
+        assert "write-order-cycle" in compile_prepass(SPECS["Coherence"]).checks
+        assert "write-order-cycle" not in compile_prepass(SPECS["PRAM"]).checks

@@ -1,0 +1,155 @@
+"""Tests for the static race/labeling analyzer, including cross-validation
+against the dynamic analysis on machine-generated histories."""
+
+from repro.analysis import find_races
+from repro.machines import SCMachine
+from repro.programs import RandomScheduler, run
+from repro.programs.algorithm_texts import (
+    MISLABELED_BAKERY_TEXT,
+    NAIVE_LOCK_TEXT,
+    PETERSON_TEXT,
+    mislabeled_bakery_program,
+    naive_lock_text_program,
+)
+from repro.programs.figure6 import FIGURE6_TEXT
+from repro.staticcheck import analyze_program, report_covers_races
+from repro.staticcheck.progcheck import _indices_may_collide
+
+
+def _report(name):
+    text, shared = {
+        "figure6": (FIGURE6_TEXT, ("shared",)),
+        "peterson": (PETERSON_TEXT, ("turn", "shared")),
+        "naive-lock": (NAIVE_LOCK_TEXT, ("lock",)),
+        "mislabeled-bakery": (MISLABELED_BAKERY_TEXT, ("shared",)),
+    }[name]
+    return analyze_program(text, shared=shared, name=name)
+
+
+class TestProperlyLabeledPrograms:
+    def test_figure6_is_properly_labeled(self):
+        report = _report("figure6")
+        assert report.properly_labeled
+        assert report.race_bases == frozenset()
+        # The ordinary critical-section pair is seen but classified as
+        # cs-protected, not racing.
+        assert report.cs_protected_bases == {"shared"}
+
+    def test_peterson_is_properly_labeled(self):
+        report = _report("peterson")
+        assert report.properly_labeled
+        assert report.cs_protected_bases == {"shared"}
+
+    def test_figure6_collects_all_access_sites(self):
+        report = _report("figure6")
+        bases = {a.base for a in report.accesses}
+        assert bases == {"choosing", "number", "shared"}
+        # Every choosing/number site carries the paper's sync label.
+        assert all(
+            a.labeled for a in report.accesses if a.base != "shared"
+        )
+
+
+class TestImproperlyLabeledPrograms:
+    def test_naive_lock_races_on_lock(self):
+        report = _report("naive-lock")
+        assert not report.properly_labeled
+        assert report.race_bases == {"lock"}
+
+    def test_mislabeled_bakery_races_on_handshake_variables(self):
+        report = _report("mislabeled-bakery")
+        assert not report.properly_labeled
+        assert report.race_bases == {"choosing", "number"}
+        assert report.cs_protected_bases == {"shared"}
+
+    def test_race_reasons_name_the_unlabeled_sides(self):
+        report = _report("naive-lock")
+        assert all("unlabeled" in race.reason for race in report.races)
+
+
+class TestAliasing:
+    def test_same_thread_param_index_never_collides(self):
+        assert not _indices_may_collide("i", "i", "i", 2, {})
+
+    def test_complementary_indices_collide(self):
+        # Peterson: thread 0's flag[i] is thread 1's flag[1 - i].
+        assert _indices_may_collide("i", "1 - i", "i", 2, {})
+
+    def test_unknown_index_is_conservative(self):
+        assert _indices_may_collide("i", "j", "i", 2, {})
+
+    def test_distinct_literals_do_not_collide(self):
+        assert not _indices_may_collide("0", "1", "i", 2, {})
+
+    def test_unindexed_locations_collide(self):
+        assert _indices_may_collide(None, None, "i", 2, {})
+
+    def test_indexed_vs_bare_never_collides(self):
+        # "turn" and "turn[0]" are distinct location strings.
+        assert not _indices_may_collide(None, "0", "i", 2, {})
+
+
+class TestCrossValidation:
+    """Static verdicts versus dynamic find_races on real executions."""
+
+    def _dynamic_race_bases(self, factory, seeds=range(6)):
+        bases = set()
+        races_by_seed = []
+        for seed in seeds:
+            result = run(
+                SCMachine(("p0", "p1")),
+                factory(),
+                RandomScheduler(seed),
+                max_steps=5000,
+            )
+            races = find_races(result.history)
+            races_by_seed.append(races)
+            bases |= {a.location.split("[")[0] for a, _ in races}
+        return bases, races_by_seed
+
+    def test_mislabeled_bakery_static_covers_dynamic(self):
+        report = _report("mislabeled-bakery")
+        bases, races_by_seed = self._dynamic_race_bases(
+            mislabeled_bakery_program
+        )
+        # The dynamic analysis confirms the static verdict ...
+        assert bases & report.race_bases
+        # ... and every dynamically observed race is statically accounted
+        # for (flagged, or inside the declared critical section).
+        for races in races_by_seed:
+            assert report_covers_races(report, races)
+
+    def test_naive_lock_static_covers_dynamic(self):
+        report = _report("naive-lock")
+        bases, races_by_seed = self._dynamic_race_bases(
+            naive_lock_text_program
+        )
+        assert bases == {"lock"} == report.race_bases
+        for races in races_by_seed:
+            assert report_covers_races(report, races)
+
+    def test_properly_labeled_bakery_has_no_dynamic_races(self):
+        from repro.programs.figure6 import figure6_program
+
+        report = _report("figure6")
+        assert report.properly_labeled
+        bases, races_by_seed = self._dynamic_race_bases(
+            lambda: figure6_program(2)
+        )
+        assert bases == set()
+        for races in races_by_seed:
+            assert report_covers_races(report, races)
+
+
+class TestTextInput:
+    def test_analyze_accepts_raw_text(self):
+        report = analyze_program(
+            "x := 1\ny := read x", shared=("x",), name="tiny"
+        )
+        assert report.race_bases == {"x"}
+
+    def test_all_labeled_text_is_clean(self):
+        report = analyze_program(
+            "x := 1 sync\ny := read x sync", shared=("x",), name="tiny"
+        )
+        assert report.properly_labeled

@@ -178,3 +178,89 @@ class TestModels:
         assert rc == 0
         out = capsys.readouterr().out
         assert "SC" in out and "TSO-axiomatic" in out
+
+
+class TestLintHistory:
+    def test_denied_catalog_entry_exits_one(self, capsys):
+        rc = main(["lint", "history", "fig1-sb", "--model", "SC"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DENY" in out and "view-cycle" in out
+
+    def test_undecided_exits_zero(self, capsys):
+        rc = main(["lint", "history", "p: w(x)1 | q: r(x)1", "--model", "SC"])
+        assert rc == 0
+        assert "unknown" in capsys.readouterr().out
+
+    def test_all_models_sweep(self, capsys):
+        rc = main(["lint", "history", "fig1-sb"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SC" in out and "Causal" in out
+
+    def test_spec_less_model_rejected(self, capsys):
+        rc = main(["lint", "history", "fig1-sb", "--model", "TSO-axiomatic"])
+        assert rc == 2
+
+
+class TestLintSpec:
+    def test_registry_is_clean(self, capsys):
+        rc = main(["lint", "spec"])
+        assert rc == 0
+
+    def test_broken_fixtures_exit_one(self, capsys):
+        rc = main(["lint", "spec", "--broken-fixtures"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out and "BrokenOrdering" in out
+
+    def test_single_spec(self, capsys):
+        rc = main(["lint", "spec", "--name", "SC"])
+        assert rc == 0
+        assert "SC" in capsys.readouterr().out
+
+    def test_unknown_spec_exits_two(self, capsys):
+        rc = main(["lint", "spec", "--name", "Nonsense"])
+        assert rc == 2
+
+
+class TestLintProgram:
+    def test_clean_program_exits_zero(self, capsys):
+        rc = main(["lint", "program", "figure6"])
+        assert rc == 0
+        assert "properly labeled" in capsys.readouterr().out
+
+    def test_racy_program_exits_one(self, capsys):
+        rc = main(["lint", "program", "mislabeled-bakery"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RACE" in out and "choosing" in out
+
+    def test_unknown_program_exits_two(self, capsys):
+        rc = main(["lint", "program", "nonsense"])
+        assert rc == 2
+
+    def test_file_input(self, tmp_path, capsys):
+        path = tmp_path / "prog.txt"
+        path.write_text("x := 1\ny := read x\n")
+        rc = main(
+            ["lint", "program", "--file", str(path), "--shared", "x"]
+        )
+        assert rc == 1
+        assert "RACE" in capsys.readouterr().out
+
+
+class TestSweepPrepass:
+    def test_no_prepass_flag_matches_default_counts(self, capsys):
+        rc = main(["sweep", "--models", "SC,Causal"])
+        assert rc == 0
+        fast = capsys.readouterr().out
+        rc = main(["sweep", "--models", "SC,Causal", "--no-prepass"])
+        assert rc == 0
+        slow = capsys.readouterr().out
+        get_counts = lambda out: [
+            line for line in out.splitlines() if line.startswith("allowed")
+        ]
+        assert get_counts(fast) == get_counts(slow)
+        assert "static pre-pass" in fast
+        assert "static pre-pass" not in slow

@@ -1,6 +1,5 @@
 """Tests for ASCII and DOT rendering."""
 
-import networkx as nx
 
 from repro.checking import check_tso
 from repro.lattice import paper_hasse
