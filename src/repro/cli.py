@@ -12,7 +12,13 @@
     python -m repro lint history "p: w(x)1 | q: r(x)2" [--model SC]
     python -m repro lint spec [--broken-fixtures]
     python -m repro lint program figure6
+    python -m repro trace fig1 TSO [--markdown] [--no-prepass]
+    python -m repro profile [--models SC,TSO] [--repeat 3] [--markdown]
     python -m repro models
+
+Commands that accept a history accept either litmus notation or a
+catalog entry name; an unambiguous prefix of a catalog name (``fig1``
+for ``fig1-sb``) also resolves.
 
 Exit status: 0 on success; for ``check``, 0 when the history is allowed
 and 1 when it is rejected (so the command composes in shell scripts);
@@ -212,12 +218,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=2, help="concurrent copies to assume"
     )
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="narrate one check's search as a human-readable trace",
+    )
+    p_trace.add_argument(
+        "history", help="litmus notation or a catalog entry name (prefixes ok)"
+    )
+    p_trace.add_argument("model", help="spec-backed model name (see `models`)")
+    p_trace.add_argument(
+        "--markdown", action="store_true", help="render markdown instead of ASCII"
+    )
+    p_trace.add_argument(
+        "--max-steps",
+        type=int,
+        default=400,
+        help="cap on rendered search steps (placements + backtracks)",
+    )
+    p_trace.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the static pre-pass phase of the narration",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="per-phase timing tables over the litmus catalog",
+    )
+    p_profile.add_argument(
+        "--models",
+        default="all",
+        help="comma-separated spec-backed model names, or 'all' (default)",
+    )
+    p_profile.add_argument(
+        "--repeat", type=int, default=1, help="profile each check this many times"
+    )
+    p_profile.add_argument(
+        "--markdown", action="store_true", help="render markdown tables"
+    )
+    p_profile.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print the summed search-event counters",
+    )
+    p_profile.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="profile the raw kernel without the static pre-pass",
+    )
+
     sub.add_parser("models", help="list registered memory models")
     return parser
 
 
+def _resolve_history(text: str):
+    """A ``(history, label)`` pair from litmus notation or a catalog name.
+
+    Exact catalog names win; otherwise an unambiguous prefix of a catalog
+    name resolves (``fig1`` -> ``fig1-sb``); anything else is parsed as
+    litmus notation.
+    """
+    entry = CATALOG.get(text)
+    if entry is None:
+        matches = [name for name in CATALOG if name.startswith(text)]
+        if len(matches) == 1:
+            entry = CATALOG[matches[0]]
+    if entry is not None:
+        return entry.history, entry.name
+    return parse_history(text), None
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    history = parse_history(args.history)
+    history, _ = _resolve_history(args.history)
     result = check(history, args.model)
     verdict = "allowed" if result.allowed else "NOT allowed"
     print(f"{args.model}: {verdict}")
@@ -229,7 +301,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    history = parse_history(args.history)
+    history, _ = _resolve_history(args.history)
     print(render_history(history, title="history:"))
     for name in model_names():
         try:
@@ -244,8 +316,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.checking import explain_with_spec
 
-    entry = CATALOG.get(args.history)
-    history = entry.history if entry is not None else parse_history(args.history)
+    history, _ = _resolve_history(args.history)
     model = MODELS.get(args.model)
     if model is None:
         print(f"unknown model {args.model!r}", file=sys.stderr)
@@ -375,7 +446,7 @@ def _cmd_bakery(args: argparse.Namespace) -> int:
 def _cmd_spectrum(args: argparse.Namespace) -> int:
     from repro.analysis.spectrum import accepting_models, strength_frontier
 
-    history = parse_history(args.history)
+    history, _ = _resolve_history(args.history)
     print(render_history(history, title="history:"))
     frontier = strength_frontier(history)
     accepted = accepting_models(history)
@@ -400,8 +471,7 @@ def _lint_history(args: argparse.Namespace) -> int:
     """Run the polynomial pre-pass; exit 1 when any model gets a DENY."""
     from repro.staticcheck import prepass_check
 
-    entry = CATALOG.get(args.history)
-    history = entry.history if entry is not None else parse_history(args.history)
+    history, _ = _resolve_history(args.history)
     if args.model == "all":
         names = [n for n in model_names() if MODELS[n].spec is not None]
     else:
@@ -505,6 +575,87 @@ def _lint_program(args: argparse.Namespace) -> int:
     return 1 if report.races else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.checking import check_with_spec
+    from repro.obs import RecordingSink, render_trace
+
+    history, label = _resolve_history(args.history)
+    model = MODELS.get(args.model)
+    if model is None or model.spec is None:
+        print(
+            f"unknown or spec-less model {args.model!r} "
+            "(trace needs a spec-backed model; see `models`)",
+            file=sys.stderr,
+        )
+        return 2
+    title = f"history ({label}):" if label else "history:"
+    if args.markdown:
+        print("```text")
+    print(render_history(history, title=title))
+    if args.markdown:
+        print("```")
+    print()
+    sink = RecordingSink()
+    result = check_with_spec(
+        model.spec, history, prepass=not args.no_prepass, trace=sink
+    )
+    print(
+        render_trace(sink.events, markdown=args.markdown, max_steps=args.max_steps)
+    )
+    if result.allowed and result.views:
+        print("witness views:")
+        if args.markdown:
+            print("```text")
+        print(render_views(result.views))
+        if args.markdown:
+            print("```")
+    return 0 if result.allowed else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import ProfileAggregate, profile_check
+
+    if args.models == "all":
+        names = [n for n in model_names() if MODELS[n].spec is not None]
+    else:
+        names = []
+        for name in args.models.split(","):
+            model = MODELS.get(name)
+            if model is None or model.spec is None:
+                print(
+                    f"unknown or spec-less model {name!r} "
+                    "(profile needs spec-backed models)",
+                    file=sys.stderr,
+                )
+                return 2
+            names.append(name)
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    agg = ProfileAggregate()
+    checks = 0
+    for entry in CATALOG.values():
+        for name in names:
+            spec = MODELS[name].spec
+            assert spec is not None
+            for _ in range(args.repeat):
+                _, profile = profile_check(
+                    spec, entry.history, prepass=not args.no_prepass
+                )
+                agg.add(profile)
+                checks += 1
+    print(
+        f"profiled {checks} check(s): {len(CATALOG)} catalog histories x "
+        f"{len(names)} model(s) x {args.repeat} repeat(s)"
+    )
+    print()
+    print(agg.render(markdown=args.markdown))
+    if args.counters:
+        print()
+        print(agg.render_counters(markdown=args.markdown))
+    return 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     for name in model_names():
         spec = MODELS[name].spec
@@ -524,6 +675,8 @@ _COMMANDS = {
     "bakery": _cmd_bakery,
     "spectrum": _cmd_spectrum,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "models": _cmd_models,
 }
 

@@ -31,12 +31,20 @@ class EngineMetrics:
     wall_seconds: float = 0.0
     workers: int = 1
     model_seconds: dict[str, float] = field(default_factory=dict)
+    #: Wall time per engine phase ("prepass" — the static DENY battery,
+    #: "check" — the decision procedure itself), summed across workers;
+    #: the aggregation of the per-check profiles of :mod:`repro.obs`.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     # -- accumulation ----------------------------------------------------------
 
     def add_model_time(self, model: str, seconds: float) -> None:
         """Accumulate wall time attributed to one model's checker."""
         self.model_seconds[model] = self.model_seconds.get(model, 0.0) + seconds
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate wall time attributed to one engine phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
     def merge(self, partial: "EngineMetrics | dict") -> None:
         """Fold a worker's partial metrics (dict or instance) into this one."""
@@ -50,6 +58,8 @@ class EngineMetrics:
         self.cache_misses += partial.get("cache_misses", 0)
         for model, seconds in partial.get("model_seconds", {}).items():
             self.add_model_time(model, seconds)
+        for phase, seconds in partial.get("phase_seconds", {}).items():
+            self.add_phase_time(phase, seconds)
 
     # -- derived figures --------------------------------------------------------
 
@@ -85,6 +95,9 @@ class EngineMetrics:
             "model_seconds": {
                 m: round(s, 6) for m, s in sorted(self.model_seconds.items())
             },
+            "phase_seconds": {
+                p: round(s, 6) for p, s in sorted(self.phase_seconds.items())
+            },
         }
 
     def render(self) -> str:
@@ -103,6 +116,12 @@ class EngineMetrics:
                 f"static pre-pass: {self.prepass_decided}/{self.checks} "
                 "checks decided without search"
             )
+        if self.phase_seconds:
+            parts = ", ".join(
+                f"{phase}={seconds:.3f}s"
+                for phase, seconds in sorted(self.phase_seconds.items())
+            )
+            lines.append(f"per-phase time: {parts}")
         if self.model_seconds:
             total = sum(self.model_seconds.values())
             lines.append(f"per-model time (total {total:.3f}s):")

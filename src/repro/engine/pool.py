@@ -84,6 +84,9 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
     prepass: bool = state.get("prepass", True)
     hits0, misses0 = cache.hits, cache.misses
     prepass_decided = 0
+    # Per-phase wall time across the chunk: the static pre-pass vs the
+    # decision procedure itself (folded into EngineMetrics.phase_seconds).
+    phase_seconds: dict[str, float] = {}
     records: list[dict] = []
     for key, history_dict, models in chunk:
         history = history_from_dict(history_dict)
@@ -95,15 +98,25 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
             for model in models:
                 t0 = time.perf_counter()
                 spec = MODELS[model].spec if prepass else None
-                if spec is not None and prepass_check(spec, history).decided:
-                    # Sound definite DENY: skip the search entirely.
-                    verdicts[model] = False
-                    explored[model] = 0
-                    prepass_decided += 1
-                    model_seconds[model] = time.perf_counter() - t0
-                    continue
+                if spec is not None:
+                    decided = prepass_check(spec, history).decided
+                    t1 = time.perf_counter()
+                    phase_seconds["prepass"] = (
+                        phase_seconds.get("prepass", 0.0) + t1 - t0
+                    )
+                    if decided:
+                        # Sound definite DENY: skip the search entirely.
+                        verdicts[model] = False
+                        explored[model] = 0
+                        prepass_decided += 1
+                        model_seconds[model] = t1 - t0
+                        continue
+                else:
+                    t1 = t0
                 result = check(history, model)
-                model_seconds[model] = time.perf_counter() - t0
+                t2 = time.perf_counter()
+                phase_seconds["check"] = phase_seconds.get("check", 0.0) + t2 - t1
+                model_seconds[model] = t2 - t0
                 verdicts[model] = result.allowed
                 explored[model] = result.explored
                 if store_views and result.views:
@@ -125,6 +138,7 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
         "cache_hits": cache.hits - hits0,
         "cache_misses": cache.misses - misses0,
         "prepass_decided": prepass_decided,
+        "phase_seconds": phase_seconds,
     }
 
 
@@ -283,6 +297,8 @@ class CheckEngine:
             metrics.cache_hits += out["cache_hits"]
             metrics.cache_misses += out["cache_misses"]
             metrics.prepass_decided += out.get("prepass_decided", 0)
+            for phase, seconds in out.get("phase_seconds", {}).items():
+                metrics.add_phase_time(phase, seconds)
             for record in out["records"]:
                 for model, seconds in record.pop("model_seconds").items():
                     metrics.add_model_time(model, seconds)

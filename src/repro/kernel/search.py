@@ -49,6 +49,22 @@ from repro.kernel.constraints import (
 from repro.kernel.results import CheckResult, Counterexample, Witness
 from repro.kernel.rf import impossible_read, iter_attributions
 from repro.kernel.serializations import iter_labeled_extras, iter_mutual_candidates
+from repro.obs.events import (
+    AttributionTried,
+    Backtracked,
+    CandidateTried,
+    CheckStarted,
+    LabeledExtraTried,
+    NodeEntered,
+    PhaseMark,
+    PropagationApplied,
+    VerdictReached,
+    ViewSearch,
+    ViewSolved,
+    ViewStuck,
+)
+from repro.obs import sink as _sink_state
+from repro.obs.sink import TraceSink, tracing
 from repro.orders.relation import Relation
 from repro.orders.writes_before import ReadsFrom, unambiguous_reads_from
 
@@ -133,6 +149,63 @@ def _dfs_find(
             if dfs(placed | bit, new_values):
                 return True
             order.pop()
+        if memoize:
+            failed.add(key)
+        return False
+
+    if dfs(0, tuple([initial] * n_locs)):
+        return order
+    return None
+
+
+def _dfs_find_traced(
+    n: int,
+    pred: Sequence[int],
+    op_loc: Sequence[int],
+    read_vals: Sequence[int | None],
+    write_vals: Sequence[int | None],
+    n_locs: int,
+    initial: int,
+    memoize: bool,
+    sink: TraceSink,
+    proc: str,
+    render: Sequence[str],
+) -> list[int] | None:
+    """:func:`_dfs_find` narrating every placement/backtrack to ``sink``.
+
+    A separate function rather than a flag so the untraced hot path stays
+    byte-for-byte the pre-instrumentation code — ``bench_obs.py`` holds
+    the disabled overhead under 3%.  Search order, memoization and the
+    returned witness are identical to :func:`_dfs_find`.
+    """
+    full = (1 << n) - 1
+    failed: set[tuple[int, tuple[int, ...]]] = set()
+    order: list[int] = []
+
+    def dfs(placed: int, values: tuple[int, ...]) -> bool:
+        if placed == full:
+            return True
+        key = (placed, values)
+        if memoize and key in failed:
+            return False
+        for i in range(n):
+            bit = 1 << i
+            if placed & bit or (pred[i] & ~placed):
+                continue
+            li = op_loc[i]
+            rv = read_vals[i]
+            if rv is not None and values[li] != rv:
+                continue
+            wv = write_vals[i]
+            new_values = values
+            if wv is not None and values[li] != wv:
+                new_values = values[:li] + (wv,) + values[li + 1:]
+            sink.emit(NodeEntered(proc=proc, depth=len(order), op=render[i]))
+            order.append(i)
+            if dfs(placed | bit, new_values):
+                return True
+            order.pop()
+            sink.emit(Backtracked(proc=proc, depth=len(order), op=render[i]))
         if memoize:
             failed.add(key)
         return False
@@ -277,6 +350,7 @@ def check_with_spec(
     budget: SearchBudget | None = None,
     *,
     prepass: bool = False,
+    trace: TraceSink | None = None,
 ) -> CheckResult:
     """Decide whether ``history`` is allowed by the model ``spec`` describes.
 
@@ -292,20 +366,73 @@ def check_with_spec(
     pre-pass is sound for DENY and never admits); the default is off so
     the kernel surface stays byte-comparable to the frozen legacy solver,
     and the engine opts in on top.
+
+    With ``trace`` set (or a sink installed via
+    :func:`repro.obs.sink.tracing`), the check narrates its search as
+    typed :mod:`repro.obs.events` — same verdict, same witness, same
+    ``explored`` count.  The default — no sink anywhere — takes the
+    untraced hot path with zero per-node instrumentation.
     """
+    if trace is not None:
+        with tracing(trace):
+            return _check_with_spec_impl(spec, history, budget, prepass, trace)
+    # Read the module global directly: this is the gate on the untraced
+    # hot path, and an attribute load is cheaper than a function call.
+    return _check_with_spec_impl(spec, history, budget, prepass, _sink_state._ACTIVE)
+
+
+def _render_rf(rf: ReadsFrom) -> tuple[tuple[str, str], ...]:
+    """The attribution as rendered (read, source) pairs, deterministic order."""
+    return tuple(
+        (str(r), "" if w is None else str(w))
+        for r, w in sorted(rf.items(), key=lambda kv: (str(kv[0].proc), kv[0].index))
+    )
+
+
+def _check_with_spec_impl(
+    spec,
+    history: SystemHistory,
+    budget: SearchBudget | None,
+    prepass: bool,
+    sink: TraceSink | None,
+) -> CheckResult:
     budget = budget or SearchBudget()
+    if sink is not None:
+        sink.emit(
+            CheckStarted(
+                model=spec.name,
+                operations=len(history.operations),
+                processors=len(history.procs),
+            )
+        )
 
     if prepass:
         # Imported lazily: repro.staticcheck imports kernel modules, so a
         # top-level import here would be circular.
         from repro.staticcheck.prepass import prepass_check
 
+        if sink is not None:
+            sink.emit(PhaseMark(phase="prepass", mark="start"))
         verdict = prepass_check(spec, history)
+        if sink is not None:
+            sink.emit(PhaseMark(phase="prepass", mark="end"))
         if verdict.decided:
-            return verdict.to_result()
+            result = verdict.to_result()
+            if sink is not None:
+                sink.emit(
+                    VerdictReached(
+                        model=spec.name,
+                        allowed=False,
+                        explored=0,
+                        reason=result.reason,
+                    )
+                )
+            return result
 
     # Derive the candidate-source table once (shared across the specs a
     # sweep checks this history against); every layer below receives it.
+    if sink is not None:
+        sink.emit(PhaseMark(phase="compile", mark="start"))
     hp = history_plane(history)
     candidates = hp.candidates
 
@@ -314,6 +441,13 @@ def check_with_spec(
     bad = impossible_read(history, candidates)
     if bad is not None:
         reason = f"{bad} observes a value never written to {bad.location!r}"
+        if sink is not None:
+            sink.emit(PhaseMark(phase="compile", mark="end"))
+            sink.emit(
+                VerdictReached(
+                    model=spec.name, allowed=False, explored=0, reason=reason
+                )
+            )
         return CheckResult(
             spec.name,
             False,
@@ -322,6 +456,26 @@ def check_with_spec(
         )
 
     cc = compile_constraints(spec, history)
+    if sink is not None:
+        sink.emit(PhaseMark(phase="compile", mark="end"))
+        sink.emit(PhaseMark(phase="search", mark="start"))
+    try:
+        return _search_candidates(spec, history, budget, sink, hp, candidates, cc)
+    finally:
+        if sink is not None:
+            sink.emit(PhaseMark(phase="search", mark="end"))
+
+
+def _search_candidates(
+    spec,
+    history: SystemHistory,
+    budget: SearchBudget,
+    sink: TraceSink | None,
+    hp,
+    candidates,
+    cc: CompiledConstraints,
+) -> CheckResult:
+    """Layers 1–4 composed: the enumeration loop of the spec-driven driver."""
     # Propagation edges are attribution-forced, hence sound only when the
     # attribution is the unique one (see constraints.candidate_propagation).
     unique_rf = hp.unique_rf
@@ -332,8 +486,17 @@ def check_with_spec(
         if propagate
         else iter_attributions(history, budget.max_reads_from, candidates)
     )
+    n_attr = 0
     for rf in attributions:
+        n_attr += 1
+        if sink is not None:
+            sink.emit(
+                AttributionTried(
+                    index=n_attr, unique=propagate, assignment=_render_rf(rf)
+                )
+            )
         plane = cc.plane(rf, propagate)
+        n_cand = 0
         for cand in iter_mutual_candidates(
             spec,
             history,
@@ -341,6 +504,16 @@ def check_with_spec(
             use_reads_from_pruning=budget.use_reads_from_pruning,
             unambiguous=propagate,
         ):
+            n_cand += 1
+            if sink is not None:
+                sink.emit(
+                    CandidateTried(
+                        index=n_cand,
+                        chains=tuple(
+                            tuple(str(op) for op in chain) for chain in cand.chains
+                        ),
+                    )
+                )
             ordering = (
                 spec.ordering.build(history, rf, cand.coherence).pred_masks(cc.ops)
                 if cc.needs_coherence
@@ -355,6 +528,11 @@ def check_with_spec(
                 if propagate
                 else None
             )
+            if sink is not None and prop is not None:
+                sink.emit(
+                    PropagationApplied(edges=sum(m.bit_count() for m in prop))
+                )
+            n_extra = 0
             for extra in iter_labeled_extras(
                 spec, history, rf, cand.coherence, budget.max_labeled_orders
             ):
@@ -364,9 +542,23 @@ def check_with_spec(
                         f"{spec.name}: search budget exceeded after "
                         f"{budget.max_serializations} candidate serializations"
                     )
+                if sink is not None and extra is not None:
+                    n_extra += 1
+                    order = extra.chains[0] if extra.chains else ()
+                    sink.emit(
+                        LabeledExtraTried(
+                            index=n_extra, order=tuple(str(op) for op in order)
+                        )
+                    )
                 extra_m = cc.extra_masks(extra)
-                views = _solve_views(cc, base, own, extra_m, prop)
+                views = _solve_views(cc, base, own, extra_m, prop, sink)
                 if views is not None:
+                    if sink is not None:
+                        sink.emit(
+                            VerdictReached(
+                                model=spec.name, allowed=True, explored=explored
+                            )
+                        )
                     return CheckResult(
                         spec.name,
                         True,
@@ -376,10 +568,17 @@ def check_with_spec(
                             views=views, reads_from=rf, coherence=cand.coherence
                         ),
                     )
+    reason = "no choice of views satisfies the model's requirements"
+    if sink is not None:
+        sink.emit(
+            VerdictReached(
+                model=spec.name, allowed=False, explored=explored, reason=reason
+            )
+        )
     return CheckResult(
         spec.name,
         False,
-        reason="no choice of views satisfies the model's requirements",
+        reason=reason,
         explored=explored,
     )
 
@@ -390,12 +589,52 @@ def _union(a: Sequence[int], b: Sequence[int] | None) -> Sequence[int]:
     return [x | y for x, y in zip(a, b)]
 
 
+def _solve_one_view(
+    n: int,
+    masks: Sequence[int],
+    op_loc: Sequence[int],
+    read_vals: Sequence[int | None],
+    write_vals: Sequence[int | None],
+    n_locs: int,
+    sink: TraceSink | None,
+    proc_label: str,
+    render: Sequence[str],
+) -> list[int] | None:
+    """One view search, narrated when a sink is present."""
+    if sink is None:
+        return _dfs_find(
+            n, masks, op_loc, read_vals, write_vals, n_locs, INITIAL_VALUE, True
+        )
+    sink.emit(ViewSearch(proc=proc_label, operations=n))
+    order = _dfs_find_traced(
+        n,
+        masks,
+        op_loc,
+        read_vals,
+        write_vals,
+        n_locs,
+        INITIAL_VALUE,
+        True,
+        sink,
+        proc_label,
+        render,
+    )
+    if order is None:
+        sink.emit(ViewStuck(proc=proc_label))
+    else:
+        sink.emit(
+            ViewSolved(proc=proc_label, order=tuple(render[i] for i in order))
+        )
+    return order
+
+
 def _solve_views(
     cc: CompiledConstraints,
     base: Sequence[int],
     own: dict[Any, Sequence[int]] | None,
     extra: Sequence[int] | None,
     prop: Sequence[int] | None,
+    sink: TraceSink | None = None,
 ) -> dict[Any, View] | None:
     history = cc.history
     if cc.identical:
@@ -407,16 +646,19 @@ def _solve_views(
             )
         masks = _union(_union(base, extra), prop)
         if not masks_acyclic(masks, cc.n):
+            if sink is not None:
+                sink.emit(ViewStuck(proc="*", reason="constraint-cycle"))
             return None
-        order = _dfs_find(
+        order = _solve_one_view(
             cc.n,
             masks,
             up.op_loc,
             up.read_vals,
             up.write_vals,
             up.n_locs,
-            INITIAL_VALUE,
-            True,
+            sink,
+            "*",
+            [str(op) for op in cc.ops] if sink is not None else (),
         )
         if order is None:
             return None
@@ -438,6 +680,8 @@ def _solve_views(
             # view-local check would accept).
             masks = _union(masks, own[proc])
             if not masks_acyclic(masks, cc.n):
+                if sink is not None:
+                    sink.emit(ViewStuck(proc=str(proc), reason="constraint-cycle"))
                 return None
         masks = _union(masks, prop)
         vp = cc.views[proc]
@@ -449,10 +693,19 @@ def _solve_views(
             )
         local = restrict_masks(masks, vp.members)
         if not masks_acyclic(local, v):
+            if sink is not None:
+                sink.emit(ViewStuck(proc=str(proc), reason="constraint-cycle"))
             return None
-        order = _dfs_find(
-            v, local, vp.op_loc, vp.read_vals, vp.write_vals, vp.n_locs,
-            INITIAL_VALUE, True,
+        order = _solve_one_view(
+            v,
+            local,
+            vp.op_loc,
+            vp.read_vals,
+            vp.write_vals,
+            vp.n_locs,
+            sink,
+            str(proc),
+            [str(cc.ops[g]) for g in vp.members] if sink is not None else (),
         )
         if order is None:
             return None

@@ -50,6 +50,8 @@ from repro.core.operation import Operation
 from repro.kernel.constraints import bracketing_edges
 from repro.kernel.results import CheckResult, Counterexample
 from repro.kernel.rf import impossible_read
+from repro.obs.events import PrepassRule
+from repro.obs.sink import TraceSink, active_sink
 from repro.orders.program_order import ppo_relation
 from repro.orders.relation import Relation
 from repro.orders.writes_before import (
@@ -142,13 +144,26 @@ class HistoryPrepass:
         #: The necessary conditions this spec compiles to, in run order.
         self.checks: tuple[str, ...] = tuple(checks)
 
+    def _rule_event(
+        self, sink: TraceSink | None, rule: str, outcome: str, detail: str = ""
+    ) -> None:
+        """Narrate one rule's outcome to the active trace sink, if any."""
+        if sink is not None:
+            sink.emit(
+                PrepassRule(
+                    model=self.spec.name, rule=rule, outcome=outcome, detail=detail
+                )
+            )
+
     def check(self, history: SystemHistory) -> PrepassVerdict:
         """DENY with a structured reason, or UNKNOWN — never ADMIT."""
         spec = self.spec
+        sink = active_sink()
         candidates = reads_from_candidates(history)
         bad = impossible_read(history, candidates)
         if bad is not None:
             reason = f"{bad} observes a value never written to {bad.location!r}"
+            self._rule_event(sink, "rf-sanity", "deny", reason)
             return PrepassVerdict(
                 spec.name,
                 True,
@@ -156,11 +171,14 @@ class HistoryPrepass:
                 counterexample=Counterexample(spec.name, "impossible-value", reason),
                 checks_run=("rf-sanity",),
             )
+        self._rule_event(sink, "rf-sanity", "pass")
         rf = unambiguous_reads_from(history)
         if rf is None:
             # Legality edges are forced only under a fixed attribution;
             # with several candidate writers per read, leave the choice
             # (and the verdict) to the kernel's enumeration.
+            for rule in self.checks[1:]:
+                self._rule_event(sink, rule, "abstain")
             return PrepassVerdict(spec.name, False, checks_run=("rf-sanity",))
         ordering = self._ordering(history)
         run = ["rf-sanity"]
@@ -175,6 +193,7 @@ class HistoryPrepass:
                     "reads-from-implied coherence edges) is cyclic "
                     f"(cycle of {len(cycle) - 1} writes)"
                 )
+                self._rule_event(sink, "write-order-cycle", "deny", detail)
                 return PrepassVerdict(
                     spec.name,
                     True,
@@ -184,10 +203,12 @@ class HistoryPrepass:
                     ),
                     checks_run=tuple(run),
                 )
+            self._rule_event(sink, "write-order-cycle", "pass")
             forced_closed = forced.transitive_closure()
         run.append("view-cycle")
         cx = self._view_cycle(history, rf, ordering, forced_closed)
         if cx is not None:
+            self._rule_event(sink, "view-cycle", "deny", cx.detail)
             return PrepassVerdict(
                 spec.name,
                 True,
@@ -195,6 +216,7 @@ class HistoryPrepass:
                 counterexample=cx,
                 checks_run=tuple(run),
             )
+        self._rule_event(sink, "view-cycle", "pass")
         return PrepassVerdict(spec.name, False, checks_run=tuple(run))
 
     # -- pieces ------------------------------------------------------------------

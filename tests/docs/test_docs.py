@@ -1,0 +1,97 @@
+"""Docs hygiene, enforced by the tier-1 suite.
+
+Three contracts: the generated blocks in ``docs/`` match what the live
+code produces (so the CLI reference cannot drift from the argparse tree
+and the worked trace cannot drift from the renderer), every intra-repo
+markdown link resolves, and the code examples in the README and
+``docs/framework.md`` pass as doctests.
+"""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+from repro.obs.docgen import (
+    GENERATED_BLOCKS,
+    broken_links,
+    cli_reference_markdown,
+    extract_block,
+    inject_block,
+    iter_markdown_links,
+    stale_blocks,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGeneratedBlocks:
+    @pytest.mark.parametrize(
+        "rel,name",
+        [(rel, name) for rel, blocks in GENERATED_BLOCKS.items() for name in blocks],
+    )
+    def test_committed_block_matches_live_code(self, rel, name):
+        text = (ROOT / rel).read_text(encoding="utf-8")
+        committed = extract_block(text, name)
+        assert committed is not None, f"{rel} lost its {name!r} block"
+        assert committed == GENERATED_BLOCKS[rel][name](), (
+            f"{rel} block {name!r} is stale — "
+            "run `python -m repro.obs.docgen --write` and commit the result"
+        )
+
+    def test_stale_blocks_reports_nothing(self):
+        assert stale_blocks(ROOT) == []
+
+    def test_cli_reference_names_every_command(self):
+        from repro.cli import build_parser
+
+        sub = next(
+            a
+            for a in build_parser()._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        reference = cli_reference_markdown()
+        for verb in sub.choices:
+            assert f"`python -m repro {verb}`" in reference
+
+    def test_inject_round_trip(self):
+        doc = "a\n<!-- generated:x start -->\nold\n<!-- generated:x end -->\nb"
+        out = inject_block(doc, "x", "new\n")
+        assert extract_block(out, "x") == "new\n"
+        with pytest.raises(ValueError):
+            inject_block(doc, "missing", "payload")
+
+
+class TestLinks:
+    def test_no_broken_intra_repo_links(self):
+        assert broken_links(ROOT, subdirs=("", "docs")) == []
+
+    def test_every_docs_page_reachable_from_index(self):
+        index = (ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+        linked = {t.split("#", 1)[0] for t in iter_markdown_links(index)}
+        for page in sorted((ROOT / "docs").glob("*.md")):
+            if page.name == "index.md":
+                continue
+            assert page.name in linked, f"docs/{page.name} is not linked from index"
+
+    def test_link_scanner_skips_fences_and_images(self):
+        text = "\n".join(
+            [
+                "[real](a.md)",
+                "```",
+                "[fenced](b.md)",
+                "```",
+                "![image](c.png)",
+            ]
+        )
+        assert list(iter_markdown_links(text)) == ["a.md"]
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("rel", ["README.md", "docs/framework.md"])
+    def test_markdown_examples_execute(self, rel):
+        failures, tests = doctest.testfile(
+            str(ROOT / rel), module_relative=False, verbose=False
+        )
+        assert tests > 0, f"{rel} has no doctest examples"
+        assert failures == 0, f"{rel}: {failures} doctest failure(s)"

@@ -1,0 +1,87 @@
+"""Serialization round-trips for every trace-event kind."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    AttributionTried,
+    Backtracked,
+    CandidateTried,
+    CheckStarted,
+    LabeledExtraTried,
+    NodeEntered,
+    PhaseMark,
+    PrepassRule,
+    PropagationApplied,
+    VerdictReached,
+    ViewSearch,
+    ViewSolved,
+    ViewStuck,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: One representative instance per kind, with every field populated
+#: (tuples non-empty so the list->tuple restoration is exercised).
+SAMPLES = [
+    CheckStarted(model="TSO", operations=4, processors=2),
+    PhaseMark(phase="search", mark="start"),
+    PrepassRule(model="SC", rule="view-cycle", outcome="deny", detail="cycle of 4"),
+    AttributionTried(
+        index=1, unique=True, assignment=(("r_p(y)0", ""), ("r_q(x)0", "w_p(x)1"))
+    ),
+    CandidateTried(index=2, chains=(("w_p(x)1", "w_q(y)1"), ("w_q(z)2",))),
+    LabeledExtraTried(index=1, order=("w*_p(s)1", "r*_q(s)1")),
+    PropagationApplied(edges=3),
+    ViewSearch(proc="*", operations=4),
+    NodeEntered(proc="p", depth=0, op="w_p(x)1"),
+    Backtracked(proc="p", depth=1, op="r_p(y)0"),
+    ViewSolved(proc="q", order=("r_q(x)0", "w_p(x)1")),
+    ViewStuck(proc="q", reason="constraint-cycle"),
+    VerdictReached(model="SC", allowed=False, explored=1, reason="exhausted"),
+]
+
+
+def test_samples_cover_every_registered_kind():
+    assert {type(e).kind for e in SAMPLES} == set(EVENT_KINDS)
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).kind)
+def test_json_round_trip(event):
+    wire = json.loads(json.dumps(event_to_dict(event)))
+    assert event_from_dict(wire) == event
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).kind)
+def test_to_dict_carries_the_kind_tag(event):
+    d = event_to_dict(event)
+    assert d["kind"] == type(event).kind
+    assert EVENT_KINDS[d["kind"]] is type(event)
+
+
+def test_default_fields_round_trip():
+    assert event_from_dict(event_to_dict(ViewStuck(proc="p"))) == ViewStuck(
+        proc="p", reason="search-exhausted"
+    )
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown trace-event kind"):
+        event_from_dict({"kind": "warp-core-breach"})
+    with pytest.raises(ValueError):
+        event_from_dict({"model": "SC"})  # kind missing entirely
+
+
+def test_extra_keys_ignored():
+    d = event_to_dict(PropagationApplied(edges=2))
+    d["added_by_future_version"] = 42
+    assert event_from_dict(d) == PropagationApplied(edges=2)
+
+
+def test_events_are_frozen_and_hashable():
+    e = NodeEntered(proc="p", depth=0, op="w_p(x)1")
+    with pytest.raises(AttributeError):
+        e.depth = 1
+    assert len({e, NodeEntered(proc="p", depth=0, op="w_p(x)1")}) == 1

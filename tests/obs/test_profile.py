@@ -1,0 +1,96 @@
+"""Profiles: per-check timing records and their per-model aggregation."""
+
+import json
+
+from repro.checking.models import MODELS
+from repro.kernel.search import check_with_spec
+from repro.litmus import CATALOG
+from repro.obs import CheckProfile, ProfileAggregate, profile_check
+
+
+class TestProfileCheck:
+    def test_verdict_matches_unprofiled_call(self):
+        spec = MODELS["TSO"].spec
+        history = CATALOG["fig1-sb"].history
+        plain = check_with_spec(spec, history, prepass=True)
+        result, profile = profile_check(spec, history)
+        assert result.allowed == plain.allowed == profile.allowed
+        assert result.explored == plain.explored == profile.explored
+        assert profile.model == spec.name
+
+    def test_phases_and_counters_recorded(self):
+        _, profile = profile_check(MODELS["TSO"].spec, CATALOG["fig1-sb"].history)
+        assert set(profile.phase_seconds) == {"prepass", "compile", "search"}
+        assert all(s >= 0 for s in profile.phase_seconds.values())
+        assert profile.counters["check-started"] == 1
+        assert profile.counters["node"] > 0
+        assert profile.total_seconds == sum(profile.phase_seconds.values())
+
+    def test_prepass_decided_check_skips_the_search_phase(self):
+        # SC denies fig1-sb in the pre-pass: no compile, no search.
+        _, profile = profile_check(MODELS["SC"].spec, CATALOG["fig1-sb"].history)
+        assert not profile.allowed
+        assert "search" not in profile.phase_seconds
+        assert profile.counters.get("node") is None
+
+    def test_no_prepass_profiles_the_raw_kernel(self):
+        _, profile = profile_check(
+            MODELS["SC"].spec, CATALOG["fig1-sb"].history, prepass=False
+        )
+        assert "prepass" not in profile.phase_seconds
+        assert "search" in profile.phase_seconds
+
+    def test_to_dict_is_json_compatible(self):
+        _, profile = profile_check(MODELS["TSO"].spec, CATALOG["fig1-sb"].history)
+        d = profile.to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestAggregate:
+    def _aggregate(self):
+        agg = ProfileAggregate()
+        for model in ("SC", "TSO"):
+            for entry in ("fig1-sb", "mp"):
+                _, p = profile_check(MODELS[model].spec, CATALOG[entry].history)
+                agg.add(p)
+        return agg
+
+    def test_folds_per_model(self):
+        agg = self._aggregate()
+        assert agg.checks == {"SC": 2, "TSO": 2}
+        assert set(agg.models()) == {"SC", "TSO"}
+
+    def test_render_tables(self):
+        agg = self._aggregate()
+        text = agg.render()
+        assert "model" in text and "total" in text and "SC" in text
+        md = agg.render(markdown=True)
+        assert md.startswith("| model")
+        counters = agg.render_counters()
+        assert "prepass-rule" in counters
+
+    def test_empty_aggregate_renders_placeholders(self):
+        agg = ProfileAggregate()
+        assert agg.render() == "(no checks profiled)"
+        assert agg.render_counters() == "(no counters recorded)"
+
+    def test_synthetic_profiles_sum_exactly(self):
+        agg = ProfileAggregate()
+        agg.add(
+            CheckProfile(
+                model="M",
+                allowed=True,
+                explored=2,
+                phase_seconds={"search": 0.25},
+                counters={"node": 3},
+            )
+        )
+        agg.add(
+            CheckProfile(
+                model="M", explored=1, phase_seconds={"search": 0.5}, counters={"node": 1}
+            )
+        )
+        assert agg.allowed == {"M": 1}
+        assert agg.explored == {"M": 3}
+        assert agg.phase_seconds == {"M": {"search": 0.75}}
+        assert agg.counters == {"M": {"node": 4}}

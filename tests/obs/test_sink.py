@@ -1,0 +1,103 @@
+"""The sink protocol: installation scoping, recording limits, timing."""
+
+from repro.obs.events import NodeEntered, PhaseMark, PropagationApplied
+from repro.obs.sink import (
+    CountingSink,
+    NullSink,
+    RecordingSink,
+    TimingSink,
+    active_sink,
+    tracing,
+)
+
+
+def _node(i):
+    return NodeEntered(proc="p", depth=i, op=f"w_p(x){i}")
+
+
+class TestInstallation:
+    def test_default_is_no_sink(self):
+        assert active_sink() is None
+
+    def test_tracing_installs_and_restores(self):
+        sink = RecordingSink()
+        with tracing(sink) as yielded:
+            assert yielded is sink
+            assert active_sink() is sink
+        assert active_sink() is None
+
+    def test_nesting_restores_the_outer_sink(self):
+        outer, inner = RecordingSink(), RecordingSink()
+        with tracing(outer):
+            with tracing(inner):
+                assert active_sink() is inner
+            assert active_sink() is outer
+        assert active_sink() is None
+
+    def test_restored_on_exception(self):
+        try:
+            with tracing(NullSink()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_sink() is None
+
+
+class TestRecordingSink:
+    def test_keeps_order(self):
+        sink = RecordingSink()
+        events = [_node(0), PropagationApplied(edges=1), _node(1)]
+        for e in events:
+            sink.emit(e)
+        assert sink.events == events
+        assert sink.dropped == 0
+
+    def test_of_kind_filters(self):
+        sink = RecordingSink()
+        for e in (_node(0), PropagationApplied(edges=1), _node(1)):
+            sink.emit(e)
+        assert sink.of_kind("node") == [_node(0), _node(1)]
+        assert sink.of_kind("verdict") == []
+
+    def test_limit_caps_memory_and_counts_drops(self):
+        sink = RecordingSink(limit=2)
+        for i in range(5):
+            sink.emit(_node(i))
+        assert sink.events == [_node(0), _node(1)]
+        assert sink.dropped == 3
+
+
+class TestCountingSink:
+    def test_counts_per_kind(self):
+        sink = CountingSink()
+        for e in (_node(0), _node(1), PropagationApplied(edges=1)):
+            sink.emit(e)
+        assert sink.counts == {"node": 2, "propagation": 1}
+
+
+class TestTimingSink:
+    def test_pairs_phase_marks(self):
+        sink = TimingSink()
+        sink.emit(PhaseMark(phase="search", mark="start"))
+        sink.emit(_node(0))
+        sink.emit(PhaseMark(phase="search", mark="end"))
+        assert set(sink.phase_seconds) == {"search"}
+        assert sink.phase_seconds["search"] >= 0.0
+        assert sink.counts["phase"] == 2
+
+    def test_unmatched_start_contributes_nothing(self):
+        sink = TimingSink()
+        sink.emit(PhaseMark(phase="search", mark="start"))
+        assert sink.phase_seconds == {}
+
+    def test_end_without_start_is_ignored(self):
+        sink = TimingSink()
+        sink.emit(PhaseMark(phase="compile", mark="end"))
+        assert sink.phase_seconds == {}
+
+    def test_accumulates_across_pairs(self):
+        sink = TimingSink()
+        for _ in range(2):
+            sink.emit(PhaseMark(phase="prepass", mark="start"))
+            sink.emit(PhaseMark(phase="prepass", mark="end"))
+        assert len(sink.phase_seconds) == 1

@@ -264,3 +264,103 @@ class TestSweepPrepass:
         assert get_counts(fast) == get_counts(slow)
         assert "static pre-pass" in fast
         assert "static pre-pass" not in slow
+
+
+class TestTrace:
+    def test_acceptance_prefix_and_witness_agreement(self, capsys):
+        """`trace fig1 TSO` narrates; verdict + views match check_with_spec."""
+        from repro.checking import MODELS, check_with_spec
+        from repro.litmus import CATALOG
+
+        rc = main(["trace", "fig1", "TSO"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "history (fig1-sb):" in out          # prefix resolved
+        assert "Tracing TSO" in out and "Verdict: TSO allowed" in out
+        result = check_with_spec(
+            MODELS["TSO"].spec, CATALOG["fig1-sb"].history, prepass=True
+        )
+        assert result.allowed
+        assert "witness views:" in out
+        for view in result.views.values():
+            # render_views annotates δ_p (S_{p+w}); compare the sequences.
+            assert " ".join(str(op) for op in view) in out
+
+    def test_denied_history_exits_one(self, capsys):
+        rc = main(["trace", "fig1-sb", "SC"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "Verdict: SC NOT allowed" in out
+        assert "witness views:" not in out
+
+    def test_no_prepass_narrates_the_search_instead(self, capsys):
+        rc = main(["trace", "fig1-sb", "SC", "--no-prepass"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "Static pre-pass" not in out
+        assert "common view stuck" in out
+
+    def test_markdown_mode(self, capsys):
+        rc = main(["trace", "fig1", "TSO", "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## Tracing TSO" in out and "```text" in out
+
+    def test_litmus_text_still_accepted(self, capsys):
+        rc = main(["trace", "p: w(x)1 | q: r(x)1", "PRAM"])
+        assert rc == 0
+        assert "history:" in capsys.readouterr().out
+
+    def test_spec_less_model_exits_two(self, capsys):
+        rc = main(["trace", "fig1-sb", "TSO-axiomatic"])
+        assert rc == 2
+        assert "spec-less" in capsys.readouterr().err
+
+    def test_ambiguous_prefix_is_parsed_as_litmus_and_fails(self, capsys):
+        rc = main(["trace", "fig", "SC"])  # several catalog names start with fig
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_two_models_over_the_catalog(self, capsys):
+        from repro.litmus import CATALOG
+
+        rc = main(["profile", "--models", "SC,TSO"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"profiled {2 * len(CATALOG)} check(s)" in out
+        assert "prepass" in out and "search" in out and "total" in out
+
+    def test_counters_and_markdown(self, capsys):
+        rc = main(["profile", "--models", "SC", "--counters", "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| model" in out and "prepass-rule" in out
+
+    def test_repeat_multiplies_checks(self, capsys):
+        from repro.litmus import CATALOG
+
+        rc = main(["profile", "--models", "SC", "--repeat", "2"])
+        assert rc == 0
+        assert f"profiled {2 * len(CATALOG)} check(s)" in capsys.readouterr().out
+
+    def test_unknown_model_exits_two(self, capsys):
+        rc = main(["profile", "--models", "Nonsense"])
+        assert rc == 2
+
+    def test_bad_repeat_exits_two(self, capsys):
+        rc = main(["profile", "--models", "SC", "--repeat", "0"])
+        assert rc == 2
+
+
+class TestCatalogNameResolution:
+    def test_check_accepts_catalog_names(self, capsys):
+        rc = main(["check", "fig1-sb", "--model", "TSO"])
+        assert rc == 0
+        assert "TSO: allowed" in capsys.readouterr().out
+
+    def test_classify_accepts_prefixes(self, capsys):
+        rc = main(["classify", "iriw"])
+        assert rc == 0
+        assert "SC" in capsys.readouterr().out
