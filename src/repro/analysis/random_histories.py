@@ -37,12 +37,17 @@ def random_history(
     ops_per_proc: int = 3,
     locations: Sequence[str] = ("x", "y"),
     p_write: float = 0.5,
+    values: Sequence[int] | None = None,
 ) -> SystemHistory:
     """Sample a structurally random history with distinct write values.
 
     Reads draw their value from {0} ∪ {values written to their location
     anywhere in the history}, so samples are never *trivially* illegal —
-    every read has at least one candidate writer.
+    every read has at least one candidate writer.  Passing ``values`` adds
+    an extra pool of candidate read values drawn *without* that guarantee:
+    a read may then observe a value no write stores, which is exactly the
+    impossible-read shape the differential fuzzer needs to exercise every
+    checker's rejection path.
     """
     if procs < 1:
         raise HistoryError(f"random_history: procs must be >= 1, got {procs}")
@@ -58,7 +63,12 @@ def random_history(
         raise HistoryError(
             f"random_history: p_write must lie in [0, 1], got {p_write}"
         )
+    if values is not None and not values:
+        raise HistoryError(
+            f"random_history: values must be non-empty when given, got {values!r}"
+        )
     locations = list(locations)
+    extra_values = list(values) if values is not None else []
     # First pass: decide shapes, assign distinct write values by slot.
     shapes: list[list[tuple[str, str, int | None]]] = []
     written: dict[str, list[int]] = {loc: [] for loc in locations}
@@ -84,7 +94,7 @@ def random_history(
                 assert value is not None
                 builder.write(loc, value)
             else:
-                options = [0] + written[loc]
+                options = [0] + written[loc] + extra_values
                 builder.read(loc, options[int(rng.integers(len(options)))])
     return builder.build()
 
@@ -98,6 +108,16 @@ def random_program_ops(
     value_base: int = 1,
 ) -> list[Request]:
     """A straight-line random thread body (no loops, distinct write values)."""
+    if ops < 1:
+        raise HistoryError(f"random_program_ops: ops must be >= 1, got {ops}")
+    if not locations:
+        raise HistoryError(
+            f"random_program_ops: locations must be non-empty, got {locations!r}"
+        )
+    if not 0.0 <= p_write <= 1.0:
+        raise HistoryError(
+            f"random_program_ops: p_write must lie in [0, 1], got {p_write}"
+        )
     locations = list(locations)
     out: list[Request] = []
     v = value_base
@@ -126,6 +146,14 @@ def machine_history(
     history satisfies the litmus discipline and checks quickly.
     """
     procs = list(procs if procs is not None else machine.procs)
+    if not procs:
+        raise HistoryError(
+            f"machine_history: procs must be non-empty, got {procs!r}"
+        )
+    if ops_per_proc < 1:
+        raise HistoryError(
+            f"machine_history: ops_per_proc must be >= 1, got {ops_per_proc}"
+        )
 
     def _thread(ops: list[Request]):
         for req in ops:

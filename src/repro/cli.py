@@ -9,6 +9,7 @@
     python -m repro lattice [--procs 2] [--ops 2] [--jobs 4] [--dot]
     python -m repro sweep   [--source catalog] [--models SC,TSO,PC] [--jobs 4]
     python -m repro bakery  [--machine rc_pc] [--runs 100] [--adversarial]
+    python -m repro fuzz    [--seed 0] [--count 500] [--shapes default] [--jobs 4]
     python -m repro lint history "p: w(x)1 | q: r(x)2" [--model SC]
     python -m repro lint spec [--broken-fixtures]
     python -m repro lint program figure6
@@ -152,6 +153,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-prepass",
         action="store_true",
         help="disable the static DENY pre-pass (same verdicts, more searching)",
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: cross-examine the kernel, legacy solver, "
+        "fast paths and pre-pass on random histories",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="base campaign seed")
+    p_fuzz.add_argument(
+        "--count", type=int, default=500, help="total histories across all shapes"
+    )
+    p_fuzz.add_argument(
+        "--shapes",
+        default="default",
+        help="comma-separated shape presets, 'default', or 'all' "
+        "(see docs/diff.md)",
+    )
+    p_fuzz.add_argument(
+        "--models",
+        default="paper",
+        help="comma-separated model names, 'paper' (Figure 5 set), or 'all'",
+    )
+    p_fuzz.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="record discrepancies as found, without witness minimization",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        metavar="FILE",
+        help="append findings to this JSONL discrepancy corpus",
+    )
+    p_fuzz.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip samples already checked in --corpus",
     )
 
     p_bakery = sub.add_parser("bakery", help="run the Section 5 Bakery experiment")
@@ -422,6 +462,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.checking.models import PAPER_MODELS
+    from repro.diff import DiscrepancyCorpus, FuzzConfig, run_fuzz
+    from repro.engine import CheckEngine
+
+    if args.models == "paper":
+        models = PAPER_MODELS
+    elif args.models == "all":
+        models = tuple(n for n in model_names() if MODELS[n].spec is not None)
+    else:
+        models = tuple(args.models.split(","))
+    if args.resume and not args.corpus:
+        print("error: --resume needs --corpus", file=sys.stderr)
+        return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        count=args.count,
+        shapes=tuple(args.shapes.split(",")),
+        models=models,
+        shrink=not args.no_shrink,
+    )
+    engine = CheckEngine(jobs=args.jobs) if args.jobs > 1 else None
+    if args.corpus:
+        with DiscrepancyCorpus(args.corpus) as corpus:
+            report = run_fuzz(config, engine=engine, corpus=corpus, resume=args.resume)
+        print(report.render())
+        print(f"corpus written to {args.corpus}")
+    else:
+        report = run_fuzz(config, engine=engine)
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def _cmd_bakery(args: argparse.Namespace) -> int:
     factory = _BAKERY_MACHINES[args.machine]
     labeled = args.machine.startswith("rc_")
@@ -672,6 +745,7 @@ _COMMANDS = {
     "catalog": _cmd_catalog,
     "lattice": _cmd_lattice,
     "sweep": _cmd_sweep,
+    "fuzz": _cmd_fuzz,
     "bakery": _cmd_bakery,
     "spectrum": _cmd_spectrum,
     "lint": _cmd_lint,

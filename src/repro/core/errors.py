@@ -20,6 +20,7 @@ __all__ = [
     "ProgramError",
     "ParseError",
     "EngineError",
+    "DiffError",
 ]
 
 
@@ -83,3 +84,7 @@ class ParseError(ReproError):
 
 class EngineError(ReproError):
     """The batch-checking engine was given an invalid job, spec, or store."""
+
+
+class DiffError(ReproError):
+    """The differential fuzzer was given an invalid campaign, shape, or corpus."""

@@ -1,0 +1,149 @@
+"""The discrepancy corpus: fuzzer findings as a permanent JSONL log.
+
+Built on the engine's :class:`~repro.engine.store.JsonlLog` substrate
+(append-only, flushed per record, truncated-tail repair, strict about
+interior corruption), with four record types:
+
+``run``
+    A campaign header: corpus-format version, seed, count, shapes,
+    models, start timestamp.  Resumed campaigns append a second header.
+``progress``
+    ``{"type": "progress", "stratum": "<shape>@<seed>", "done": N}`` —
+    the resume marker: the first ``N`` samples of that stratum are
+    already checked (last record wins).
+``discrepancy``
+    One finding: the stable key, the discrepancy kind/models/detail, the
+    original and shrunk histories in litmus notation, the oracle
+    verdicts, and a rendered kernel trace of the minimal history.
+``litmus``
+    A *resolved* finding promoted to a regression fixture: the minimal
+    history plus the agreed post-fix verdicts every oracle must keep
+    reproducing.  ``tests/diff`` replays every ``litmus`` record of the
+    checked-in seed corpus as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import DiffError
+from repro.core.history import SystemHistory
+from repro.engine.store import JsonlLog
+from repro.litmus import format_history, parse_history
+
+__all__ = ["CORPUS_VERSION", "DiscrepancyCorpus", "stratum_key"]
+
+#: Bumped on any incompatible change to the corpus record format.
+CORPUS_VERSION = 1
+
+
+def stratum_key(shape: str, seed: int) -> str:
+    """The resume identity of one (shape preset, seed) generation stream."""
+    return f"{shape}@{seed}"
+
+
+class DiscrepancyCorpus(JsonlLog):
+    """An append-only JSONL corpus of differential-fuzzing findings."""
+
+    # -- writing -----------------------------------------------------------------
+
+    def append_run_header(self, meta: dict) -> None:
+        """Record the start of a campaign (seed, count, shapes, models)."""
+        self._append(
+            {
+                "type": "run",
+                "corpus_version": CORPUS_VERSION,
+                "started": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                **meta,
+            }
+        )
+
+    def append_progress(self, stratum: str, done: int) -> None:
+        """Mark the first ``done`` samples of ``stratum`` as checked."""
+        if done < 0:
+            raise DiffError(f"progress must be >= 0, got {done}")
+        self._append({"type": "progress", "stratum": stratum, "done": done})
+
+    def append_discrepancy(
+        self,
+        key: str,
+        *,
+        kind: str,
+        models: tuple[str, ...],
+        detail: str,
+        history: SystemHistory,
+        shrunk: SystemHistory | None = None,
+        verdicts: dict | None = None,
+        trace: str | None = None,
+        shrink_steps: int = 0,
+    ) -> None:
+        """Record one finding (histories stored as one-line litmus text)."""
+        if not key:
+            raise DiffError("discrepancy records need a non-empty key")
+        record: dict = {
+            "type": "discrepancy",
+            "key": key,
+            "kind": kind,
+            "models": list(models),
+            "detail": detail,
+            "history": format_history(history, oneline=True),
+        }
+        if shrunk is not None:
+            record["shrunk"] = format_history(shrunk, oneline=True)
+            record["shrink_steps"] = shrink_steps
+        if verdicts is not None:
+            record["verdicts"] = verdicts
+        if trace is not None:
+            record["trace"] = trace
+        self._append(record)
+
+    def append_litmus(
+        self,
+        key: str,
+        history: SystemHistory,
+        expected: dict[str, bool],
+        *,
+        origin: str = "",
+    ) -> None:
+        """Promote a resolved finding to a regression fixture."""
+        if not key:
+            raise DiffError("litmus records need a non-empty key")
+        record = {
+            "type": "litmus",
+            "key": key,
+            "history": format_history(history, oneline=True),
+            "expected": expected,
+        }
+        if origin:
+            record["origin"] = origin
+        self._append(record)
+
+    # -- reading -----------------------------------------------------------------
+
+    def discrepancies(self) -> list[dict]:
+        """Every intact ``discrepancy`` record, in file order."""
+        return [r for r in self.records() if r.get("type") == "discrepancy"]
+
+    def litmus_entries(self) -> list[tuple[str, SystemHistory, dict[str, bool]]]:
+        """The regression fixtures: ``(key, history, expected verdicts)``."""
+        out: list[tuple[str, SystemHistory, dict[str, bool]]] = []
+        for r in self.records():
+            if r.get("type") != "litmus":
+                continue
+            try:
+                history = parse_history(r["history"])
+                expected = dict(r["expected"])
+            except KeyError as exc:
+                raise DiffError(
+                    f"{self.path}: malformed litmus record {r!r}: missing {exc}"
+                ) from exc
+            out.append((r["key"], history, expected))
+        return out
+
+    def completed(self) -> dict[str, int]:
+        """Per-stratum resume markers (last ``progress`` record wins)."""
+        done: dict[str, int] = {}
+        for r in self.records():
+            if r.get("type") == "progress":
+                done[r["stratum"]] = int(r["done"])
+        return done

@@ -1,0 +1,187 @@
+"""The oracle panel: four independent answers, cross-examined.
+
+The repository can decide "does model M admit history H" four ways:
+
+* **fast** — the registered preferred decision procedure
+  (:meth:`repro.checking.models.MemoryModel.check`: per-model fast paths
+  where they exist, the kernel driver otherwise);
+* **kernel** — the layered constraint kernel's generic driver
+  (:func:`repro.kernel.check_with_spec`), uniformly for every spec-backed
+  model;
+* **legacy** — the frozen pre-kernel monolithic solver
+  (:mod:`repro.checking._legacy_solver`), imported here deliberately: this
+  module *is* the equivalence-oracle harness that solver was frozen for;
+* **prepass** — the polynomial static battery
+  (:func:`repro.staticcheck.prepass_check`), sound for DENY and never
+  admitting.
+
+:func:`panel_verdicts` runs all four; :func:`find_discrepancies` flags every
+way their answers can be mutually impossible: direct verdict disagreement,
+a prepass DENY on a kernel-ADMIT history (a soundness violation), a verdict
+pattern contradicting the Figure 5 containment lattice (Steinke & Nutt's
+unified-theory invariants, free on every random history), and a machine
+trace rejected by the very model the machine implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.checking._legacy_solver import legacy_check_with_spec
+from repro.checking.models import MODELS
+from repro.core.errors import DiffError
+from repro.core.history import SystemHistory
+from repro.kernel import check_with_spec
+from repro.lattice.classify import FIGURE5_EDGES
+from repro.staticcheck.prepass import prepass_check
+
+__all__ = [
+    "ORACLES",
+    "Discrepancy",
+    "agreed_verdicts",
+    "find_discrepancies",
+    "panel_verdicts",
+]
+
+#: The panel's members, in reporting order.
+ORACLES: tuple[str, ...] = ("fast", "kernel", "legacy", "prepass")
+
+
+def panel_verdicts(
+    history: SystemHistory, models: Sequence[str]
+) -> dict[str, dict[str, bool]]:
+    """Every oracle's verdict on ``history``, per model.
+
+    Returns ``{model: {"fast": bool, "kernel": bool, "legacy": bool,
+    "prepass_deny": bool}}`` — a plain picklable dictionary, so the engine
+    can ship panels across its process boundary.  Models without a
+    framework spec (the axiomatic TSO reference) only carry the ``fast``
+    verdict: the other three oracles are spec-driven.
+    """
+    out: dict[str, dict[str, bool]] = {}
+    for name in models:
+        model = MODELS.get(name)
+        if model is None:
+            raise DiffError(
+                f"unknown model {name!r}; known: {', '.join(MODELS)}"
+            )
+        verdicts: dict[str, bool] = {"fast": model.check(history).allowed}
+        if model.spec is not None:
+            verdicts["kernel"] = check_with_spec(model.spec, history).allowed
+            verdicts["legacy"] = legacy_check_with_spec(
+                model.spec, history
+            ).allowed
+            verdicts["prepass_deny"] = prepass_check(model.spec, history).decided
+        out[name] = verdicts
+    return out
+
+
+def agreed_verdicts(panel: dict[str, dict[str, bool]]) -> dict[str, bool]:
+    """The kernel verdict per model (the panel's reference answer)."""
+    return {
+        name: verdicts.get("kernel", verdicts["fast"])
+        for name, verdicts in panel.items()
+    }
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One way the oracle panel's answers are mutually impossible.
+
+    Attributes
+    ----------
+    kind:
+        ``"oracle-disagreement"``, ``"prepass-unsound"``,
+        ``"lattice-violation"``, or ``"machine-unsound"``.
+    models:
+        The model name(s) involved (one, or the (stronger, weaker) pair of
+        a violated lattice edge).
+    detail:
+        Human-readable statement of the contradiction.
+    verdicts:
+        The panel rows backing the claim, ``{model: {oracle: verdict}}``.
+    """
+
+    kind: str
+    models: tuple[str, ...]
+    detail: str
+    verdicts: dict[str, dict[str, bool]] = field(default_factory=dict, hash=False)
+
+    @property
+    def key(self) -> tuple[str, tuple[str, ...]]:
+        """The (kind, models) identity a shrink step must preserve."""
+        return (self.kind, self.models)
+
+    def render(self) -> str:
+        models = "/".join(self.models)
+        return f"[{self.kind}] {models}: {self.detail}"
+
+
+def find_discrepancies(
+    panel: dict[str, dict[str, bool]],
+    *,
+    machine_model: str | None = None,
+    edges: Sequence[tuple[str, str]] = FIGURE5_EDGES,
+) -> list[Discrepancy]:
+    """Every contradiction the panel's verdicts contain.
+
+    ``machine_model`` names the model whose operational machine generated
+    the history (if any): such a trace is allowed by construction, so a
+    DENY from that model is itself a discrepancy even though the oracles
+    agree with each other.  ``edges`` are the containment claims asserted
+    on every history; an edge is only checked when both of its models were
+    consulted.
+    """
+    found: list[Discrepancy] = []
+    for name, verdicts in panel.items():
+        row = {name: verdicts}
+        spec_backed = "kernel" in verdicts
+        if spec_backed:
+            answers = {o: verdicts[o] for o in ("fast", "kernel", "legacy")}
+            if len(set(answers.values())) > 1:
+                detail = ", ".join(
+                    f"{o}={'ADMIT' if v else 'DENY'}" for o, v in answers.items()
+                )
+                found.append(
+                    Discrepancy("oracle-disagreement", (name,), detail, row)
+                )
+            if verdicts["prepass_deny"] and verdicts["kernel"]:
+                found.append(
+                    Discrepancy(
+                        "prepass-unsound",
+                        (name,),
+                        "static pre-pass DENYs a history the kernel ADMITs",
+                        row,
+                    )
+                )
+    reference = agreed_verdicts(panel)
+    for stronger, weaker in edges:
+        if stronger not in reference or weaker not in reference:
+            continue
+        if reference[stronger] and not reference[weaker]:
+            found.append(
+                Discrepancy(
+                    "lattice-violation",
+                    (stronger, weaker),
+                    f"{stronger}-admitted but {weaker}-denied "
+                    f"(Figure 5 claims {stronger} ⊆ {weaker})",
+                    {stronger: panel[stronger], weaker: panel[weaker]},
+                )
+            )
+    if machine_model is not None:
+        if machine_model not in reference:
+            raise DiffError(
+                f"machine model {machine_model!r} missing from the panel"
+            )
+        if not reference[machine_model]:
+            found.append(
+                Discrepancy(
+                    "machine-unsound",
+                    (machine_model,),
+                    f"an operational {machine_model} machine produced this "
+                    "trace, but the declarative model denies it",
+                    {machine_model: panel[machine_model]},
+                )
+            )
+    return found

@@ -1,0 +1,132 @@
+"""Greedy witness shrinking: minimize a discrepancy-triggering history.
+
+A fuzzer-found counterexample is only useful once a human can read it, so
+every discrepancy is minimized before it is recorded: repeatedly try to
+drop one operation (or one whole processor) and keep the smaller history
+whenever the *same* discrepancy — same kind, same models — survives the
+re-check.  The loop runs to a fixpoint, so the result is 1-minimal: no
+single further deletion preserves the discrepancy.
+
+The predicate is re-evaluated from scratch on every candidate (a full
+oracle-panel run), which keeps the shrinker honest: it can never "keep" a
+history on stale verdicts.  Cost is bounded by the quadratic number of
+candidate deletions times the panel cost on *smaller-than-found* histories,
+which in practice is far cheaper than the fuzzing run that produced the
+witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.history import SystemHistory
+from repro.diff.oracles import Discrepancy
+
+__all__ = ["ShrinkResult", "shrink_history"]
+
+#: A predicate deciding whether a candidate history still exhibits the
+#: discrepancy being minimized (``None`` = it vanished; keep the larger).
+Predicate = Callable[[SystemHistory], "Discrepancy | None"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of one shrink run.
+
+    Attributes
+    ----------
+    history:
+        The 1-minimal history (possibly the input, when nothing drops).
+    discrepancy:
+        The surviving discrepancy as re-checked on the minimal history.
+    steps:
+        Accepted deletions (operations plus processors).
+    attempts:
+        Candidate histories checked, accepted or not.
+    """
+
+    history: SystemHistory
+    discrepancy: Discrepancy
+    steps: int
+    attempts: int
+
+
+def _without_op(history: SystemHistory, uid: tuple) -> SystemHistory:
+    """``history`` with one operation deleted (indices re-densified)."""
+    smaller, _ = history.project(lambda op: op.uid != uid)
+    return smaller
+
+
+def _without_proc(history: SystemHistory, proc) -> SystemHistory:
+    smaller, _ = history.project(lambda op: op.proc != proc)
+    return smaller
+
+
+def shrink_history(
+    history: SystemHistory,
+    predicate: Predicate,
+    *,
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Greedily minimize ``history`` while ``predicate`` keeps holding.
+
+    ``predicate`` must return the discrepancy a candidate still exhibits
+    (matching the one being shrunk — callers filter by
+    :attr:`~repro.diff.oracles.Discrepancy.key`), or ``None``.  It is
+    assumed to hold on ``history`` itself; the returned
+    :class:`ShrinkResult` carries its verdict on the final minimum.
+
+    Deletion order is processors first (the biggest single cut), then
+    operations from the end of each processor's program backwards (late
+    operations constrain fewer reads, so they drop most often); after any
+    accepted deletion the scan restarts, giving the 1-minimal fixpoint.
+    """
+    current = history
+    found = predicate(current)
+    if found is None:
+        raise ValueError("predicate does not hold on the history to shrink")
+    steps = 0
+    attempts = 0
+
+    def try_candidate(candidate: SystemHistory) -> Discrepancy | None:
+        nonlocal attempts
+        if len(candidate.operations) == 0:
+            return None
+        attempts += 1
+        return predicate(candidate)
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        # Whole processors first: one accepted cut removes many operations.
+        if len(current.procs) > 1:
+            for proc in current.procs:
+                survived = try_candidate(_without_proc(current, proc))
+                if survived is not None:
+                    current = _without_proc(current, proc)
+                    found = survived
+                    steps += 1
+                    progress = True
+                    break
+                if attempts >= max_attempts:
+                    break
+        if progress:
+            continue
+        # Then single operations, latest-in-program-order first.
+        for proc in current.procs:
+            for op in reversed(current.ops_of(proc)):
+                survived = try_candidate(_without_op(current, op.uid))
+                if survived is not None:
+                    current = _without_op(current, op.uid)
+                    found = survived
+                    steps += 1
+                    progress = True
+                    break
+                if attempts >= max_attempts:
+                    break
+            if progress or attempts >= max_attempts:
+                break
+    return ShrinkResult(
+        history=current, discrepancy=found, steps=steps, attempts=attempts
+    )

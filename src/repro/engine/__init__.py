@@ -28,13 +28,14 @@ from repro.engine.cache import RelationCache
 from repro.engine.jobs import SOURCES, CheckJob, SweepSpec
 from repro.engine.metrics import EngineMetrics
 from repro.engine.pool import DEFAULT_CACHE_HISTORIES, CheckEngine, SweepReport
-from repro.engine.store import STORE_VERSION, ResultStore
+from repro.engine.store import STORE_VERSION, JsonlLog, ResultStore
 
 __all__ = [
     "CheckEngine",
     "CheckJob",
     "DEFAULT_CACHE_HISTORIES",
     "EngineMetrics",
+    "JsonlLog",
     "RelationCache",
     "ResultStore",
     "SOURCES",

@@ -147,6 +147,30 @@ def _run_chunk(chunk: Sequence[_Payload]) -> dict:
     return _run_chunk_impl(chunk, _WORKER_STATE)
 
 
+def _run_panel_chunk_impl(chunk: Sequence[_Payload], state: dict) -> list[dict]:
+    """Oracle-panel verdicts for every payload of ``chunk``, in order.
+
+    The differential fuzzer's worker body: each history is answered by the
+    full panel (fast path, kernel, frozen legacy solver, static pre-pass)
+    under the worker's relation memo.  Lazy import — the diff layer sits
+    above the engine, and only fuzz runs need it.
+    """
+    from repro.diff.oracles import panel_verdicts
+
+    cache: RelationCache = state["cache"]
+    panels: list[dict] = []
+    with relation_memo(cache):
+        for _key, history_dict, models in chunk:
+            history = history_from_dict(history_dict)
+            panels.append(panel_verdicts(history, models))
+    return panels
+
+
+def _run_panel_chunk(chunk: Sequence[_Payload]) -> list[dict]:
+    assert _WORKER_STATE is not None, "worker used before initialisation"
+    return _run_panel_chunk_impl(chunk, _WORKER_STATE)
+
+
 @dataclass
 class SweepReport:
     """What an engine run produced: results, counts, and metrics."""
@@ -258,6 +282,30 @@ class CheckEngine:
             rows.extend(record["models"] for record in out["records"])
         return rows
 
+    def map_panel(
+        self, histories: Iterable[SystemHistory], models: Sequence[str]
+    ) -> list[dict]:
+        """Differential oracle panels for many histories, in input order.
+
+        The :mod:`repro.diff` fuzzer's batch entry point: every history is
+        decided by *all four* oracles (fast path, kernel, legacy solver,
+        static pre-pass; see :func:`repro.diff.oracles.panel_verdicts`).
+        Runs on the worker pool when ``jobs > 1``; results are identical
+        either way.
+        """
+        names = tuple(models)
+        payloads: list[_Payload] = [
+            (f"{i:06d}", history_to_dict(h), names) for i, h in enumerate(histories)
+        ]
+        panels: list[dict] = []
+        for out in self._execute(
+            self._chunks(payloads),
+            impl=_run_panel_chunk_impl,
+            worker=_run_panel_chunk,
+        ):
+            panels.extend(out)
+        return panels
+
     # -- sweep driving -----------------------------------------------------------
 
     def run(
@@ -342,7 +390,19 @@ class CheckEngine:
             size = max(1, min(32, -(-len(payloads) // (self.jobs * 4))))
         return [payloads[i : i + size] for i in range(0, len(payloads), size)]
 
-    def _execute(self, chunks: list[list[_Payload]]) -> Iterator[dict]:
+    def _execute(
+        self,
+        chunks: list[list[_Payload]],
+        impl=_run_chunk_impl,
+        worker=_run_chunk,
+    ) -> Iterator:
+        """Run ``chunks`` through a chunk body, in-process or on the pool.
+
+        ``impl`` is the in-process body ``(chunk, state) -> output`` and
+        ``worker`` its module-level pool twin (picklable, reading the
+        per-process state installed by the initializer).  Both defaults are
+        the sweep body; :meth:`map_panel` passes the oracle-panel pair.
+        """
         if not chunks:
             return
         if self.jobs == 1:
@@ -355,7 +415,7 @@ class CheckEngine:
             state["prepass"] = self.prepass
             self._local_state = state
             for chunk in chunks:
-                yield _run_chunk_impl(chunk, state)
+                yield impl(chunk, state)
             return
         ctx = multiprocessing.get_context()
         with ctx.Pool(
@@ -363,4 +423,4 @@ class CheckEngine:
             initializer=_init_worker,
             initargs=(self.cache_histories, self.store_views, self.prepass),
         ) as pool:
-            yield from pool.imap(_run_chunk, chunks)
+            yield from pool.imap(worker, chunks)

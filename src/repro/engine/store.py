@@ -17,8 +17,11 @@ One line per record, three record types distinguished by ``"type"``:
 
 Resume contract: :meth:`ResultStore.completed_keys` returns the keys of
 every intact result line; a run killed mid-write leaves at most one
-truncated trailing line, which is ignored (and newline-terminated before
-new records are appended, so the log stays parseable).
+truncated trailing line, which is ignored on read and dropped before new
+records are appended (so the log stays parseable).  An undecodable
+*interior* line cannot be explained by a killed run — the file is corrupt
+— so :meth:`ResultStore.records` raises :class:`~repro.core.errors.EngineError`
+naming the line rather than resuming from a quietly incomplete skip-set.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from typing import IO, Iterator
 
 from repro.core.errors import EngineError
 
-__all__ = ["ResultStore", "STORE_VERSION"]
+__all__ = ["JsonlLog", "ResultStore", "STORE_VERSION"]
 
 #: Bumped on any incompatible change to the record format.
 STORE_VERSION = 1
@@ -41,11 +44,15 @@ def _encode(record: dict) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
-class ResultStore:
-    """An append-only JSONL store of sweep results at ``path``.
+class JsonlLog:
+    """An append-only JSONL record log with truncated-tail repair.
 
-    Usable as a context manager; writes are line-buffered and flushed per
-    record so a killed run loses at most the line being written.
+    The storage substrate shared by :class:`ResultStore` and the
+    differential fuzzer's discrepancy corpus
+    (:class:`repro.diff.corpus.DiscrepancyCorpus`): one JSON record per
+    line, appended and flushed per record, resumable after a kill.  Usable
+    as a context manager; writes are line-buffered and flushed per record
+    so a killed run loses at most the line being written.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
@@ -57,22 +64,91 @@ class ResultStore:
     def records(self) -> Iterator[dict]:
         """Every intact record currently on disk, in file order.
 
-        Lines that do not decode (the truncated tail of a killed run) are
-        skipped rather than raised: the store is meant to be resumable.
+        Only the *final* non-empty line may fail to decode — that is the
+        truncated tail a killed run legitimately leaves behind, and it is
+        skipped.  An undecodable line with records after it means the file
+        is corrupt rather than merely truncated; resuming from it would
+        silently re-run (or worse, skip) completed work, so it raises
+        :class:`~repro.core.errors.EngineError` naming the line number.
         """
         if not self.path.exists():
             return
+        undecodable: tuple[int, str] | None = None
         with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
                 if not line:
                     continue
+                if undecodable is not None:
+                    bad_lineno, error = undecodable
+                    raise EngineError(
+                        f"{self.path}: undecodable record at line {bad_lineno} "
+                        f"({error}); only the final line of a store may be "
+                        "truncated — the file is corrupt"
+                    )
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
+                except json.JSONDecodeError as exc:
+                    undecodable = (lineno, str(exc))
                     continue
                 if isinstance(record, dict):
                     yield record
+
+    # -- writing ----------------------------------------------------------------
+
+    def _repair_tail(self) -> None:
+        """Drop a partial trailing line left by a killed run.
+
+        A record line missing its newline was cut mid-write.  Merely
+        newline-terminating it would turn it into an undecodable *interior*
+        line — a read error — as soon as the next record lands after it, so
+        the dead partial line is removed.  A complete-but-unterminated JSON
+        line (a kill between the record and its newline) is kept and
+        newline-terminated instead.
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with self.path.open("rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+        data = self.path.read_bytes()
+        head, _, tail = data.rpartition(b"\n")
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            with self.path.open("wb") as fh:
+                fh.write(head + b"\n" if head else b"")
+        else:
+            with self.path.open("ab") as fh:
+                fh.write(b"\n")
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_tail()
+            self._fh = self.path.open("a", encoding="utf-8")
+        return self._fh
+
+    def _append(self, record: dict) -> None:
+        fh = self._handle()
+        fh.write(_encode(record) + "\n")
+        fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ResultStore(JsonlLog):
+    """An append-only JSONL store of sweep results at ``path``."""
 
     def results(self) -> list[dict]:
         """The intact ``result`` records, in file order."""
@@ -83,10 +159,23 @@ class ResultStore:
         return {r["key"] for r in self.results() if "key" in r}
 
     def summarize(self) -> dict:
-        """Aggregate the on-disk results: totals and per-model allowed counts."""
+        """Aggregate the on-disk results: totals and per-model allowed counts.
+
+        Resumed runs can legitimately leave several result lines for the
+        same key (a record appended just before a kill, re-run after an
+        incomplete resume); counting them all would inflate
+        ``allowed_counts``.  Records are therefore deduplicated by key with
+        last-record-wins, and ``distinct_keys`` counts the same deduplicated
+        set, so the two stay consistent.
+        """
         results = self.results()
-        counts: dict[str, int] = {}
+        by_key: dict[str, dict] = {}
         for record in results:
+            key = record.get("key")
+            if key is not None:
+                by_key[key] = record  # last record for a key wins
+        counts: dict[str, int] = {}
+        for record in by_key.values():
             for model, allowed in record.get("models", {}).items():
                 if allowed:
                     counts[model] = counts.get(model, 0) + 1
@@ -94,32 +183,11 @@ class ResultStore:
                     counts.setdefault(model, 0)
         return {
             "results": len(results),
-            "distinct_keys": len({r["key"] for r in results if "key" in r}),
+            "distinct_keys": len(by_key),
             "allowed_counts": dict(sorted(counts.items())),
         }
 
-    # -- writing ----------------------------------------------------------------
-
-    def _handle(self) -> IO[str]:
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # Repair a truncated tail before appending: without the newline
-            # the first new record would merge into the dead partial line.
-            needs_newline = False
-            if self.path.exists() and self.path.stat().st_size > 0:
-                with self.path.open("rb") as fh:
-                    fh.seek(-1, os.SEEK_END)
-                    needs_newline = fh.read(1) != b"\n"
-            self._fh = self.path.open("a", encoding="utf-8")
-            if needs_newline:
-                self._fh.write("\n")
-                self._fh.flush()
-        return self._fh
-
-    def _append(self, record: dict) -> None:
-        fh = self._handle()
-        fh.write(_encode(record) + "\n")
-        fh.flush()
+    # -- record types ------------------------------------------------------------
 
     def append_run_header(self, meta: dict) -> None:
         """Record the start of a run (spec, workers, resume skip count)."""
@@ -153,14 +221,3 @@ class ResultStore:
     def append_summary(self, summary: dict) -> None:
         """Record the end-of-run aggregate."""
         self._append({"type": "summary", **summary})
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-
-    def __enter__(self) -> "ResultStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

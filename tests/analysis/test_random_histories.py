@@ -81,6 +81,31 @@ class TestRandomHistoryValidation:
                 random_history(np.random.default_rng(0), **kwargs)
 
 
+class TestExtraReadValues:
+    def test_none_is_default_behaviour(self):
+        a = random_history(np.random.default_rng(11))
+        b = random_history(np.random.default_rng(11), values=None)
+        assert a == b
+
+    def test_reads_can_observe_unwritten_values(self):
+        # The extra pool carries no candidate-writer guarantee: it exists
+        # to produce impossible-read histories for the fuzzer.
+        seen_unwritten = False
+        for seed in range(30):
+            h = random_history(
+                np.random.default_rng(seed), p_write=0.3, values=(97, 98, 99)
+            )
+            written = {op.value for op in h.operations if op.is_write}
+            for op in h.operations:
+                if op.is_read and op.value in (97, 98, 99):
+                    seen_unwritten = op.value not in written or seen_unwritten
+        assert seen_unwritten
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(HistoryError, match=r"values must be non-empty.*\(\)"):
+            random_history(np.random.default_rng(0), values=())
+
+
 class TestRandomProgram:
     def test_ops_count_and_kinds(self):
         ops = random_program_ops(np.random.default_rng(4), ops=6)
@@ -91,6 +116,22 @@ class TestRandomProgram:
         ops = random_program_ops(np.random.default_rng(5), ops=8, p_write=1.0, value_base=100)
         values = [op.value for op in ops]
         assert values == list(range(100, 108))
+
+    def test_degenerate_params_rejected(self):
+        cases = [
+            (dict(ops=0), r"random_program_ops: ops must be >= 1, got 0"),
+            (
+                dict(locations=()),
+                r"random_program_ops: locations must be non-empty, got \(\)",
+            ),
+            (
+                dict(p_write=-0.5),
+                r"random_program_ops: p_write must lie in \[0, 1\], got -0\.5",
+            ),
+        ]
+        for kwargs, pattern in cases:
+            with pytest.raises(HistoryError, match=pattern):
+                random_program_ops(np.random.default_rng(0), **kwargs)
 
 
 class TestMachineHistory:
@@ -105,3 +146,13 @@ class TestMachineHistory:
         m = SCMachine(("p0", "p1"))
         h = machine_history(m, rng, ops_per_proc=4, p_write=1.0)
         assert h.has_distinct_write_values()
+
+    def test_empty_procs_rejected(self):
+        with pytest.raises(HistoryError, match=r"machine_history: procs must be non-empty"):
+            machine_history(SCMachine(("p0",)), np.random.default_rng(0), procs=())
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(
+            HistoryError, match=r"machine_history: ops_per_proc must be >= 1, got 0"
+        ):
+            machine_history(SCMachine(("p0",)), np.random.default_rng(0), ops_per_proc=0)

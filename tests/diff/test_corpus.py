@@ -1,0 +1,111 @@
+"""Tests for the JSONL discrepancy corpus."""
+
+import pytest
+
+from repro.core.errors import DiffError, EngineError
+from repro.diff import CORPUS_VERSION, DiscrepancyCorpus, stratum_key
+from repro.litmus import format_history, parse_history
+
+H = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)0")
+SMALL = parse_history("p: w(x)1")
+
+
+class TestRecordTypes:
+    def test_run_header_carries_version(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_run_header({"seed": 7})
+        (record,) = list(DiscrepancyCorpus(path).records())
+        assert record["type"] == "run"
+        assert record["corpus_version"] == CORPUS_VERSION
+        assert record["seed"] == 7
+
+    def test_discrepancy_round_trip(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_discrepancy(
+                "tiny@0:000003",
+                kind="oracle-disagreement",
+                models=("SC",),
+                detail="fast=ADMIT, kernel=DENY",
+                history=H,
+                shrunk=SMALL,
+                verdicts={"SC": {"fast": True, "kernel": False}},
+                trace="step 1 ...",
+                shrink_steps=3,
+            )
+        (record,) = DiscrepancyCorpus(path).discrepancies()
+        assert record["key"] == "tiny@0:000003"
+        assert parse_history(record["history"]) == H
+        assert parse_history(record["shrunk"]) == SMALL
+        assert record["shrink_steps"] == 3
+        assert record["verdicts"]["SC"]["kernel"] is False
+
+    def test_litmus_round_trip(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        expected = {"SC": False, "TSO": True}
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_litmus("separator:TSO-not-SC", H, expected, origin="fuzz")
+        ((key, history, got),) = DiscrepancyCorpus(path).litmus_entries()
+        assert key == "separator:TSO-not-SC"
+        assert history == H
+        assert got == expected
+
+    def test_empty_keys_rejected(self, tmp_path):
+        corpus = DiscrepancyCorpus(tmp_path / "c.jsonl")
+        with pytest.raises(DiffError, match="key"):
+            corpus.append_discrepancy("", kind="k", models=(), detail="", history=H)
+        with pytest.raises(DiffError, match="key"):
+            corpus.append_litmus("", H, {})
+
+    def test_malformed_litmus_record_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"type":"litmus","key":"k"}\n')
+        with pytest.raises(DiffError, match="malformed litmus"):
+            DiscrepancyCorpus(path).litmus_entries()
+
+
+class TestResume:
+    def test_progress_last_wins(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        stratum = stratum_key("tiny", 0)
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_progress(stratum, 10)
+            corpus.append_progress(stratum_key("small", 0), 5)
+            corpus.append_progress(stratum, 25)
+        assert DiscrepancyCorpus(path).completed() == {
+            "tiny@0": 25,
+            "small@0": 5,
+        }
+
+    def test_negative_progress_rejected(self, tmp_path):
+        with pytest.raises(DiffError, match="progress"):
+            DiscrepancyCorpus(tmp_path / "c.jsonl").append_progress("tiny@0", -1)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        corpus = DiscrepancyCorpus(tmp_path / "absent.jsonl")
+        assert corpus.completed() == {}
+        assert corpus.litmus_entries() == []
+
+
+class TestJsonlSubstrate:
+    def test_truncated_tail_skipped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_progress("tiny@0", 10)
+        text = path.read_text()
+        path.write_text(text + text[: len(text) // 2])  # cut mid-record
+        assert DiscrepancyCorpus(path).completed() == {"tiny@0": 10}
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('oops\n{"type":"progress","stratum":"tiny@0","done":3}\n')
+        with pytest.raises(EngineError, match="line 1"):
+            DiscrepancyCorpus(path).completed()
+
+    def test_histories_stored_as_oneline_litmus(self, tmp_path):
+        # The corpus is greppable: records carry litmus text, not op dumps.
+        path = tmp_path / "c.jsonl"
+        with DiscrepancyCorpus(path) as corpus:
+            corpus.append_litmus("k", H, {})
+        assert format_history(H, oneline=True) in path.read_text()

@@ -1,0 +1,70 @@
+"""Tests for the fuzzer's stratified shape presets."""
+
+import numpy as np
+import pytest
+
+from repro.checking.models import MODELS
+from repro.core.errors import DiffError
+from repro.diff import DEFAULT_SHAPES, SHAPE_PRESETS, ShapePreset, resolve_shapes
+
+
+class TestPresetTable:
+    def test_default_shapes_are_registered(self):
+        assert set(DEFAULT_SHAPES) <= set(SHAPE_PRESETS)
+
+    def test_machine_presets_pair_with_known_models(self):
+        for preset in SHAPE_PRESETS.values():
+            if preset.machine is not None:
+                assert preset.machine_model in MODELS
+
+    def test_structural_presets_have_no_machine_model(self):
+        assert SHAPE_PRESETS["small"].machine_model is None
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(DiffError, match="unknown machine"):
+            ShapePreset("bad", machine="nonsense")
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        for preset in SHAPE_PRESETS.values():
+            a = preset.generate(np.random.default_rng(3))
+            b = preset.generate(np.random.default_rng(3))
+            assert a == b, preset.name
+
+    def test_structural_shape_respected(self):
+        preset = SHAPE_PRESETS["wide"]
+        h = preset.generate(np.random.default_rng(0))
+        assert len(h.procs) == preset.procs
+        assert all(len(h.ops_of(p)) == preset.ops_per_proc for p in h.procs)
+        assert set(h.locations) <= set(preset.locations)
+
+    def test_machine_trace_admitted_by_paired_model(self):
+        # The operational-soundness leg: a machine's trace is allowed by
+        # the machine's own model, by construction.
+        for name in ("machine:sc", "machine:pram", "machine:causal"):
+            preset = SHAPE_PRESETS[name]
+            h = preset.generate(np.random.default_rng(5))
+            assert MODELS[preset.machine_model].check(h).allowed, name
+
+    def test_noisy_preset_carries_extra_values(self):
+        assert SHAPE_PRESETS["noisy"].values == (97, 98, 99)
+
+
+class TestResolveShapes:
+    def test_default_keyword(self):
+        assert resolve_shapes(("default",)) == resolve_shapes("default")
+        assert [p.name for p in resolve_shapes("default")] == list(DEFAULT_SHAPES)
+
+    def test_empty_selection_is_default(self):
+        assert resolve_shapes(()) == resolve_shapes("default")
+
+    def test_all_keyword(self):
+        assert [p.name for p in resolve_shapes("all")] == list(SHAPE_PRESETS)
+
+    def test_comma_string(self):
+        assert [p.name for p in resolve_shapes("tiny,deep")] == ["tiny", "deep"]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(DiffError, match="unknown shape preset.*nonsense"):
+            resolve_shapes("tiny,nonsense")

@@ -1,0 +1,69 @@
+"""Tests for greedy 1-minimal witness shrinking."""
+
+import pytest
+
+from repro.diff import Discrepancy, shrink_history
+from repro.litmus import format_history, parse_history
+
+D = Discrepancy("synthetic", ("SC",), "test claim")
+
+
+def _holds_if(condition):
+    """A predicate returning the synthetic discrepancy when ``condition``."""
+    return lambda h: D if condition(h) else None
+
+
+class TestShrinkHistory:
+    def test_minimizes_to_single_relevant_op(self):
+        h = parse_history("p: w(x)1 w(y)2 r(x)1 | q: w(y)3 r(y)3")
+        contains_read_of_x = _holds_if(
+            lambda c: any(op.is_read and op.location == "x" for op in c.operations)
+        )
+        result = shrink_history(h, contains_read_of_x)
+        assert format_history(result.history, oneline=True) == "p: r(x)1"
+        assert result.discrepancy is D
+
+    def test_whole_processor_dropped_first(self):
+        h = parse_history("p: w(x)1 | q: w(y)2 w(y)3 w(y)4")
+        only_needs_p = _holds_if(lambda c: any(op.proc == "p" for op in c.operations))
+        result = shrink_history(h, only_needs_p)
+        assert result.history.procs == ("p",)
+        # Dropping q whole is one step, not three op deletions.
+        assert result.steps == 1
+
+    def test_result_is_one_minimal(self):
+        h = parse_history("p: w(x)1 r(y)0 | q: w(y)2 r(x)0")
+        needs_two_writes = _holds_if(
+            lambda c: sum(op.is_write for op in c.operations) >= 2
+        )
+        result = shrink_history(h, needs_two_writes)
+        assert sum(op.is_write for op in result.history.operations) == 2
+        # No single further deletion can preserve the claim.
+        for op in result.history.operations:
+            smaller, _ = result.history.project(lambda o, u=op.uid: o.uid != u)
+            assert needs_two_writes(smaller) is None
+
+    def test_irreducible_input_returned_unchanged(self):
+        h = parse_history("p: w(x)1")
+        result = shrink_history(h, _holds_if(lambda c: True))
+        assert result.history == h
+        assert result.steps == 0
+
+    def test_attempts_counted_and_bounded(self):
+        h = parse_history("p: w(x)1 w(x)2 w(x)3 | q: w(y)4 w(y)5 w(y)6")
+        result = shrink_history(h, _holds_if(lambda c: True), max_attempts=3)
+        assert result.attempts <= 3 + 1  # one in-flight candidate may finish
+
+    def test_predicate_must_hold_on_input(self):
+        h = parse_history("p: w(x)1")
+        with pytest.raises(ValueError, match="does not hold"):
+            shrink_history(h, _holds_if(lambda c: False))
+
+    def test_predicate_rechecked_on_final_history(self):
+        # The returned discrepancy is the one the *minimal* history exhibits.
+        h = parse_history("p: w(x)1 w(y)2")
+        def predicate(c):
+            n = len(c.operations)
+            return Discrepancy("synthetic", ("SC",), f"ops={n}") if n >= 1 else None
+        result = shrink_history(h, predicate)
+        assert result.discrepancy.detail == "ops=1"

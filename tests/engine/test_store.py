@@ -68,9 +68,47 @@ class TestTruncation:
         store = ResultStore(path)
         assert store.completed_keys() == {"a", "c"}
 
-    def test_garbage_lines_skipped(self, tmp_path):
+    def test_unterminated_complete_record_survives_append(self, tmp_path):
+        # A kill between the record and its newline loses nothing.
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"type":"result","key":"a","models":{}}')  # no \n
+        with ResultStore(path) as store:
+            store.append_result("b", {"SC": True})
+        assert ResultStore(path).completed_keys() == {"a", "b"}
+
+    def test_final_garbage_line_skipped(self, tmp_path):
+        # A bad *final* line is indistinguishable from a truncated tail.
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"type":"result","key":"k","models":{}}\nnot json\n')
+        assert ResultStore(path).completed_keys() == {"k"}
+
+
+class TestInteriorCorruption:
+    def test_garbage_before_records_raises(self, tmp_path):
+        # Interior garbage is corruption, not truncation: resuming from an
+        # incomplete skip-set would silently re-run or skip completed work.
         path = tmp_path / "r.jsonl"
         path.write_text('not json\n{"type":"result","key":"k","models":{}}\n')
+        with pytest.raises(EngineError, match="line 1"):
+            ResultStore(path).completed_keys()
+
+    def test_garbage_between_records_raises(self, tmp_path):
+        path = _make_store(tmp_path / "r.jsonl")
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0] + '{"oops": \n' + "".join(lines[1:]))
+        with pytest.raises(EngineError, match="line 2"):
+            list(ResultStore(path).records())
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('broken\n{"type":"result","key":"k","models":{}}\n')
+        with pytest.raises(EngineError, match="r.jsonl"):
+            list(ResultStore(path).records())
+
+    def test_blank_lines_after_bad_tail_are_fine(self, tmp_path):
+        # Trailing whitespace after a truncated tail is still truncation.
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"type":"result","key":"k","models":{}}\ntrunc\n\n  \n')
         assert ResultStore(path).completed_keys() == {"k"}
 
 
@@ -90,6 +128,36 @@ class TestSummarize:
         with ResultStore(path) as store:
             store.append_result("a", {"SC": False})
         assert ResultStore(path).summarize()["allowed_counts"] == {"SC": 0}
+
+    def test_duplicate_keys_counted_once(self, tmp_path):
+        # A record appended just before a kill is re-run after an
+        # incomplete resume; its key then appears twice in the log.
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append_result("a", {"SC": True})
+            store.append_result("b", {"SC": True})
+            store.append_result("a", {"SC": True})  # resumed re-run
+        summary = ResultStore(path).summarize()
+        assert summary["results"] == 3
+        assert summary["distinct_keys"] == 2
+        assert summary["allowed_counts"] == {"SC": 2}
+
+    def test_last_record_wins_for_a_key(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append_result("a", {"SC": True})
+            store.append_result("a", {"SC": False})
+        summary = ResultStore(path).summarize()
+        assert summary["distinct_keys"] == 1
+        assert summary["allowed_counts"] == {"SC": 0}
+
+    def test_distinct_keys_matches_completed_keys(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            for key in ("a", "b", "a", "c", "b"):
+                store.append_result(key, {"SC": True})
+        store = ResultStore(path)
+        assert store.summarize()["distinct_keys"] == len(store.completed_keys())
 
 
 class TestDirectoryCreation:

@@ -89,6 +89,69 @@ class TestCaching:
         assert memo.hits == 1
 
 
+class TestBypassSemantics:
+    """The memo-bypass contract of ``memoized_relation``.
+
+    Only a *non-None* keyword value opts a call out of the memo: an
+    explicit ``flag=None`` is the default call spelled out, and must hit
+    the same cache entry as the bare call.
+    """
+
+    def test_explicit_none_kwarg_still_hits_memo(self):
+        calls = []
+
+        @memoized_relation
+        def probe(history, flag=None):
+            calls.append(flag)
+            return len(calls)
+
+        with relation_memo() as memo:
+            assert probe(H) == 1
+            assert probe(H, flag=None) == 1  # same entry as the bare call
+            assert probe(H, flag=None) == 1
+        assert calls == [None]
+        assert memo.hits == 2 and memo.misses == 1
+
+    def test_bypass_leaves_cached_entry_intact(self):
+        calls = []
+
+        @memoized_relation
+        def probe(history, flag=None):
+            calls.append(flag)
+            return len(calls)
+
+        with relation_memo() as memo:
+            assert probe(H) == 1
+            assert probe(H, flag="x") == 2  # bypass computes fresh...
+            assert probe(H) == 1  # ...without clobbering the entry
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_bypass_outside_memo_context(self):
+        calls = []
+
+        @memoized_relation
+        def probe(history, flag=None):
+            calls.append(flag)
+            return len(calls)
+
+        assert probe(H, flag="x") == 1
+        assert probe(H) == 2  # no active memo: every call computes
+
+    def test_nested_memo_restores_outer_with_counters_intact(self):
+        outer = RelationMemo()
+        with relation_memo(outer):
+            po_relation(H)
+            po_relation(H)
+            snapshot = outer.counters()
+            with relation_memo() as inner:
+                po_relation(H)  # recomputed: the inner memo starts empty
+                assert inner.misses == 1 and inner.hits == 0
+            assert active_memo() is outer
+            assert outer.counters() == snapshot  # untouched by the inner scope
+            po_relation(H)
+        assert outer.hits == snapshot["hits"] + 1
+
+
 class TestEviction:
     def test_lru_bound_respected(self):
         histories = [

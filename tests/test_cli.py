@@ -142,6 +142,41 @@ class TestSweep:
         assert "p_write" in capsys.readouterr().err
 
 
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        rc = main(["fuzz", "--seed", "0", "--count", "20", "--shapes", "tiny,small"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 20 histories" in out
+        assert "no discrepancies" in out
+
+    def test_corpus_written_and_resumable(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        args = ["fuzz", "--seed", "0", "--count", "10", "--shapes", "tiny",
+                "--corpus", str(corpus)]
+        assert main(args) == 0
+        assert '"type":"progress"' in corpus.read_text()
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "10 already-checked samples skipped" in capsys.readouterr().out
+
+    def test_resume_without_corpus_rejected(self, capsys):
+        rc = main(["fuzz", "--resume"])
+        assert rc == 2
+        assert "--corpus" in capsys.readouterr().err
+
+    def test_unknown_shape_exits_two(self, capsys):
+        rc = main(["fuzz", "--shapes", "nonsense"])
+        assert rc == 2
+        assert "unknown shape" in capsys.readouterr().err
+
+    def test_jobs_flag_same_verdicts(self, capsys):
+        rc = main(["fuzz", "--seed", "2", "--count", "12", "--shapes", "tiny",
+                   "--jobs", "2"])
+        assert rc == 0
+        assert "fuzzed 12 histories" in capsys.readouterr().out
+
+
 class TestBakery:
     def test_rc_sc_random_runs_clean(self, capsys):
         rc = main(["bakery", "--machine", "rc_sc", "--runs", "10"])
