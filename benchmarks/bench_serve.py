@@ -1,0 +1,149 @@
+"""E15 — the check service: HTTP round-trip cost and store-warm speedups.
+
+Three claims from the serve acceptance criteria, asserted rather than
+just measured:
+
+* **Fidelity under load** — a sustained run of catalog checks over real
+  HTTP returns exactly the in-process verdicts, every time.
+* **Warm beats cold** — answering a repeated check from the
+  content-addressed store (or the in-memory cache) is faster than
+  re-searching it, so the service amortizes.
+* **Tail behavior** — p99 latency over the sustained run stays within an
+  order-of-magnitude envelope of p50 (no pathological outliers from the
+  asyncio loop or the worker pool).
+
+The timed groups compare cold checks (fresh key, full search) against
+warm ones (same key, served from cache) through the whole HTTP stack.
+"""
+
+import http.client
+import json
+import statistics
+import time
+
+import pytest
+
+from repro.checking.models import MODELS, PAPER_MODELS
+from repro.kernel.search import check_with_spec
+from repro.litmus import CATALOG
+from repro.serve import ServeConfig, ServerThread
+
+_MODELS_PARAM = ",".join(PAPER_MODELS)
+
+
+def _post_check(port, history, *, conn=None):
+    owned = conn is None
+    if owned:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    conn.request(
+        "POST",
+        "/check",
+        body=json.dumps({"history": history, "models": _MODELS_PARAM}),
+    )
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    if owned:
+        conn.close()
+    assert response.status == 200, payload
+    return payload
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("bench_serve")
+    config = ServeConfig(
+        port=0,
+        workers=2,
+        store_url=f"sqlite:{tmp}/bench.db",
+        log_requests=False,
+    )
+    with ServerThread(config) as srv:
+        yield srv
+
+
+def test_sustained_throughput_with_exact_verdicts(server):
+    """Catalog checks over HTTP, repeated: correct, and counted per second."""
+    expected = {
+        name: {
+            model: check_with_spec(MODELS[model].spec, entry.history).allowed
+            for model in PAPER_MODELS
+        }
+        for name, entry in CATALOG.items()
+    }
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+    latencies = []
+    rounds = 5
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for name in CATALOG:
+            t1 = time.perf_counter()
+            payload = _post_check(server.port, name, conn=conn)
+            latencies.append(time.perf_counter() - t1)
+            assert payload["models"] == expected[name], name
+    elapsed = time.perf_counter() - t0
+    conn.close()
+
+    n = len(latencies)
+    p50 = statistics.median(latencies)
+    p99 = sorted(latencies)[int(n * 0.99)]
+    print(
+        f"\n{n} checks in {elapsed:.2f}s ({n / elapsed:.0f} req/s, "
+        f"keep-alive); p50 {p50 * 1e3:.2f}ms, p99 {p99 * 1e3:.2f}ms"
+    )
+    assert n / elapsed > 20, f"throughput collapsed: {n / elapsed:.0f} req/s"
+    # Tail envelope: p99 within 50x of p50 (generous; catches hangs).
+    assert p99 < max(p50 * 50, 0.25)
+
+
+def test_warm_store_beats_cold_check(tmp_path_factory):
+    """The content address turns the store into a cache: warm < cold."""
+    tmp = tmp_path_factory.mktemp("warm_cold")
+    name = "fig4-causal-not-tso"
+    config = ServeConfig(
+        port=0, workers=1, store_url=f"sqlite:{tmp}/wc.db", log_requests=False
+    )
+    with ServerThread(config) as srv:
+        cold = _timed(lambda: _post_check(srv.port, name))  # full search
+        warm = min(
+            _timed(lambda: _post_check(srv.port, name)) for _ in range(5)
+        )
+        payload = _post_check(srv.port, name)
+    assert payload["cached"] is True
+    print(
+        f"\n{name}: cold {cold * 1e3:.2f}ms, warm {warm * 1e3:.2f}ms "
+        f"({cold / warm:.1f}x)"
+    )
+    assert warm <= cold
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def warmed(server):
+    for name in CATALOG:
+        _post_check(server.port, name)
+    return server
+
+
+@pytest.mark.parametrize("path", ["store-hit", "memory-hit"])
+def test_bench_http_check(benchmark, warmed, path, tmp_path_factory):
+    """One repeat POST /check through the full stack, per answer path."""
+    benchmark.group = "HTTP POST /check: fig1-sb x paper models (repeat)"
+    if path == "memory-hit":
+        benchmark(lambda: _post_check(warmed.port, "fig1-sb"))
+    else:
+        tmp = tmp_path_factory.mktemp("bench_store_hit")
+        config = ServeConfig(
+            port=0,
+            workers=1,
+            store_url=f"sqlite:{tmp}/sh.db",
+            result_cache=0,  # every request re-reads the store index
+            log_requests=False,
+        )
+        with ServerThread(config) as srv:
+            _post_check(srv.port, "fig1-sb")  # land the record
+            benchmark(lambda: _post_check(srv.port, "fig1-sb"))

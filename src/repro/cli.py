@@ -15,6 +15,10 @@
     python -m repro lint program figure6
     python -m repro trace fig1 TSO [--markdown] [--no-prepass]
     python -m repro profile [--models SC,TSO] [--repeat 3] [--markdown]
+    python -m repro serve  [--host 127.0.0.1] [--port 8979] [--store URL]
+    python -m repro store migrate results.jsonl sqlite:results.db
+    python -m repro store compact results.db
+    python -m repro store summary results.db
     python -m repro models
 
 Commands that accept a history accept either litmus notation or a
@@ -124,7 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
     )
     p_sweep.add_argument(
-        "--out", metavar="FILE", help="append results to this JSONL store"
+        "--out",
+        metavar="STORE",
+        help="append results to this store (a JSONL path, or a store URL "
+        "like sqlite:results.db — see `store`)",
     )
     p_sweep.add_argument(
         "--resume",
@@ -307,6 +314,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the raw kernel without the static pre-pass",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="consistency checking as a service: an async HTTP front end "
+        "over the engine",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8979, help="bind port")
+    p_serve.add_argument(
+        "--store",
+        metavar="STORE",
+        help="persist verdicts to this store (JSONL path or sqlite: URL); "
+        "omitted = memory only",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="checker worker threads"
+    )
+    p_serve.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep job (1 = in the worker thread)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget in seconds",
+    )
+    p_serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=1 << 20,
+        help="reject request bodies larger than this (HTTP 413)",
+    )
+    p_serve.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="disable the static DENY pre-pass (same verdicts, more searching)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="result-store maintenance: migrate between backends, compact, "
+        "summarize",
+    )
+    store_sub = p_store.add_subparsers(dest="store_action", required=True)
+    p_store_migrate = store_sub.add_parser(
+        "migrate",
+        help="stream every record of one store into another "
+        "(e.g. JSONL -> sqlite:)",
+    )
+    p_store_migrate.add_argument("source", help="source store path or URL")
+    p_store_migrate.add_argument("dest", help="destination store path or URL")
+    p_store_compact = store_sub.add_parser(
+        "compact", help="drop result records superseded by a later re-run"
+    )
+    p_store_compact.add_argument("store", help="store path or URL")
+    p_store_summary = store_sub.add_parser(
+        "summary", help="print a store's totals and per-model allowed counts"
+    )
+    p_store_summary.add_argument("store", help="store path or URL")
+
     sub.add_parser("models", help="list registered memory models")
     return parser
 
@@ -433,7 +505,7 @@ def _cmd_lattice(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.engine import CheckEngine, ResultStore, SweepSpec
+    from repro.engine import CheckEngine, SweepSpec, open_store
 
     models = ("all",) if args.models == "all" else tuple(args.models.split(","))
     spec = SweepSpec(
@@ -451,7 +523,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         prepass=not args.no_prepass,
     )
     if args.out:
-        with ResultStore(args.out) as store:
+        with open_store(args.out) as store:
             report = engine.run(spec, store=store, resume=args.resume)
     else:
         if args.resume:
@@ -729,6 +801,51 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_url=args.store,
+        workers=args.workers,
+        sweep_jobs=args.sweep_jobs,
+        prepass=not args.no_prepass,
+        request_timeout=args.timeout,
+        max_request_bytes=args.max_request_bytes,
+        log_requests=not args.quiet,
+    )
+    return run_server(config)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine import migrate_store, open_store
+
+    if args.store_action == "migrate":
+        out = migrate_store(args.source, args.dest)
+        print(
+            f"migrated {out['records']} record(s) from {args.source} "
+            f"to {args.dest}"
+        )
+        print(_json.dumps(out["summary"], indent=2, sort_keys=True))
+        return 0
+    with open_store(args.store) as store:
+        if args.store_action == "compact":
+            out = store.compact()
+            print(
+                f"compacted {args.store}: kept {out['kept']} record(s), "
+                f"dropped {out['dropped']} superseded"
+            )
+            return 0
+        print(_json.dumps(store.summarize(), indent=2, sort_keys=True))
+        return 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     for name in model_names():
         spec = MODELS[name].spec
@@ -751,6 +868,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
+    "store": _cmd_store,
     "models": _cmd_models,
 }
 

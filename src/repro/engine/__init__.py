@@ -12,6 +12,10 @@ declarative, resumable, parallelizable workload:
   history's order-relation substrate once and shares it across models.
 - :mod:`repro.engine.store` — :class:`ResultStore`, the append-only JSONL
   log with resume-by-key support.
+- :mod:`repro.engine.sqlstore` — :class:`SqliteResultStore`, the
+  content-addressed SQLite backend (same schema, dedup-on-insert,
+  WAL), plus the :func:`open_store` URL factory and
+  :func:`migrate_store`.
 - :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers.
 
 Quickstart::
@@ -28,9 +32,16 @@ from repro.engine.cache import RelationCache
 from repro.engine.jobs import SOURCES, CheckJob, SweepSpec
 from repro.engine.metrics import EngineMetrics
 from repro.engine.pool import DEFAULT_CACHE_HISTORIES, CheckEngine, SweepReport
-from repro.engine.store import STORE_VERSION, JsonlLog, ResultStore
+from repro.engine.sqlstore import SqliteResultStore, migrate_store, open_store
+from repro.engine.store import (
+    STORE_VERSION,
+    BaseResultStore,
+    JsonlLog,
+    ResultStore,
+)
 
 __all__ = [
+    "BaseResultStore",
     "CheckEngine",
     "CheckJob",
     "DEFAULT_CACHE_HISTORIES",
@@ -40,6 +51,9 @@ __all__ = [
     "ResultStore",
     "SOURCES",
     "STORE_VERSION",
+    "SqliteResultStore",
     "SweepReport",
     "SweepSpec",
+    "migrate_store",
+    "open_store",
 ]

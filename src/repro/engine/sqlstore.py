@@ -1,0 +1,256 @@
+"""Content-addressed SQLite result store: the queryable-at-scale backend.
+
+The JSONL store (:mod:`repro.engine.store`) is a log — perfect for
+append-heavy sweeps, linear to read.  This backend keeps the *same
+record schema and resume contract* but lands every record in SQLite so
+millions of results stay queryable:
+
+* an append-ordered ``log`` table preserves the exact record stream
+  (``records()`` replays it byte-for-record identically to a JSONL
+  store given the same appends — the parity property test holds both
+  backends to this);
+* a ``results`` index table is **deduplicated on insert** by the
+  canonical job key (last record wins, matching the JSONL store's
+  ``summarize`` semantics), so ``completed_keys`` and ``summarize`` are
+  index lookups, not file scans;
+* WAL journaling lets a server append while a CLI reads;
+* :meth:`SqliteResultStore.compact` drops superseded result records
+  from the log and vacuums.
+
+Durability semantics differ from JSONL in exactly one way, by design: a
+killed JSONL run leaves a truncated tail that tail-repair drops; a
+killed SQLite run leaves an uncommitted transaction that rollback
+drops.  Either way the store reopens to a prefix of the record stream.
+
+:func:`open_store` is the store-URL factory both ``sweep --out`` and
+the serve subsystem use: ``sqlite:path`` / ``*.sqlite`` / ``*.db`` open
+this backend, ``jsonl:path`` / anything else the JSONL one.
+:func:`migrate_store` streams any store into any other (the ``python
+-m repro store migrate`` verb).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import EngineError
+from repro.engine.store import BaseResultStore, ResultStore
+
+__all__ = ["SqliteResultStore", "open_store", "migrate_store"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS log (
+    id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    type   TEXT NOT NULL,
+    key    TEXT,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    key    TEXT PRIMARY KEY,
+    log_id INTEGER NOT NULL,
+    record TEXT NOT NULL
+) WITHOUT ROWID;
+"""
+
+#: Rows fetched per round-trip when streaming ``records()``.
+_FETCH_CHUNK = 256
+
+
+class SqliteResultStore(BaseResultStore):
+    """A result store backed by SQLite at ``path``.
+
+    Same API and record schema as the JSONL :class:`ResultStore`; safe
+    for appends from several threads of one process (a lock serializes
+    statements) and — via WAL — for concurrent reader processes.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._conn: sqlite3.Connection | None = None
+        self._lock = threading.Lock()
+
+    # -- connection --------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            with self._lock:
+                if self._conn is None:  # double-checked: races with peers
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    conn = sqlite3.connect(self.path, check_same_thread=False)
+                    conn.execute("PRAGMA journal_mode=WAL")
+                    conn.execute("PRAGMA synchronous=NORMAL")
+                    conn.executescript(_SCHEMA)
+                    conn.commit()
+                    self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SqliteResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Every record in append order (streamed in chunks)."""
+        conn = self._connect()
+        last_id = 0
+        while True:
+            with self._lock:
+                rows = conn.execute(
+                    "SELECT id, record FROM log WHERE id > ? ORDER BY id LIMIT ?",
+                    (last_id, _FETCH_CHUNK),
+                ).fetchall()
+            if not rows:
+                return
+            for row_id, payload in rows:
+                last_id = row_id
+                try:
+                    record = json.loads(payload)
+                except json.JSONDecodeError as exc:  # pragma: no cover
+                    raise EngineError(
+                        f"{self.path}: undecodable record at log id {row_id} "
+                        f"({exc}); the store is corrupt"
+                    ) from exc
+                yield record
+
+    def completed_keys(self) -> set[str]:
+        """The resume skip-set, straight off the deduplicated index."""
+        if self._completed is None:
+            conn = self._connect()
+            with self._lock:
+                rows = conn.execute("SELECT key FROM results").fetchall()
+            self._completed = {key for (key,) in rows}
+        return self._completed
+
+    def latest_result(self, key: str) -> dict | None:
+        """The current (last-wins) result record for ``key``, if any."""
+        conn = self._connect()
+        with self._lock:
+            row = conn.execute(
+                "SELECT record FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def summarize(self) -> dict:
+        """Same aggregate as the JSONL backend, computed off the index."""
+        conn = self._connect()
+        with self._lock:
+            (total,) = conn.execute(
+                "SELECT COUNT(*) FROM log WHERE type = 'result'"
+            ).fetchone()
+            rows = conn.execute("SELECT record FROM results").fetchall()
+        counts: dict[str, int] = {}
+        for (payload,) in rows:
+            for model, allowed in json.loads(payload).get("models", {}).items():
+                if allowed:
+                    counts[model] = counts.get(model, 0) + 1
+                else:
+                    counts.setdefault(model, 0)
+        return {
+            "results": total,
+            "distinct_keys": len(rows),
+            "allowed_counts": dict(sorted(counts.items())),
+        }
+
+    # -- writing ----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        key = record.get("key") if record.get("type") == "result" else None
+        conn = self._connect()
+        with self._lock:
+            cursor = conn.execute(
+                "INSERT INTO log (type, key, record) VALUES (?, ?, ?)",
+                (record.get("type", ""), key, payload),
+            )
+            if key is not None:
+                # Dedup-on-insert: the index keeps one row per canonical
+                # job key, last record wins (the JSONL summarize rule).
+                conn.execute(
+                    "INSERT INTO results (key, log_id, record) VALUES (?, ?, ?) "
+                    "ON CONFLICT(key) DO UPDATE SET "
+                    "log_id = excluded.log_id, record = excluded.record",
+                    (key, cursor.lastrowid, payload),
+                )
+            conn.commit()
+
+    def compact(self) -> dict:
+        """Drop superseded result records from the log and vacuum.
+
+        Keeps every run/summary record and, per key, only the result
+        record the index points at — after which ``records()`` replays
+        the same stream a compacted JSONL store would.  Returns
+        ``{"kept": ..., "dropped": ...}``.
+        """
+        conn = self._connect()
+        with self._lock:
+            (dropped,) = conn.execute(
+                "SELECT COUNT(*) FROM log WHERE type = 'result' "
+                "AND id NOT IN (SELECT log_id FROM results)"
+            ).fetchone()
+            conn.execute(
+                "DELETE FROM log WHERE type = 'result' "
+                "AND id NOT IN (SELECT log_id FROM results)"
+            )
+            conn.commit()
+            (kept,) = conn.execute("SELECT COUNT(*) FROM log").fetchone()
+            conn.execute("VACUUM")
+        return {"kept": kept, "dropped": dropped}
+
+
+# -- the store-URL factory ------------------------------------------------------
+
+#: File suffixes that select the SQLite backend without a URL scheme.
+_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
+
+
+def open_store(url: str | os.PathLike) -> BaseResultStore:
+    """A result store from a store URL (or bare path).
+
+    ``sqlite:PATH`` and paths ending in ``.sqlite``/``.sqlite3``/``.db``
+    open the SQLite backend; ``jsonl:PATH`` and every other path the
+    JSONL backend.  Both ``python -m repro sweep --out`` and the serve
+    subsystem's ``--store`` resolve their argument through here.
+    """
+    text = os.fspath(url)
+    if text.startswith("sqlite:"):
+        rest = text[len("sqlite:") :]
+        if not rest:
+            raise EngineError(f"store URL {text!r} has an empty path")
+        return SqliteResultStore(rest)
+    if text.startswith("jsonl:"):
+        rest = text[len("jsonl:") :]
+        if not rest:
+            raise EngineError(f"store URL {text!r} has an empty path")
+        return ResultStore(rest)
+    if Path(text).suffix.lower() in _SQLITE_SUFFIXES:
+        return SqliteResultStore(text)
+    return ResultStore(text)
+
+
+def migrate_store(source: str | os.PathLike, dest: str | os.PathLike) -> dict:
+    """Stream every record of ``source`` into ``dest`` (either backend).
+
+    The import preserves append order, so the destination's
+    ``records()``, ``completed_keys()``, and ``summarize()`` match the
+    source's exactly — the acceptance check of ``python -m repro store
+    migrate``.  Returns ``{"records": N, "summary": dest.summarize()}``.
+    """
+    with open_store(source) as src, open_store(dest) as dst:
+        count = 0
+        for record in src.records():
+            dst.append_record(record)
+            count += 1
+        return {"records": count, "summary": dst.summarize()}

@@ -22,6 +22,19 @@ records are appended (so the log stays parseable).  An undecodable
 *interior* line cannot be explained by a killed run — the file is corrupt
 — so :meth:`ResultStore.records` raises :class:`~repro.core.errors.EngineError`
 naming the line rather than resuming from a quietly incomplete skip-set.
+
+Concurrent writers are supported: the append handle is opened with
+``O_APPEND`` and every record goes to the kernel as a single ``write``,
+so two processes (a server and a CLI sweep, say) sharing one store
+interleave at *record* granularity, never mid-line.  Tail repair — the
+one read-modify-write in the lifecycle — runs under an advisory
+``flock`` where the platform provides one.
+
+The record schema and the aggregation semantics over it are shared with
+the content-addressed SQLite backend (:mod:`repro.engine.sqlstore`)
+through :class:`BaseResultStore`; ``sweep --out`` and the serve
+subsystem accept either backend via
+:func:`repro.engine.sqlstore.open_store`.
 """
 
 from __future__ import annotations
@@ -29,11 +42,16 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import IO, Iterator
+from typing import Iterator
 
 from repro.core.errors import EngineError
 
-__all__ = ["JsonlLog", "ResultStore", "STORE_VERSION"]
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["BaseResultStore", "JsonlLog", "ResultStore", "STORE_VERSION"]
 
 #: Bumped on any incompatible change to the record format.
 STORE_VERSION = 1
@@ -50,14 +68,15 @@ class JsonlLog:
     The storage substrate shared by :class:`ResultStore` and the
     differential fuzzer's discrepancy corpus
     (:class:`repro.diff.corpus.DiscrepancyCorpus`): one JSON record per
-    line, appended and flushed per record, resumable after a kill.  Usable
-    as a context manager; writes are line-buffered and flushed per record
-    so a killed run loses at most the line being written.
+    line, appended via a single ``O_APPEND`` write per record (atomic
+    with respect to other appenders), resumable after a kill.  Usable as
+    a context manager; a killed run loses at most the record being
+    written.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
-        self._fh: IO[str] | None = None
+        self._fd: int | None = None
 
     # -- reading ----------------------------------------------------------------
 
@@ -123,22 +142,43 @@ class JsonlLog:
             with self.path.open("ab") as fh:
                 fh.write(b"\n")
 
-    def _handle(self) -> IO[str]:
-        if self._fh is None:
+    def _handle(self) -> int:
+        if self._fd is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._repair_tail()
-            self._fh = self.path.open("a", encoding="utf-8")
-        return self._fh
+            fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+            # Tail repair is the one read-modify-write in the log's life;
+            # an advisory lock keeps two writers (a server and a CLI
+            # sweep sharing the store) from repairing over each other.
+            # O_APPEND makes the fd immune to the rewrite: appends land
+            # at whatever the end of the file is afterwards.
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                self._repair_tail()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            self._fd = fd
+        return self._fd
 
     def _append(self, record: dict) -> None:
-        fh = self._handle()
-        fh.write(_encode(record) + "\n")
-        fh.flush()
+        payload = (_encode(record) + "\n").encode("utf-8")
+        fd = self._handle()
+        # One write() per record: O_APPEND appends are atomic with
+        # respect to each other, so concurrent writers interleave whole
+        # records.  A partial write (possible in principle for huge
+        # records) is completed by the loop; only a kill inside it can
+        # leave a truncated tail, which the repair path handles.
+        written = os.write(fd, payload)
+        while written < len(payload):  # pragma: no cover - kernel-dependent
+            written += os.write(fd, payload[written:])
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "JsonlLog":
         return self
@@ -147,42 +187,85 @@ class JsonlLog:
         self.close()
 
 
-class ResultStore(JsonlLog):
-    """An append-only JSONL store of sweep results at ``path``."""
+class BaseResultStore:
+    """The result-record schema and aggregation, backend-independent.
 
-    def results(self) -> list[dict]:
-        """The intact ``result`` records, in file order."""
-        return [r for r in self.records() if r.get("type") == "result"]
+    Concrete backends — :class:`ResultStore` (JSONL) and
+    :class:`~repro.engine.sqlstore.SqliteResultStore` — provide
+    ``records()`` (every record in append order), ``_append(record)``,
+    ``close()``, and the context-manager protocol; everything here is
+    defined in terms of those, so the two backends cannot drift apart on
+    what a record *means* (the parity property test in
+    ``tests/engine/test_backend_parity.py`` holds them to it).
+    """
+
+    #: Lazily built completed-key cache; ``None`` until first use.
+    _completed: set[str] | None = None
+
+    # No abstract stubs here: this mixin sits *first* in ResultStore's
+    # MRO, so stub definitions would shadow the backend's real
+    # ``records``/``_append``.  Backends must supply both.
+
+    # -- reading ----------------------------------------------------------------
+
+    def results(self) -> Iterator[dict]:
+        """The intact ``result`` records, in append order (streamed)."""
+        return (r for r in self.records() if r.get("type") == "result")
 
     def completed_keys(self) -> set[str]:
-        """Keys of every intact result record (the resume skip-set)."""
-        return {r["key"] for r in self.results() if "key" in r}
+        """Keys of every intact result record (the resume skip-set).
+
+        Built by streaming the records once per open handle and kept
+        current by :meth:`append_result`, so resuming against a large
+        store pays the scan once rather than per call.  The returned set
+        is the live cache — treat it as read-only.  Another writer's
+        appends are not visible until this handle is reopened.
+        """
+        if self._completed is None:
+            self._completed = {r["key"] for r in self.results() if "key" in r}
+        return self._completed
+
+    def latest_result(self, key: str) -> dict | None:
+        """The current (last-wins) result record for ``key``, if any.
+
+        A linear scan here; the SQLite backend answers it from its
+        deduplicated index — one reason the serve subsystem prefers that
+        backend for large stores.
+        """
+        found: dict | None = None
+        for record in self.results():
+            if record.get("key") == key:
+                found = record
+        return found
 
     def summarize(self) -> dict:
         """Aggregate the on-disk results: totals and per-model allowed counts.
 
-        Resumed runs can legitimately leave several result lines for the
-        same key (a record appended just before a kill, re-run after an
-        incomplete resume); counting them all would inflate
-        ``allowed_counts``.  Records are therefore deduplicated by key with
-        last-record-wins, and ``distinct_keys`` counts the same deduplicated
-        set, so the two stay consistent.
+        Resumed runs can legitimately leave several result records for
+        the same key (a record appended just before a kill, re-run after
+        an incomplete resume); counting them all would inflate
+        ``allowed_counts``.  Records are therefore deduplicated by key
+        with last-record-wins, and ``distinct_keys`` counts the same
+        deduplicated set, so the two stay consistent.  The records are
+        streamed — memory is bounded by the number of *distinct* keys,
+        not the length of the log.
         """
-        results = self.results()
+        total = 0
         by_key: dict[str, dict] = {}
-        for record in results:
+        for record in self.results():
+            total += 1
             key = record.get("key")
             if key is not None:
-                by_key[key] = record  # last record for a key wins
+                by_key[key] = record.get("models", {})  # last record wins
         counts: dict[str, int] = {}
-        for record in by_key.values():
-            for model, allowed in record.get("models", {}).items():
+        for models in by_key.values():
+            for model, allowed in models.items():
                 if allowed:
                     counts[model] = counts.get(model, 0) + 1
                 else:
                     counts.setdefault(model, 0)
         return {
-            "results": len(results),
+            "results": total,
             "distinct_keys": len(by_key),
             "allowed_counts": dict(sorted(counts.items())),
         }
@@ -217,7 +300,60 @@ class ResultStore(JsonlLog):
         if views is not None:
             record["views"] = views
         self._append(record)
+        if self._completed is not None:
+            self._completed.add(key)
 
     def append_summary(self, summary: dict) -> None:
         """Record the end-of-run aggregate."""
         self._append({"type": "summary", **summary})
+
+    def append_record(self, record: dict) -> None:
+        """Append one raw record (the migration/import path).
+
+        :func:`repro.engine.sqlstore.migrate_store` streams records
+        between backends with this; normal writers use the typed
+        ``append_*`` methods.
+        """
+        if not isinstance(record, dict) or "type" not in record:
+            raise EngineError(f"not a store record: {record!r}")
+        self._append(record)
+        if (
+            self._completed is not None
+            and record.get("type") == "result"
+            and "key" in record
+        ):
+            self._completed.add(record["key"])
+
+
+class ResultStore(BaseResultStore, JsonlLog):
+    """The append-only JSONL store of sweep results at ``path``."""
+
+    def compact(self) -> dict:
+        """Rewrite the log keeping only the *last* result record per key.
+
+        Run and summary records are kept as-is (the log stays an audit
+        trail of what ran); superseded result records — re-runs after an
+        incomplete resume — are dropped.  The rewrite goes through a
+        sibling temp file and an atomic rename, so a kill mid-compact
+        leaves either the old or the new file, never a hybrid.  Returns
+        ``{"kept": ..., "dropped": ...}``.
+        """
+        last_for_key: dict[str, int] = {}
+        for index, record in enumerate(self.records()):
+            if record.get("type") == "result" and "key" in record:
+                last_for_key[record["key"]] = index
+        keep = set(last_for_key.values())
+        self.close()
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        kept = dropped = 0
+        with tmp.open("w", encoding="utf-8") as out:
+            for index, record in enumerate(self.records()):
+                is_result = record.get("type") == "result" and "key" in record
+                if is_result and index not in keep:
+                    dropped += 1
+                    continue
+                out.write(_encode(record) + "\n")
+                kept += 1
+        os.replace(tmp, self.path)
+        self._completed = None
+        return {"kept": kept, "dropped": dropped}

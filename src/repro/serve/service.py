@@ -1,0 +1,483 @@
+"""The service core: content-addressed check jobs over a thread pool.
+
+:class:`CheckService` is everything the HTTP layer is not: it resolves
+submitted histories (litmus text, catalog names, or wire dicts), keys
+each job by a content hash of ``(canonical history, model set)``, runs
+checks on a thread pool whose threads each hold a warm
+:class:`~repro.engine.cache.RelationCache`, lands every verdict in a
+result store (either backend of :func:`repro.engine.sqlstore.open_store`),
+and answers repeat submissions from the store or the in-memory result
+cache instead of re-searching.
+
+Sweeps are *async jobs*: submission returns a job id immediately (itself
+content-addressed, so resubmitting a finished sweep returns its report),
+and the job table is what ``GET /job/<id>`` polls.  Graceful shutdown
+drains the pool — in-flight jobs finish and their results are persisted
+— before the store is summarized and closed.
+
+Verdict fidelity is the contract: a fresh check of a spec-backed model
+runs :func:`repro.checking.check_with_spec` and serializes the result
+with :func:`repro.core.serialization.check_result_to_dict`, so the HTTP
+response carries the *same* verdict + witness JSON the in-process API
+returns (the integration suite asserts this for every catalog × model
+pair).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from contextlib import AbstractContextManager
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.checking.models import MODELS, PAPER_MODELS, model_names
+from repro.core.errors import EngineError, ReproError
+from repro.core.history import SystemHistory
+from repro.core.serialization import (
+    check_result_to_dict,
+    history_from_dict,
+    history_to_dict,
+)
+from repro.engine import CheckEngine, SweepSpec, open_store
+from repro.engine.cache import RelationCache
+from repro.kernel.search import check_with_spec
+from repro.obs.sink import CountingSink, tracing
+from repro.orders.memo import relation_memo
+
+__all__ = ["CheckService", "ServeConfig", "ServeError", "job_key", "sweep_key"]
+
+
+class ServeError(ReproError):
+    """A client-attributable service error (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything ``python -m repro serve`` lets an operator set."""
+
+    host: str = "127.0.0.1"
+    port: int = 8979
+    #: Worker threads checking histories (each with its own relation cache).
+    workers: int = 2
+    #: Store URL (see :func:`repro.engine.sqlstore.open_store`); ``None``
+    #: serves from memory only.
+    store_url: str | None = None
+    #: Run the static DENY pre-pass before searching (sound; same verdicts).
+    prepass: bool = True
+    #: Worker processes for sweep jobs (1 = in the worker thread).
+    sweep_jobs: int = 1
+    #: Reject request bodies larger than this (HTTP 413).
+    max_request_bytes: int = 1 << 20
+    #: Per-request wall clock budget in seconds (HTTP 503 on expiry).
+    request_timeout: float = 30.0
+    #: Emit one structured JSON log line per request.
+    log_requests: bool = True
+    #: Bound on in-memory cached check responses (the store is durable).
+    result_cache: int = 4096
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(history: SystemHistory, models: tuple[str, ...]) -> str:
+    """The content address of one check job.
+
+    A hash of the canonical wire encoding of the history plus the sorted
+    model set — the same history submitted as litmus text, a catalog
+    name, or a wire dict lands on the same key, which is what makes the
+    store a cache and not just a log.
+    """
+    payload = _canonical(
+        {"history": history_to_dict(history), "models": sorted(models)}
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return f"chk:{digest[:32]}"
+
+
+def sweep_key(spec: SweepSpec) -> str:
+    """The content address of a sweep job (its declarative description)."""
+    digest = hashlib.sha256(_canonical(spec.describe()).encode("utf-8")).hexdigest()
+    return f"swp:{digest[:32]}"
+
+
+def resolve_history(value: Any) -> SystemHistory:
+    """A history from any submission form the API accepts.
+
+    A dict is the versioned wire format; a string is litmus notation or
+    a catalog entry name (unambiguous prefixes resolve, mirroring the
+    CLI).  Anything else — or a parse failure — raises
+    :class:`ServeError`, which the HTTP layer maps to a 400.
+    """
+    if isinstance(value, dict):
+        try:
+            return history_from_dict(value)
+        except ReproError as exc:
+            raise ServeError(f"bad history dict: {exc}") from exc
+    if isinstance(value, str):
+        from repro.litmus import CATALOG, parse_history
+
+        entry = CATALOG.get(value)
+        if entry is None:
+            matches = [name for name in CATALOG if name.startswith(value)]
+            if len(matches) == 1:
+                entry = CATALOG[matches[0]]
+        if entry is not None:
+            return entry.history
+        try:
+            return parse_history(value)
+        except ReproError as exc:
+            raise ServeError(f"bad litmus text: {exc}") from exc
+    raise ServeError(
+        f"history must be litmus text, a catalog name, or a wire dict; "
+        f"got {type(value).__name__}"
+    )
+
+
+def resolve_models(value: Any) -> tuple[str, ...]:
+    """A concrete model tuple from ``None``/alias/string/list input.
+
+    ``None`` and ``"paper"`` mean the Figure 5 set, ``"all"`` every
+    registered model, ``"spec"`` every spec-backed model; otherwise a
+    list (or comma string) of registered names.
+    """
+    if value is None or value == "paper":
+        return PAPER_MODELS
+    if value == "all":
+        return model_names()
+    if value == "spec":
+        return tuple(n for n in model_names() if MODELS[n].spec is not None)
+    if isinstance(value, str):
+        names: tuple[str, ...] = tuple(m for m in value.split(",") if m)
+    elif isinstance(value, (list, tuple)) and all(
+        isinstance(m, str) for m in value
+    ):
+        names = tuple(value)
+    else:
+        raise ServeError(f"bad model set: {value!r}")
+    if not names:
+        raise ServeError("empty model set")
+    unknown = [m for m in names if m not in MODELS]
+    if unknown:
+        raise ServeError(
+            f"unknown model(s) {', '.join(unknown)}; known: "
+            f"{', '.join(model_names())}"
+        )
+    return names
+
+
+@dataclass
+class Job:
+    """One async unit in the job table (sweeps; checks resolve inline)."""
+
+    id: str
+    kind: str
+    status: str = "queued"  # queued | running | done | error
+    submitted: float = field(default_factory=time.time)
+    detail: dict = field(default_factory=dict)
+    result: dict | None = None
+    error: str | None = None
+
+    def describe(self) -> dict:
+        d: dict = {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            **self.detail,
+        }
+        if self.result is not None:
+            d["report"] = self.result
+        if self.error is not None:
+            d["error"] = self.error
+        return d
+
+
+class CheckService:
+    """Content-addressed consistency checking over a thread worker pool."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.store = (
+            open_store(self.config.store_url)
+            if self.config.store_url
+            else None
+        )
+        self._store_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._thread_state = threading.local()
+        self._results: OrderedDict[str, dict] = OrderedDict()
+        self._results_lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._verdicts: dict[str, dict[str, int]] = {}
+        self._model_seconds: dict[str, float] = {}
+        self._counters: dict[str, int] = {
+            "checks": 0,
+            "cache_hits": 0,
+            "store_hits": 0,
+            "sweeps": 0,
+        }
+        self.started = time.time()
+        self.closing = False
+        # Kernel-level event counts for /stats: one process-global
+        # counting sink for the service's lifetime (the obs layer's
+        # opt-in installation; zero-cost for models it never touches).
+        self._sink = CountingSink()
+        self._tracing: AbstractContextManager[Any] | None = tracing(self._sink)
+        self._tracing.__enter__()
+        if self.store is not None:
+            with self._store_lock:
+                self.store.append_run_header(
+                    {
+                        "spec": {"source": "serve"},
+                        "jobs": self.config.workers,
+                        "started": time.strftime(
+                            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                        ),
+                        "resumed_keys": len(self.store.completed_keys()),
+                    }
+                )
+
+    # -- the worker body ---------------------------------------------------------
+
+    def _cache(self) -> RelationCache:
+        cache = getattr(self._thread_state, "cache", None)
+        if cache is None:
+            cache = RelationCache()
+            self._thread_state.cache = cache
+        return cache
+
+    def _run_check(
+        self, key: str, history: SystemHistory, models: tuple[str, ...]
+    ) -> dict:
+        """Check one history under each model (worker-thread body)."""
+        from repro.litmus import format_history
+
+        results: dict[str, dict] = {}
+        verdicts: dict[str, bool] = {}
+        explored: dict[str, int] = {}
+        with relation_memo(self._cache()):
+            for name in models:
+                model = MODELS[name]
+                t0 = time.perf_counter()
+                if model.spec is not None:
+                    result = check_with_spec(
+                        model.spec, history, prepass=self.config.prepass
+                    )
+                else:
+                    result = model.check(history)
+                seconds = time.perf_counter() - t0
+                results[name] = check_result_to_dict(result)
+                verdicts[name] = result.allowed
+                explored[name] = result.explored
+                self._note_verdict(name, result.allowed, seconds)
+        views = {
+            name: d["views"]
+            for name, d in results.items()
+            if d["allowed"] and d["views"]
+        }
+        response = {
+            "key": key,
+            "history": format_history(history),
+            "models": verdicts,
+            "explored": explored,
+            "views": views,
+            "results": results,
+            "cached": False,
+        }
+        if self.store is not None:
+            with self._store_lock:
+                self.store.append_result(
+                    key, verdicts, explored, views=views or None
+                )
+        self._remember(key, response)
+        return response
+
+    def _note_verdict(self, model: str, allowed: bool, seconds: float) -> None:
+        verdict = "admit" if allowed else "deny"
+        with self._stats_lock:
+            self._counters["checks"] += 1
+            per_model = self._verdicts.setdefault(
+                model, {"admit": 0, "deny": 0}
+            )
+            per_model[verdict] += 1
+            self._model_seconds[model] = (
+                self._model_seconds.get(model, 0.0) + seconds
+            )
+
+    def _remember(self, key: str, response: dict) -> None:
+        with self._results_lock:
+            self._results[key] = response
+            self._results.move_to_end(key)
+            while len(self._results) > self.config.result_cache:
+                self._results.popitem(last=False)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def cached_response(self, key: str) -> dict | None:
+        """The response for ``key`` from memory or the store, if known."""
+        with self._results_lock:
+            hit = self._results.get(key)
+        if hit is not None:
+            with self._stats_lock:
+                self._counters["cache_hits"] += 1
+            return {**hit, "cached": True}
+        if self.store is None:
+            return None
+        with self._store_lock:
+            if key not in self.store.completed_keys():
+                return None
+            record = self.store.latest_result(key)
+        if record is None:
+            return None
+        with self._stats_lock:
+            self._counters["store_hits"] += 1
+        response = {
+            "key": key,
+            "models": record.get("models", {}),
+            "explored": record.get("explored", {}),
+            "views": record.get("views", {}),
+            "cached": True,
+        }
+        return response
+
+    # -- submission --------------------------------------------------------------
+
+    def _submit(self, fn, *args) -> Future:
+        if self.closing:
+            raise EngineError("service is draining; not accepting new work")
+        return self._executor.submit(fn, *args)
+
+    def submit_check(
+        self, history_input: Any, models_input: Any = None
+    ) -> tuple[str, dict | Future]:
+        """Key plus either a finished response (cache hit) or a future."""
+        history = resolve_history(history_input)
+        models = resolve_models(models_input)
+        key = job_key(history, models)
+        cached = self.cached_response(key)
+        if cached is not None:
+            return key, cached
+        return key, self._submit(self._run_check, key, history, models)
+
+    def submit_sweep(self, params: dict) -> Job:
+        """Queue a sweep job; returns its (content-addressed) job entry."""
+        allowed = {
+            "source",
+            "models",
+            "procs",
+            "ops_per_proc",
+            "count",
+            "seed",
+            "p_write",
+        }
+        unknown = set(params) - allowed
+        if unknown:
+            raise ServeError(
+                f"unknown sweep parameter(s): {', '.join(sorted(unknown))}"
+            )
+        if "models" in params:
+            params = {**params, "models": resolve_models(params["models"])}
+        try:
+            spec = SweepSpec(**params)
+        except (TypeError, ReproError) as exc:
+            raise ServeError(f"bad sweep spec: {exc}") from exc
+        job = Job(id=sweep_key(spec), kind="sweep", detail={"spec": spec.describe()})
+        with self._jobs_lock:
+            existing = self._jobs.get(job.id)
+            if existing is not None:
+                return existing
+            self._jobs[job.id] = job
+        with self._stats_lock:
+            self._counters["sweeps"] += 1
+        self._submit(self._run_sweep, job, spec)
+        return job
+
+    def _run_sweep(self, job: Job, spec: SweepSpec) -> None:
+        job.status = "running"
+        engine = CheckEngine(
+            jobs=self.config.sweep_jobs, prepass=self.config.prepass
+        )
+        try:
+            # The sweep shares the service's store; per-record appends
+            # are thread-safe on both backends (single O_APPEND writes /
+            # SQLite's internal lock), so the engine runs unlocked and
+            # concurrent /check appends interleave at record granularity.
+            if self.store is not None:
+                report = engine.run(spec, store=self.store, resume=True)
+            else:
+                report = engine.run(spec)
+            job.result = {
+                "counts": report.counts,
+                "metrics": report.metrics.to_dict(),
+            }
+            job.status = "done"
+        except Exception as exc:  # noqa: BLE001 - job errors are data
+            job.error = str(exc)
+            job.status = "error"
+
+    def job(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` aggregate: service + store + kernel events."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+            verdicts = {m: dict(v) for m, v in sorted(self._verdicts.items())}
+            model_seconds = {
+                m: round(s, 6) for m, s in sorted(self._model_seconds.items())
+            }
+        with self._jobs_lock:
+            jobs_by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                jobs_by_status[job.status] = (
+                    jobs_by_status.get(job.status, 0) + 1
+                )
+        stats = {
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "workers": self.config.workers,
+            "prepass": self.config.prepass,
+            "counters": counters,
+            "verdicts": verdicts,
+            "model_seconds": model_seconds,
+            "jobs": jobs_by_status,
+            "events": dict(sorted(self._sink.counts.items())),
+        }
+        if self.store is not None:
+            stats["store"] = {
+                "url": self.config.store_url,
+                **self.store.summarize(),
+            }
+        return stats
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting work, finish in-flight jobs, close the store.
+
+        The graceful half of shutdown: every queued/running check and
+        sweep completes and lands in the store, then the store gets its
+        end-of-run summary record and is closed.  Idempotent.
+        """
+        self.closing = True
+        self._executor.shutdown(wait=True)
+        if self.store is not None:
+            with self._store_lock:
+                self.store.append_summary(self.store.summarize())
+                self.store.close()
+            self.store = None
+        if self._tracing is not None:
+            self._tracing.__exit__(None, None, None)
+            self._tracing = None

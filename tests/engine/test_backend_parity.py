@@ -1,0 +1,186 @@
+"""Property test: the JSONL and SQLite backends agree on every record stream.
+
+The satellite contract from the serve PR: *any* sequence of records
+written to both backends yields identical ``records()``,
+``completed_keys()``, and ``summarize()`` — including the
+crash-recovery comparison, where a JSONL truncated tail and an
+uncommitted SQLite transaction both reopen to the same record prefix.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ResultStore, SqliteResultStore
+
+# -- the record-stream strategy ------------------------------------------------
+
+_KEYS = st.sampled_from(["k0", "k1", "k2", "k3", "chk:deadbeef"])
+_MODELS = st.dictionaries(
+    st.sampled_from(["SC", "TSO", "PC", "PRAM", "Causal"]),
+    st.booleans(),
+    max_size=3,
+)
+
+_RESULT = st.builds(
+    lambda key, models, explored: ("result", key, models, explored),
+    _KEYS,
+    _MODELS,
+    st.one_of(
+        st.none(),
+        st.dictionaries(st.sampled_from(["SC", "TSO"]), st.integers(0, 9), max_size=2),
+    ),
+)
+_HEADER = st.just(("run", {"spec": {"source": "random"}, "jobs": 1}))
+_SUMMARY = st.just(("summary",))
+
+_STREAM = st.lists(
+    st.one_of(_RESULT, _HEADER, _SUMMARY), min_size=0, max_size=25
+)
+
+
+def _write(store, stream):
+    for op in stream:
+        if op[0] == "result":
+            _, key, models, explored = op
+            store.append_result(key, models, explored)
+        elif op[0] == "run":
+            store.append_run_header(op[1])
+        else:
+            store.append_summary(store.summarize())
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=_STREAM)
+def test_backends_agree_on_any_stream(tmp_path_factory, stream):
+    tmp = tmp_path_factory.mktemp("parity")
+    with ResultStore(tmp / "r.jsonl") as jl, SqliteResultStore(tmp / "r.db") as db:
+        _write(jl, stream)
+        _write(db, stream)
+        assert list(jl.records()) == list(db.records())
+        assert jl.completed_keys() == db.completed_keys()
+        assert jl.summarize() == db.summarize()
+    # And again on fresh handles (no in-memory caches).
+    assert list(ResultStore(tmp / "r.jsonl").records()) == list(
+        SqliteResultStore(tmp / "r.db").records()
+    )
+    assert (
+        ResultStore(tmp / "r.jsonl").summarize()
+        == SqliteResultStore(tmp / "r.db").summarize()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=_STREAM)
+def test_compact_preserves_parity(tmp_path_factory, stream):
+    tmp = tmp_path_factory.mktemp("compact")
+    with ResultStore(tmp / "r.jsonl") as jl, SqliteResultStore(tmp / "r.db") as db:
+        _write(jl, stream)
+        _write(db, stream)
+        jl.compact()
+        db.compact()
+        assert list(jl.records()) == list(db.records())
+        assert jl.summarize() == db.summarize()
+
+
+class TestCrashSemantics:
+    """A killed JSONL writer and a killed SQLite writer converge.
+
+    JSONL: the kill leaves a truncated final line; tail repair drops it
+    and the store reopens to the intact prefix.  SQLite: the kill leaves
+    an uncommitted transaction; rollback drops it and the store reopens
+    to the committed prefix.  Same observable contract: a prefix of the
+    record stream, never a corrupt or half-applied record.
+    """
+
+    def test_truncated_jsonl_equals_uncommitted_sqlite(self, tmp_path):
+        records = [("a", {"SC": True}), ("b", {"SC": False}), ("c", {"SC": True})]
+        jl_path = tmp_path / "r.jsonl"
+        with ResultStore(jl_path) as jl:
+            for key, models in records:
+                jl.append_result(key, models)
+        # Cut the final JSONL record in half: the kill-mid-write shape.
+        raw = jl_path.read_bytes()
+        head = raw[: raw.rindex(b'{"key":"c"')]
+        jl_path.write_bytes(head + b'{"key":"c","mo')
+
+        db = SqliteResultStore(tmp_path / "r.db")
+        for key, models in records[:-1]:  # the last record never commits
+            db.append_result(key, models)
+        db.close()
+
+        reopened_jl = ResultStore(jl_path)
+        reopened_db = SqliteResultStore(tmp_path / "r.db")
+        assert list(reopened_jl.records()) == list(reopened_db.records())
+        assert reopened_jl.completed_keys() == reopened_db.completed_keys()
+        assert reopened_jl.summarize() == reopened_db.summarize()
+
+    def test_jsonl_repairs_then_matches_after_more_appends(self, tmp_path):
+        jl_path = tmp_path / "r.jsonl"
+        with ResultStore(jl_path) as jl:
+            jl.append_result("a", {"SC": True})
+            jl.append_result("b", {"SC": False})
+        raw = jl_path.read_bytes()
+        jl_path.write_bytes(raw[: raw.rindex(b'{"key":"b"') + 12])  # torn tail
+
+        db = SqliteResultStore(tmp_path / "r.db")
+        db.append_result("a", {"SC": True})
+
+        # Both stores now hold exactly {a}; appending c to each must agree.
+        with ResultStore(jl_path) as jl:
+            jl.append_result("c", {"SC": True})
+        db.append_result("c", {"SC": True})
+        db.close()
+        assert list(ResultStore(jl_path).records()) == list(
+            SqliteResultStore(tmp_path / "r.db").records()
+        )
+
+
+class TestConcurrentAppenders:
+    """Two writer processes sharing one JSONL store never tear a record."""
+
+    def test_multiprocess_interleaved_appends(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "shared.jsonl"
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_append_many, args=(str(path), writer, 50))
+            for writer in ("w0", "w1")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        store = ResultStore(path)
+        results = [r for r in store.records() if r["type"] == "result"]
+        assert len(results) == 100  # every record intact, none interleaved
+        assert store.completed_keys() == {
+            f"{w}:{i:03d}" for w in ("w0", "w1") for i in range(50)
+        }
+
+
+def _append_many(path, writer, count):
+    from repro.engine import ResultStore
+
+    with ResultStore(path) as store:
+        for i in range(count):
+            store.append_result(
+                f"{writer}:{i:03d}",
+                {"SC": bool(i % 2)},
+                {"SC": i},
+                views={"SC": [{"proc": writer, "ops": [], "version": 1}]},
+            )
+
+
+def test_o_append_handle(tmp_path):
+    """The append fd is O_APPEND: a concurrent rewrite cannot misplace writes."""
+    import fcntl
+
+    store = ResultStore(tmp_path / "r.jsonl")
+    store.append_result("a", {"SC": True})
+    flags = fcntl.fcntl(store._fd, fcntl.F_GETFL)
+    assert flags & os.O_APPEND
+    store.close()

@@ -1,0 +1,185 @@
+"""Tests for the content-addressed SQLite result store and the URL factory."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine import (
+    CheckEngine,
+    ResultStore,
+    SqliteResultStore,
+    SweepSpec,
+    migrate_store,
+    open_store,
+)
+
+
+def _fill(store, keys=("a", "b")):
+    store.append_run_header({"spec": {"source": "catalog"}, "jobs": 1})
+    for key in keys:
+        store.append_result(key, {"SC": True, "TSO": False}, {"SC": 3})
+    store.append_summary(store.summarize())
+
+
+class TestRoundTrip:
+    def test_records_back_in_order(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            _fill(store)
+        store = SqliteResultStore(tmp_path / "r.db")
+        records = list(store.records())
+        assert [r["type"] for r in records] == ["run", "result", "result", "summary"]
+        assert store.completed_keys() == {"a", "b"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "absent.db")
+        assert list(store.records()) == []
+        assert store.completed_keys() == set()
+
+    def test_empty_key_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="key"):
+            SqliteResultStore(tmp_path / "r.db").append_result("", {})
+
+    def test_wal_mode_enabled(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            _fill(store)
+        conn = sqlite3.connect(tmp_path / "r.db")
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+
+
+class TestDedupOnInsert:
+    def test_last_record_wins(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            store.append_result("a", {"SC": True})
+            store.append_result("a", {"SC": False})
+            assert store.latest_result("a")["models"] == {"SC": False}
+            summary = store.summarize()
+        assert summary["results"] == 2  # the log keeps both
+        assert summary["distinct_keys"] == 1  # the index keeps one
+        assert summary["allowed_counts"] == {"SC": 0}
+
+    def test_latest_result_unknown_key(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            store.append_result("a", {"SC": True})
+            assert store.latest_result("zzz") is None
+
+    def test_completed_keys_cached_and_updated(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            store.append_result("a", {"SC": True})
+            keys = store.completed_keys()
+            store.append_result("b", {"SC": True})
+            assert store.completed_keys() == {"a", "b"}
+            assert keys is store.completed_keys()  # same live cache
+
+
+class TestCompact:
+    def test_compact_drops_superseded_only(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.db") as store:
+            _fill(store)
+            store.append_result("a", {"SC": False, "TSO": False})
+            before = store.summarize()
+            out = store.compact()
+            after = store.summarize()
+        assert out["dropped"] == 1
+        assert after["distinct_keys"] == before["distinct_keys"]
+        assert after["allowed_counts"] == before["allowed_counts"]
+        assert after["results"] == before["results"] - 1
+
+    def test_jsonl_compact_matches(self, tmp_path):
+        for store in (
+            ResultStore(tmp_path / "r.jsonl"),
+            SqliteResultStore(tmp_path / "r.db"),
+        ):
+            with store:
+                _fill(store)
+                store.append_result("a", {"SC": False, "TSO": False})
+                store.compact()
+        jsonl = [
+            r
+            for r in ResultStore(tmp_path / "r.jsonl").records()
+            if r["type"] == "result"
+        ]
+        sql = [
+            r
+            for r in SqliteResultStore(tmp_path / "r.db").records()
+            if r["type"] == "result"
+        ]
+        assert jsonl == sql
+
+
+class TestOpenStore:
+    def test_scheme_dispatch(self, tmp_path):
+        assert isinstance(
+            open_store(f"sqlite:{tmp_path}/a"), SqliteResultStore
+        )
+        assert isinstance(open_store(f"jsonl:{tmp_path}/a"), ResultStore)
+
+    def test_suffix_dispatch(self, tmp_path):
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            assert isinstance(
+                open_store(tmp_path / f"r{suffix}"), SqliteResultStore
+            )
+        assert isinstance(open_store(tmp_path / "r.jsonl"), ResultStore)
+        assert isinstance(open_store(tmp_path / "r"), ResultStore)
+
+    def test_empty_scheme_path_rejected(self):
+        with pytest.raises(EngineError, match="empty path"):
+            open_store("sqlite:")
+
+
+class TestMigrate:
+    def test_jsonl_to_sqlite_round_trip(self, tmp_path):
+        src = tmp_path / "r.jsonl"
+        with ResultStore(src) as store:
+            _fill(store, keys=("a", "b", "a"))  # duplicate key survives the log
+        out = migrate_store(src, f"sqlite:{tmp_path}/r.db")
+        dst = SqliteResultStore(tmp_path / "r.db")
+        assert out["records"] == 5
+        assert list(dst.records()) == list(ResultStore(src).records())
+        assert dst.completed_keys() == ResultStore(src).completed_keys()
+        assert dst.summarize() == ResultStore(src).summarize()
+
+    def test_sqlite_to_jsonl_round_trip(self, tmp_path):
+        src = tmp_path / "r.db"
+        with SqliteResultStore(src) as store:
+            _fill(store)
+        migrate_store(src, tmp_path / "r.jsonl")
+        back = ResultStore(tmp_path / "r.jsonl")
+        assert list(back.records()) == list(SqliteResultStore(src).records())
+        assert back.summarize() == SqliteResultStore(src).summarize()
+
+
+class TestEngineIntegration:
+    SPEC = SweepSpec(source="catalog", models=("SC", "PRAM"))
+
+    def test_sweep_into_sqlite_matches_jsonl(self, tmp_path):
+        with open_store(tmp_path / "r.jsonl") as store:
+            CheckEngine(jobs=1).run(self.SPEC, store=store)
+        with open_store(f"sqlite:{tmp_path}/r.db") as store:
+            CheckEngine(jobs=1).run(self.SPEC, store=store)
+        jl = ResultStore(tmp_path / "r.jsonl")
+        db = SqliteResultStore(tmp_path / "r.db")
+        assert [r for r in jl.records() if r["type"] == "result"] == [
+            r for r in db.records() if r["type"] == "result"
+        ]
+        assert jl.summarize() == db.summarize()
+
+    def test_resume_skips_completed_keys(self, tmp_path):
+        with open_store(f"sqlite:{tmp_path}/r.db") as store:
+            CheckEngine(jobs=1).run(self.SPEC, store=store)
+        with open_store(f"sqlite:{tmp_path}/r.db") as store:
+            report = CheckEngine(jobs=1).run(self.SPEC, store=store, resume=True)
+        assert report.metrics.histories == 0
+        assert report.metrics.skipped > 0
+
+    def test_result_records_canonically_encoded(self, tmp_path):
+        with open_store(f"sqlite:{tmp_path}/r.db") as store:
+            CheckEngine(jobs=1).run(self.SPEC, store=store)
+        conn = sqlite3.connect(tmp_path / "r.db")
+        for (payload,) in conn.execute(
+            "SELECT record FROM log WHERE type='result'"
+        ):
+            assert payload == json.dumps(
+                json.loads(payload), sort_keys=True, separators=(",", ":")
+            )

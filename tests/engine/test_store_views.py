@@ -59,7 +59,7 @@ class TestStoreViews:
     def test_store_views_round_trip(self, tmp_path):
         with ResultStore(tmp_path / "r.jsonl") as store:
             CheckEngine(jobs=1, store_views=True).run(self.SPEC, store=store)
-            records = store.results()
+            records = list(store.results())
         assert records
         histories = {f"catalog:{name}": t.history for name, t in CATALOG.items()}
         seen_views = 0

@@ -1,0 +1,149 @@
+"""Unit tests for the service core: keys, resolution, caching, drain."""
+
+import pytest
+
+from repro.checking.models import MODELS, PAPER_MODELS, model_names
+from repro.core.errors import EngineError
+from repro.core.serialization import history_to_dict
+from repro.engine import SqliteResultStore
+from repro.litmus import CATALOG, format_history
+from repro.serve import CheckService, ServeConfig, job_key
+from repro.serve.service import (
+    ServeError,
+    resolve_history,
+    resolve_models,
+    sweep_key,
+)
+
+
+class TestJobKey:
+    def test_content_addressed_across_submission_forms(self):
+        """Catalog name, litmus text, and wire dict land on the same key."""
+        name = "fig1-sb"
+        history = CATALOG[name].history
+        forms = [name, format_history(history), history_to_dict(history)]
+        keys = {
+            job_key(resolve_history(form), ("SC", "TSO")) for form in forms
+        }
+        assert len(keys) == 1
+        key = keys.pop()
+        assert key.startswith("chk:") and len(key) == 4 + 32
+
+    def test_model_order_does_not_matter(self):
+        history = CATALOG["fig1-sb"].history
+        assert job_key(history, ("SC", "TSO")) == job_key(history, ("TSO", "SC"))
+
+    def test_distinct_inputs_distinct_keys(self):
+        a = CATALOG["fig1-sb"].history
+        b = CATALOG["mp"].history
+        assert job_key(a, ("SC",)) != job_key(b, ("SC",))
+        assert job_key(a, ("SC",)) != job_key(a, ("TSO",))
+
+    def test_sweep_key_shape(self):
+        from repro.engine import SweepSpec
+
+        key = sweep_key(SweepSpec(source="catalog", models=("SC",)))
+        assert key.startswith("swp:") and len(key) == 4 + 32
+
+
+class TestResolveHistory:
+    def test_prefix_match(self):
+        # Catalog entries rebuild their history per access: compare by key.
+        assert job_key(resolve_history("fig1"), ("SC",)) == job_key(
+            CATALOG["fig1-sb"].history, ("SC",)
+        )
+
+    def test_ambiguous_prefix_falls_through_to_parse_error(self):
+        with pytest.raises(ServeError, match="litmus"):
+            resolve_history("fig")
+
+    def test_bad_dict(self):
+        with pytest.raises(ServeError, match="history dict"):
+            resolve_history({"version": 99})
+
+    def test_bad_type(self):
+        with pytest.raises(ServeError, match="history must be"):
+            resolve_history(42)
+
+
+class TestResolveModels:
+    def test_default_is_paper_set(self):
+        assert resolve_models(None) == PAPER_MODELS
+        assert resolve_models("paper") == PAPER_MODELS
+
+    def test_all_and_spec_aliases(self):
+        assert resolve_models("all") == model_names()
+        spec = resolve_models("spec")
+        assert all(MODELS[m].spec is not None for m in spec)
+        assert "TSO-axiomatic" not in spec
+
+    def test_comma_string_and_list(self):
+        assert resolve_models("SC,TSO") == ("SC", "TSO")
+        assert resolve_models(["SC", "TSO"]) == ("SC", "TSO")
+
+    def test_unknown_model(self):
+        with pytest.raises(ServeError, match="unknown model"):
+            resolve_models("SC,Bogus")
+
+    def test_empty_and_bad_types(self):
+        with pytest.raises(ServeError, match="empty"):
+            resolve_models("")
+        with pytest.raises(ServeError, match="bad model set"):
+            resolve_models(7)
+
+
+class TestServiceCaching:
+    def test_store_survives_service_restart(self, tmp_path):
+        url = f"sqlite:{tmp_path}/serve.db"
+        first = CheckService(ServeConfig(store_url=url, workers=1))
+        try:
+            key, outcome = first.submit_check("fig1-sb", "SC,TSO")
+            response = outcome.result(timeout=60)
+            assert response["models"] == {"SC": False, "TSO": True}
+        finally:
+            first.drain()
+
+        second = CheckService(ServeConfig(store_url=url, workers=1))
+        try:
+            hit = second.cached_response(key)
+            assert hit is not None
+            assert hit["cached"] is True
+            assert hit["models"] == {"SC": False, "TSO": True}
+            assert second.stats()["counters"]["store_hits"] == 1
+            # And a resubmission resolves without touching the pool.
+            key2, outcome2 = second.submit_check("fig1-sb", "SC,TSO")
+            assert key2 == key
+            assert isinstance(outcome2, dict)
+        finally:
+            second.drain()
+
+    def test_memory_cache_hit(self):
+        service = CheckService(ServeConfig(workers=1))
+        try:
+            key, outcome = service.submit_check("fig1-sb", "SC")
+            outcome.result(timeout=60)
+            key2, hit = service.submit_check("fig1-sb", "SC")
+            assert key2 == key
+            assert isinstance(hit, dict) and hit["cached"] is True
+            assert service.stats()["counters"]["cache_hits"] == 1
+        finally:
+            service.drain()
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_and_is_idempotent(self, tmp_path):
+        url = f"sqlite:{tmp_path}/serve.db"
+        service = CheckService(ServeConfig(store_url=url, workers=1))
+        key, outcome = service.submit_check("fig1-sb", "SC")
+        service.drain()
+        assert outcome.done()
+        with pytest.raises(EngineError, match="draining"):
+            service.submit_check("fig1-sb", "TSO")
+        service.drain()  # second call is a no-op
+
+        # The store got its end-of-run summary and holds the result.
+        store = SqliteResultStore(tmp_path / "serve.db")
+        records = list(store.records())
+        assert records[0]["type"] == "run"
+        assert records[-1]["type"] == "summary"
+        assert key in store.completed_keys()
