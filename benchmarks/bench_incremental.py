@@ -1,0 +1,158 @@
+"""E16 — incremental admission checking: amortized streaming speedup.
+
+The streaming refactor's performance claim: admitting operations one at
+a time through an :class:`~repro.kernel.incremental.IncrementalCheck`
+must beat re-running a fresh full :func:`check_with_spec` on every
+prefix — by at least **5× amortized** on the denial workload below —
+while staying byte-identical to those fresh checks at every step.
+
+The workload is adversarial for reuse: an IRIW-style core (two writer
+processors racing on one location, two readers observing opposite
+orders — denied by SC with a large candidate space) followed by a long
+tail of non-rescuing reads that keeps the history growing without
+changing the verdict.  Fresh per-prefix checks pay the full candidate
+search on every append; the incremental session grows its plane in
+place and replays the remembered failure modes, so each tail append
+costs a handful of acyclicity probes instead of a view search.
+
+Fidelity is asserted before any timing: per-op verdict, reason,
+exploration count and witness parity against ``check_with_spec``, and
+zero full-search fallbacks in the reuse counters.
+"""
+
+import time
+from itertools import zip_longest
+
+from repro.checking.models import MODELS
+from repro.kernel.incremental import HistoryStream, IncrementalCheck
+from repro.kernel.search import check_with_spec
+from repro.litmus import parse_history
+from repro.obs import SessionStatsSink, tracing
+
+#: The denial core: IRIW scaled to three writes per writer, so the SC
+#: search explores a real candidate space before giving up.
+CORE = (
+    "p: w(x)1 w(x)2 w(x)3 | q: w(x)4 w(x)5 w(x)6 "
+    "| r: r(x)3 r(x)6 | s: r(x)6 r(x)3"
+)
+
+#: Ten non-rescuing reads per processor: initial-value reads of a fresh
+#: location rescue nothing and add no write candidates, so the DENY is
+#: sticky and every append is eligible for prefix reuse.
+TAIL = " | ".join(
+    f"{proc}: " + " ".join("r(z)0" for _ in range(10)) for proc in "pqrs"
+)
+
+SPEEDUP_FLOOR = 5.0
+REPS = 3
+
+
+def _interleaved(text):
+    per_proc = {}
+    for op in parse_history(text).operations:
+        per_proc.setdefault(op.proc, []).append(op)
+    return [
+        op
+        for round_ops in zip_longest(*per_proc.values())
+        for op in round_ops
+        if op is not None
+    ]
+
+
+def _workload():
+    return _interleaved(CORE) + _interleaved(TAIL)
+
+
+def _stream_once(spec, ops, sink=None):
+    stream = HistoryStream()
+    inc = IncrementalCheck(spec, stream)
+    inc.check()
+    t0 = time.perf_counter()
+    with tracing(sink) if sink is not None else tracing(SessionStatsSink()):
+        for op in ops:
+            placed, reused = stream.append(op)
+            result = inc.on_appended((placed,), reused)
+    return time.perf_counter() - t0, result
+
+
+def _fresh_prefixes_once(spec, ops):
+    stream = HistoryStream()
+    t0 = time.perf_counter()
+    for op in ops:
+        stream.append(op)
+        result = check_with_spec(spec, stream.history)
+    return time.perf_counter() - t0, result
+
+
+def test_incremental_claims(record_claims):
+    record_claims.set_title("E16: amortized incremental streaming speedup")
+    spec = MODELS["SC"].spec
+    ops = _workload()
+
+    # Fidelity first: every prefix byte-identical to a fresh check.
+    stream = HistoryStream()
+    inc = IncrementalCheck(spec, stream)
+    inc.check()
+    for op in ops:
+        placed, reused = stream.append(op)
+        got = inc.on_appended((placed,), reused)
+        want = check_with_spec(spec, stream.history)
+        assert (got.allowed, got.reason, got.explored, got.views) == (
+            want.allowed,
+            want.reason,
+            want.explored,
+            want.views,
+        ), f"diverged at {len(stream.history.operations)} ops"
+
+    sink = SessionStatsSink()
+    t_inc = min(
+        _stream_once(spec, ops, sink if r == 0 else None)[0]
+        for r in range(REPS)
+    )
+    t_fresh, final = min(
+        (_fresh_prefixes_once(spec, ops) for _ in range(REPS)),
+        key=lambda pair: pair[0],
+    )
+    speedup = t_fresh / t_inc
+    counters = sink.session_counters()
+
+    record_claims("streamed ops", "-", len(ops))
+    record_claims("final verdict (SC)", False, final.allowed)
+    record_claims(
+        f"amortized speedup >= {SPEEDUP_FLOOR:.0f}x",
+        True,
+        speedup >= SPEEDUP_FLOOR,
+    )
+    record_claims("full-search fallbacks", 0, counters["fallbacks"])
+    record_claims(
+        "appends that grew the plane in place",
+        len(ops) - 2,  # the two rescue-triggered recompiles in the core
+        counters["planes_grown"],
+    )
+    record_claims(
+        "measured speedup",
+        "-",
+        f"{speedup:.1f}x ({t_fresh * 1e3:.1f} ms -> {t_inc * 1e3:.1f} ms)",
+    )
+
+
+def test_bench_stream_appends(benchmark):
+    """Time the incremental session over the full workload."""
+    spec = MODELS["SC"].spec
+    ops = _workload()
+    benchmark.group = "incremental-vs-fresh"
+    _, result = benchmark.pedantic(
+        lambda: _stream_once(spec, ops), rounds=3, iterations=1
+    )
+    assert not result.allowed
+
+
+def test_bench_fresh_prefix_checks(benchmark):
+    """Baseline: a fresh full check after every append."""
+    spec = MODELS["SC"].spec
+    ops = _workload()
+    benchmark.group = "incremental-vs-fresh"
+    _, result = benchmark.pedantic(
+        lambda: _fresh_prefixes_once(spec, ops), rounds=3, iterations=1
+    )
+    assert not result.allowed

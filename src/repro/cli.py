@@ -3,6 +3,7 @@
 ::
 
     python -m repro check  "p: w(x)1 r(y)0 | q: w(y)1 r(x)0" --model TSO
+    python -m repro check  --stream [--model SC,TSO,PRAM] [seed-history]
     python -m repro classify "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"
     python -m repro explain fig1-sb SC
     python -m repro catalog [--name fig1-sb]
@@ -78,10 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_check = sub.add_parser("check", help="decide one history under one model")
-    p_check.add_argument("history", help="litmus notation, e.g. 'p: w(x)1 | q: r(x)1'")
-    p_check.add_argument("--model", default="SC", help="model name (see `models`)")
+    p_check.add_argument(
+        "history",
+        nargs="?",
+        default=None,
+        help="litmus notation, e.g. 'p: w(x)1 | q: r(x)1' "
+        "(with --stream: an optional seed prefix)",
+    )
+    p_check.add_argument(
+        "--model",
+        default="SC",
+        help="model name (see `models`); with --stream, a comma-separated "
+        "model set",
+    )
     p_check.add_argument(
         "--views", action="store_true", help="print witness views when allowed"
+    )
+    p_check.add_argument(
+        "--stream",
+        action="store_true",
+        help="incremental mode: read op lines ('proc: op [op ...]') from "
+        "stdin and print a per-op admit/deny verdict after each append",
     )
 
     p_classify = sub.add_parser("classify", help="decide one history under all models")
@@ -401,6 +419,14 @@ def _resolve_history(text: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _cmd_check_stream(args)
+    if args.history is None:
+        print(
+            "check: a history argument is required unless --stream",
+            file=sys.stderr,
+        )
+        return 2
     history, _ = _resolve_history(args.history)
     result = check(history, args.model)
     verdict = "allowed" if result.allowed else "NOT allowed"
@@ -410,6 +436,76 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if not result.allowed and result.reason:
         print(f"reason: {result.reason}")
     return 0 if result.allowed else 1
+
+
+def _cmd_check_stream(args: argparse.Namespace) -> int:
+    """``check --stream``: per-op verdicts over an incremental session.
+
+    Reads op lines from stdin (blank lines and ``#`` comments skipped),
+    appends each operation to one :class:`~repro.engine.session.EngineSession`,
+    and prints one verdict row per op.  A model's denial reason is shown
+    once, on the append that flips it to DENY; the exit status reflects
+    the *final* prefix (0 all-admit, 1 any-deny, 2 on a bad line).
+    """
+    from repro.engine.session import EngineSession
+    from repro.obs import SessionStatsSink, tracing
+
+    models = tuple(m for m in args.model.split(",") if m)
+    seed = label = None
+    if args.history is not None:
+        seed, label = _resolve_history(args.history)
+
+    def row(results: dict) -> str:
+        return "  ".join(
+            f"{m}={'admit' if r.allowed else 'DENY'}"
+            for m, r in results.items()
+        )
+
+    sink = SessionStatsSink()
+    with tracing(sink):
+        try:
+            session = EngineSession(models, history=seed)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        denied = set(session.denying())
+        if seed is not None:
+            print(
+                f"seed {label or 'history'}: "
+                f"{len(session.history.operations)} op(s)  "
+                f"{row(session.last_results)}",
+                flush=True,
+            )
+        count = 0
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                appended = session.append_line(line)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            for op, results in appended:
+                count += 1
+                print(f"[{count}] {op}  {row(results)}", flush=True)
+                for m, r in results.items():
+                    if not r.allowed and m not in denied and r.reason:
+                        print(f"    {m}: {r.reason}", flush=True)
+                        denied.add(m)
+    print(f"-- {count} op(s) appended; final: {row(session.last_results)}")
+    c = sink.session_counters()
+    print(
+        f"-- reuse: {c['planes_grown']}/{c['appends']} append checks grew "
+        f"the plane in place; {c['reuse_hits']} prefix-memory hit(s), "
+        f"{c['fallbacks']} full search(es)"
+    )
+    if args.views:
+        for m, r in session.last_results.items():
+            if r.allowed and r.views:
+                print(f"{m}:")
+                print(render_views(r.views))
+    return 0 if not session.denying() else 1
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:

@@ -1,6 +1,6 @@
 """The oracle panel: four independent answers, cross-examined.
 
-The repository can decide "does model M admit history H" four ways:
+The repository can decide "does model M admit history H" five ways:
 
 * **fast** — the registered preferred decision procedure
   (:meth:`repro.checking.models.MemoryModel.check`: per-model fast paths
@@ -11,16 +11,24 @@ The repository can decide "does model M admit history H" four ways:
 * **legacy** — the frozen pre-kernel monolithic solver
   (:mod:`repro.checking._legacy_solver`), imported here deliberately: this
   module *is* the equivalence-oracle harness that solver was frozen for;
+* **incremental** — the streaming session
+  (:class:`repro.kernel.incremental.IncrementalCheck`): the history
+  replayed op by op through a growing
+  :class:`~repro.kernel.incremental.HistoryStream`, with *every prefix*
+  verdict compared against a fresh one-shot check of the same prefix —
+  the panel's only oracle that also cross-examines the intermediate
+  states, not just the final answer;
 * **prepass** — the polynomial static battery
   (:func:`repro.staticcheck.prepass_check`), sound for DENY and never
   admitting.
 
-:func:`panel_verdicts` runs all four; :func:`find_discrepancies` flags every
+:func:`panel_verdicts` runs all five; :func:`find_discrepancies` flags every
 way their answers can be mutually impossible: direct verdict disagreement,
-a prepass DENY on a kernel-ADMIT history (a soundness violation), a verdict
-pattern contradicting the Figure 5 containment lattice (Steinke & Nutt's
-unified-theory invariants, free on every random history), and a machine
-trace rejected by the very model the machine implements.
+a prepass DENY on a kernel-ADMIT history (a soundness violation), a
+streamed prefix verdict diverging from a fresh check of the same prefix,
+a verdict pattern contradicting the Figure 5 containment lattice (Steinke
+& Nutt's unified-theory invariants, free on every random history), and a
+machine trace rejected by the very model the machine implements.
 """
 
 from __future__ import annotations
@@ -45,7 +53,47 @@ __all__ = [
 ]
 
 #: The panel's members, in reporting order.
-ORACLES: tuple[str, ...] = ("fast", "kernel", "legacy", "prepass")
+ORACLES: tuple[str, ...] = ("fast", "kernel", "legacy", "incremental", "prepass")
+
+
+def _incremental_replay(spec, history: SystemHistory) -> tuple[bool, bool]:
+    """Replay ``history`` op by op through a streaming session.
+
+    Operations are interleaved round-robin across processors (each
+    processor's program order preserved), so every intermediate prefix is
+    a real multi-processor history, and *each* prefix's incremental
+    verdict is compared against a fresh one-shot ``check_with_spec`` of
+    that prefix — allowed, reason, explored count, and witness views all
+    have to match, the same parity the kernel test-suite asserts.
+
+    Returns ``(final_allowed, every_prefix_matched)``.
+    """
+    from itertools import zip_longest
+
+    from repro.kernel.incremental import HistoryStream, IncrementalCheck
+
+    stream = HistoryStream()
+    inc = IncrementalCheck(spec, stream)
+    result = inc.check()
+    ok = True
+    per_proc: dict[str, list] = {}
+    for op in history.operations:
+        per_proc.setdefault(op.proc, []).append(op)
+    for round_ops in zip_longest(*per_proc.values()):
+        for op in round_ops:
+            if op is None:
+                continue
+            placed, reused = stream.append(op)
+            result = inc.on_appended((placed,), reused)
+            fresh = check_with_spec(spec, stream.history)
+            if (
+                result.allowed != fresh.allowed
+                or result.reason != fresh.reason
+                or result.explored != fresh.explored
+                or result.views != fresh.views
+            ):
+                ok = False
+    return result.allowed, ok
 
 
 def panel_verdicts(
@@ -54,10 +102,14 @@ def panel_verdicts(
     """Every oracle's verdict on ``history``, per model.
 
     Returns ``{model: {"fast": bool, "kernel": bool, "legacy": bool,
+    "incremental": bool, "incremental_prefix_ok": bool,
     "prepass_deny": bool}}`` — a plain picklable dictionary, so the engine
     can ship panels across its process boundary.  Models without a
     framework spec (the axiomatic TSO reference) only carry the ``fast``
-    verdict: the other three oracles are spec-driven.
+    verdict: the other oracles are spec-driven.
+    ``incremental_prefix_ok`` is the streaming oracle's extra claim: every
+    intermediate prefix's incremental verdict matched a fresh check of
+    that prefix (see :func:`_incremental_replay`).
     """
     out: dict[str, dict[str, bool]] = {}
     for name in models:
@@ -72,6 +124,9 @@ def panel_verdicts(
             verdicts["legacy"] = legacy_check_with_spec(
                 model.spec, history
             ).allowed
+            final, prefix_ok = _incremental_replay(model.spec, history)
+            verdicts["incremental"] = final
+            verdicts["incremental_prefix_ok"] = prefix_ok
             verdicts["prepass_deny"] = prepass_check(model.spec, history).decided
         out[name] = verdicts
     return out
@@ -93,7 +148,8 @@ class Discrepancy:
     ----------
     kind:
         ``"oracle-disagreement"``, ``"prepass-unsound"``,
-        ``"lattice-violation"``, or ``"machine-unsound"``.
+        ``"incremental-divergence"``, ``"lattice-violation"``, or
+        ``"machine-unsound"``.
     models:
         The model name(s) involved (one, or the (stronger, weaker) pair of
         a violated lattice edge).
@@ -138,7 +194,11 @@ def find_discrepancies(
         row = {name: verdicts}
         spec_backed = "kernel" in verdicts
         if spec_backed:
-            answers = {o: verdicts[o] for o in ("fast", "kernel", "legacy")}
+            answers = {
+                o: verdicts[o]
+                for o in ("fast", "kernel", "legacy", "incremental")
+                if o in verdicts
+            }
             if len(set(answers.values())) > 1:
                 detail = ", ".join(
                     f"{o}={'ADMIT' if v else 'DENY'}" for o, v in answers.items()
@@ -152,6 +212,16 @@ def find_discrepancies(
                         "prepass-unsound",
                         (name,),
                         "static pre-pass DENYs a history the kernel ADMITs",
+                        row,
+                    )
+                )
+            if not verdicts.get("incremental_prefix_ok", True):
+                found.append(
+                    Discrepancy(
+                        "incremental-divergence",
+                        (name,),
+                        "a streamed prefix's incremental verdict diverged "
+                        "from a fresh check of the same prefix",
                         row,
                     )
                 )

@@ -17,6 +17,10 @@ declarative, resumable, parallelizable workload:
   WAL), plus the :func:`open_store` URL factory and
   :func:`migrate_store`.
 - :mod:`repro.engine.metrics` — :class:`EngineMetrics` counters/timers.
+- :mod:`repro.engine.session` — :class:`EngineSession`, the incremental
+  front end: one growing history checked under a model set after every
+  appended operation (what ``repro serve`` sessions and
+  ``check --stream`` drive).
 
 Quickstart::
 
@@ -32,6 +36,7 @@ from repro.engine.cache import RelationCache
 from repro.engine.jobs import SOURCES, CheckJob, SweepSpec
 from repro.engine.metrics import EngineMetrics
 from repro.engine.pool import DEFAULT_CACHE_HISTORIES, CheckEngine, SweepReport
+from repro.engine.session import EngineSession, parse_op_line
 from repro.engine.sqlstore import SqliteResultStore, migrate_store, open_store
 from repro.engine.store import (
     STORE_VERSION,
@@ -46,6 +51,7 @@ __all__ = [
     "CheckJob",
     "DEFAULT_CACHE_HISTORIES",
     "EngineMetrics",
+    "EngineSession",
     "JsonlLog",
     "RelationCache",
     "ResultStore",
@@ -56,4 +62,5 @@ __all__ = [
     "SweepSpec",
     "migrate_store",
     "open_store",
+    "parse_op_line",
 ]

@@ -27,7 +27,11 @@ from repro.kernel.constraints import (
     CompiledConstraints,
     bracketing_edges,
     compile_constraints,
+    extend_plane,
+    history_plane,
+    install_plane,
 )
+from repro.kernel.incremental import HistoryStream, IncrementalCheck
 from repro.kernel.results import CheckResult, Counterexample, Witness
 from repro.kernel.rf import impossible_read, iter_attributions
 from repro.kernel.search import (
@@ -57,6 +61,11 @@ __all__ = [
     "CompiledConstraints",
     "compile_constraints",
     "bracketing_edges",
+    "extend_plane",
+    "history_plane",
+    "install_plane",
+    "HistoryStream",
+    "IncrementalCheck",
     "forced_write_order",
     "iter_mutual_candidates",
     "iter_labeled_extras",

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.history import SystemHistory
-from repro.core.operation import Operation
+from repro.core.operation import INITIAL_VALUE, Operation
 from repro.orders.memo import active_memo
 from repro.orders.relation import Relation
 from repro.orders.writes_before import ReadsFrom, reads_from_candidates
@@ -45,9 +45,12 @@ __all__ = [
     "ViewPlane",
     "compile_constraints",
     "history_plane",
+    "install_plane",
+    "extend_plane",
     "bracketing_edges",
     "chain_masks",
     "close_masks",
+    "insert_bit",
     "masks_acyclic",
     "restrict_masks",
 ]
@@ -115,6 +118,17 @@ def restrict_masks(masks: Sequence[int], members: Sequence[int]) -> list[int]:
                 local |= 1 << k
         out.append(local)
     return out
+
+
+def insert_bit(mask: int, pos: int) -> int:
+    """Renumber a mask for a universe that gained an index at ``pos``.
+
+    Bits at positions ``>= pos`` shift up by one; bit ``pos`` of the
+    result is clear (the new operation is related to nothing until its
+    own row says otherwise).
+    """
+    low = mask & ((1 << pos) - 1)
+    return ((mask >> pos) << (pos + 1)) | low
 
 
 # -- release consistency's bracketing (moved verbatim from the old solver) ----
@@ -347,6 +361,193 @@ def history_plane(history: SystemHistory) -> HistoryPlane:
     return plane
 
 
+def install_plane(history: SystemHistory, plane: HistoryPlane) -> None:
+    """Make ``plane`` the one :func:`history_plane` returns for ``history``.
+
+    The incremental session's hook: after growing a plane in place
+    (:func:`extend_plane`) the session installs it so the stock driver —
+    which derives its plane through :func:`history_plane` — runs on the
+    extended data instead of recompiling.  Installing a plane that was
+    not built for ``history`` corrupts every later check; only
+    :class:`~repro.kernel.incremental.HistoryStream` should call this.
+    """
+    global _ACTIVE_PLANE
+    _ACTIVE_PLANE = (history, plane)
+
+
+def _extended_rule_row(
+    rule: Any,
+    old: HistoryPlane,
+    rows: Sequence[int],
+    op: Operation,
+    src: Operation | None,
+) -> int | None:
+    """``op``'s predecessor mask under ``rule``, in *old* universe bits.
+
+    ``op`` is maximal (appended last on its processor, observed by no
+    read), so its row is a function of the old closed rows plus the
+    direct base edges into it; the old rows themselves are unchanged.
+    Returns ``None`` for rules this extension does not understand.
+    """
+    start, end = old.ranges.get(op.proc, (0, 0))
+    name = getattr(rule, "name", None)
+    if name == "po":
+        return ((1 << end) - 1) ^ ((1 << start) - 1)
+    if name == "po-loc":
+        row = 0
+        for q in range(start, end):
+            if old.ops[q].location == op.location:
+                row |= 1 << q
+        return row
+    if name == "po-sync":
+        row = 0
+        for q in range(start, end):
+            if old.ops[q].labeled or op.labeled:
+                row |= rows[q] | (1 << q)
+        return row
+    if name == "ppo":
+        from repro.orders.program_order import _ppo_base_condition
+
+        row = 0
+        for q in range(start, end):
+            if _ppo_base_condition(old.ops[q], op):
+                row |= rows[q] | (1 << q)
+        return row
+    if name == "causal":
+        row = 0
+        if end > start:
+            row |= rows[end - 1] | (1 << (end - 1))
+        if src is not None:
+            isrc = old.index[src]
+            row |= rows[isrc] | (1 << isrc)
+        return row
+    return None
+
+
+def _extended_bracketing_row(
+    old: HistoryPlane,
+    op: Operation,
+    rf: ReadsFrom,
+) -> int:
+    """``op``'s bracketing predecessor mask, in old universe bits."""
+    start, end = old.ranges.get(op.proc, (0, 0))
+    row = 0
+    if op.labeled:
+        if op.is_release:
+            # Every earlier ordinary operation precedes the new release.
+            for q in range(start, end):
+                if not old.ops[q].labeled:
+                    row |= 1 << q
+        return row
+    # A new ordinary operation follows the write each earlier acquire read.
+    for q in range(start, end):
+        earlier = old.ops[q]
+        if earlier.is_acquire:
+            seen = rf.get(earlier)
+            if seen is not None:
+                row |= 1 << old.index[seen]
+    return row
+
+
+def extend_plane(
+    old: HistoryPlane, history: SystemHistory, op: Operation
+) -> HistoryPlane:
+    """A plane for ``history`` = ``old.history`` + ``op``, grown from ``old``.
+
+    The caller (:class:`~repro.kernel.incremental.HistoryStream`)
+    guarantees the *non-rescue* precondition: ``old`` has a unique
+    reads-from attribution, no existing read gains ``op`` as a candidate
+    source, and ``op`` itself has at most one candidate source.  Under it
+    every attribution-derived relation keeps its old pairs and gains only
+    edges into ``op``, so the cached candidate table and ordering masks
+    extend in place (a bit-renumbering plus one new row per rule) instead
+    of being recomputed from the relations — the payload arrays, ranges
+    and index are rebuilt fresh, which is a single linear pass.
+
+    The result is value-identical to ``HistoryPlane(history)`` with its
+    caches warm; equality is pinned by ``tests/kernel/test_incremental``.
+    """
+    plane = HistoryPlane(history)
+    pos = plane.index[op]
+
+    # Candidate table, in the new universe order.  Old reads keep their
+    # candidate tuples verbatim (non-rescue); the new read derives its own.
+    old_candidates = old.candidates
+    candidates: dict[Operation, tuple[Operation | None, ...]] = {}
+    src: Operation | None = None
+    for o in plane.ops:
+        if not o.is_read:
+            continue
+        if o == op:
+            cands: list[Operation | None] = [
+                plane.ops[iw]
+                for iw in plane.writers_by_loc.get(op.location, ())
+                if plane.uni_write[iw] == op.value_read
+                and plane.ops[iw].uid != op.uid
+            ]
+            if op.value_read == INITIAL_VALUE:
+                cands.append(None)
+            candidates[o] = tuple(cands)
+            if candidates[o]:
+                src = candidates[o][0]
+        else:
+            candidates[o] = old_candidates[o]
+    plane._candidates = candidates
+    if all(len(c) <= 1 for c in candidates.values()):
+        plane._unique_rf = {o: c[0] for o, c in candidates.items() if c}
+    else:
+        plane._unique_rf = None
+
+    rf = old.unique_rf
+    if rf is None or plane._unique_rf is None:
+        # The masks cache is only ever consulted under a unique
+        # attribution, so there is nothing sound to carry.
+        return plane
+
+    for key, value in old.masks.items():
+        if key == "prop":
+            old_src_idx, old_prop = value
+            src_idx = {
+                (ir + 1 if ir >= pos else ir): (
+                    isrc + 1 if 0 <= isrc and isrc >= pos else isrc
+                )
+                for ir, isrc in old_src_idx.items()
+            }
+            prop = [insert_bit(m, pos) for m in old_prop]
+            prop.insert(pos, 0)
+            if op.is_read:
+                if src is not None:
+                    isrc = plane.index[src]
+                    src_idx[pos] = isrc
+                    prop[pos] |= 1 << isrc
+                elif op in plane._unique_rf:
+                    src_idx[pos] = -1
+                    for iw in plane.writers_by_loc.get(op.location, ()):
+                        if iw != pos:
+                            prop[iw] |= 1 << pos
+            if op.is_write:
+                for ir, isrc in old_src_idx.items():
+                    if isrc < 0 and old.ops[ir].location == op.location:
+                        prop[pos] |= 1 << (ir + 1 if ir >= pos else ir)
+            plane.masks[key] = (src_idx, prop)
+            continue
+        if key == "bracketing":
+            row = _extended_bracketing_row(old, op, rf)
+            rows = [insert_bit(m, pos) for m in value]
+            rows.insert(pos, insert_bit(row, pos))
+            plane.masks[key] = rows
+            continue
+        if isinstance(key, tuple):
+            continue  # own-view restrictions are cheap to rebuild on demand
+        row_old = _extended_rule_row(key, old, value, op, src if op.is_read else None)
+        if row_old is None:
+            continue
+        rows = [insert_bit(m, pos) for m in value]
+        rows.insert(pos, insert_bit(row_old, pos))
+        plane.masks[key] = rows
+    return plane
+
+
 class AttributionPlane:
     """The reads-from-dependent slice of a compiled constraint set."""
 
@@ -509,21 +710,13 @@ class CompiledConstraints:
 
     # -- per-candidate assembly ------------------------------------------------
 
-    def assemble_base(
+    def _base_masks(
         self,
         plane: AttributionPlane,
         chains: tuple[tuple[Operation, ...], ...],
-        ordering: Sequence[int] | None = None,
-    ) -> tuple[list[int], dict[Any, list[int]] | None] | None:
-        """Cross-view constraints for one mutual candidate, closed, or ``None``.
-
-        Mirrors the pre-kernel solver's ``_base_constraints``: assemble
-        ordering (unless it binds own views only) + mutual chains +
-        bracketing, reject cyclic combinations, transitively close so that
-        restriction to any view preserves all orderings.  Returns the
-        closed masks and the per-processor own-ordering masks (``None``
-        when the ordering already lives in the base).
-        """
+        ordering: Sequence[int] | None,
+    ) -> tuple[list[int], dict[Any, list[int]] | None]:
+        """The raw (unclosed, ungated) base masks of one mutual candidate."""
         if ordering is None:
             ordering = plane.ordering
         own: dict[Any, list[int]] | None = None
@@ -543,9 +736,42 @@ class CompiledConstraints:
         if plane.bracketing is not None:
             for i in range(self.n):
                 masks[i] |= plane.bracketing[i]
+        return masks, own
+
+    def assemble_base(
+        self,
+        plane: AttributionPlane,
+        chains: tuple[tuple[Operation, ...], ...],
+        ordering: Sequence[int] | None = None,
+    ) -> tuple[list[int], dict[Any, list[int]] | None] | None:
+        """Cross-view constraints for one mutual candidate, closed, or ``None``.
+
+        Mirrors the pre-kernel solver's ``_base_constraints``: assemble
+        ordering (unless it binds own views only) + mutual chains +
+        bracketing, reject cyclic combinations, transitively close so that
+        restriction to any view preserves all orderings.  Returns the
+        closed masks and the per-processor own-ordering masks (``None``
+        when the ordering already lives in the base).
+        """
+        masks, own = self._base_masks(plane, chains, ordering)
         if not masks_acyclic(masks, self.n):
             return None
         return close_masks(masks), own
+
+    def base_acyclic(
+        self,
+        plane: AttributionPlane,
+        chains: tuple[tuple[Operation, ...], ...],
+        ordering: Sequence[int] | None = None,
+    ) -> bool:
+        """Whether :meth:`assemble_base` would pass its acyclicity gate.
+
+        The incremental session's probe: deciding whether a candidate that
+        failed on a prefix still *counts* as explored on the extended
+        history requires the gate's answer but not the closed masks.
+        """
+        masks, _ = self._base_masks(plane, chains, ordering)
+        return masks_acyclic(masks, self.n)
 
     def extra_masks(self, extra) -> list[int] | None:
         """Universe masks of a labeled-discipline candidate (layer 2)."""

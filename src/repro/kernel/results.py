@@ -134,6 +134,32 @@ class CheckResult:
     def __bool__(self) -> bool:
         return self.allowed
 
+    def extend(
+        self, *, explored: int | None = None, reason: str | None = None
+    ) -> "CheckResult":
+        """This DENY verdict carried forward to an extended history.
+
+        The incremental session's fast path: a denial only hardens when
+        operations are appended (every new constraint is a superset of the
+        old), so the session may reissue the prefix's DENY — adjusting the
+        effort figure to what a fresh search of the extended history would
+        have counted.  Witnesses never extend this way (the appended
+        operation can invalidate every old view), so calling this on an
+        ADMIT is a :class:`ValueError`, not a silent wrong answer.
+        """
+        if self.allowed:
+            raise ValueError(
+                f"{self.model}: an ADMIT verdict cannot be extended — the "
+                "appended operation may invalidate the witness"
+            )
+        return CheckResult(
+            self.model,
+            False,
+            reason=self.reason if reason is None else reason,
+            explored=self.explored if explored is None else explored,
+            counterexample=self.counterexample,
+        )
+
     def __str__(self) -> str:
         verdict = "allowed" if self.allowed else "NOT allowed"
         out = [f"{self.model}: {verdict}" + (f" ({self.reason})" if self.reason else "")]

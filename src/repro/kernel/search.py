@@ -351,6 +351,7 @@ def check_with_spec(
     *,
     prepass: bool = False,
     trace: TraceSink | None = None,
+    reuse: Any | None = None,
 ) -> CheckResult:
     """Decide whether ``history`` is allowed by the model ``spec`` describes.
 
@@ -372,13 +373,22 @@ def check_with_spec(
     typed :mod:`repro.obs.events` — same verdict, same witness, same
     ``explored`` count.  The default — no sink anywhere — takes the
     untraced hot path with zero per-node instrumentation.
+
+    ``reuse`` is the incremental session's failure-memory hook
+    (:class:`repro.kernel.incremental.IncrementalCheck` installs it); the
+    default ``None`` — every ordinary caller — leaves the search
+    byte-identical to the pre-incremental driver.
     """
     if trace is not None:
         with tracing(trace):
-            return _check_with_spec_impl(spec, history, budget, prepass, trace)
+            return _check_with_spec_impl(
+                spec, history, budget, prepass, trace, reuse
+            )
     # Read the module global directly: this is the gate on the untraced
     # hot path, and an attribute load is cheaper than a function call.
-    return _check_with_spec_impl(spec, history, budget, prepass, _sink_state._ACTIVE)
+    return _check_with_spec_impl(
+        spec, history, budget, prepass, _sink_state._ACTIVE, reuse
+    )
 
 
 def _render_rf(rf: ReadsFrom) -> tuple[tuple[str, str], ...]:
@@ -395,6 +405,7 @@ def _check_with_spec_impl(
     budget: SearchBudget | None,
     prepass: bool,
     sink: TraceSink | None,
+    reuse: Any | None = None,
 ) -> CheckResult:
     budget = budget or SearchBudget()
     if sink is not None:
@@ -460,7 +471,9 @@ def _check_with_spec_impl(
         sink.emit(PhaseMark(phase="compile", mark="end"))
         sink.emit(PhaseMark(phase="search", mark="start"))
     try:
-        return _search_candidates(spec, history, budget, sink, hp, candidates, cc)
+        return _search_candidates(
+            spec, history, budget, sink, hp, candidates, cc, reuse
+        )
     finally:
         if sink is not None:
             sink.emit(PhaseMark(phase="search", mark="end"))
@@ -474,12 +487,20 @@ def _search_candidates(
     hp,
     candidates,
     cc: CompiledConstraints,
+    reuse: Any | None = None,
 ) -> CheckResult:
     """Layers 1–4 composed: the enumeration loop of the spec-driven driver."""
     # Propagation edges are attribution-forced, hence sound only when the
     # attribution is the unique one (see constraints.candidate_propagation).
     unique_rf = hp.unique_rf
     propagate = unique_rf is not None
+    if reuse is not None and not propagate:
+        # Failure memory is keyed per candidate under the single unique
+        # attribution; an ambiguous history enumerates attributions and
+        # the keys would collide across them.
+        reuse = None
+    if reuse is not None:
+        reuse.start()
     explored = 0
     attributions = (
         (unique_rf,)
@@ -514,6 +535,38 @@ def _search_candidates(
                         ),
                     )
                 )
+            if reuse is not None:
+                mode = reuse.lookup(cand)
+                if mode == "cyclic":
+                    # The prefix's cycle only gained edges; skip without
+                    # counting, exactly as a fresh assemble_base rejection.
+                    continue
+                if mode == "stuck":
+                    if reuse.needs_probe(cand):
+                        # The appended ops entered this candidate's chains,
+                        # so the acyclicity gate could now flip; replay it.
+                        ordering = (
+                            spec.ordering.build(
+                                history, rf, cand.coherence
+                            ).pred_masks(cc.ops)
+                            if cc.needs_coherence
+                            else None
+                        )
+                        if not cc.base_acyclic(plane, cand.chains, ordering):
+                            reuse.record(cand, "cyclic")
+                            continue
+                    # The prefix exhausted this candidate's view searches
+                    # and extension only constrains them further; count it
+                    # explored (the extras loop is the single ``None``
+                    # entry whenever the hook is installed) and move on.
+                    reuse.record(cand, "stuck")
+                    explored += 1
+                    if explored > budget.max_serializations:
+                        raise CheckerError(
+                            f"{spec.name}: search budget exceeded after "
+                            f"{budget.max_serializations} candidate serializations"
+                        )
+                    continue
             ordering = (
                 spec.ordering.build(history, rf, cand.coherence).pred_masks(cc.ops)
                 if cc.needs_coherence
@@ -521,6 +574,8 @@ def _search_candidates(
             )
             prepared = cc.assemble_base(plane, cand.chains, ordering)
             if prepared is None:
+                if reuse is not None:
+                    reuse.record(cand, "cyclic")
                 continue
             base, own = prepared
             prop = (
@@ -568,6 +623,8 @@ def _search_candidates(
                             views=views, reads_from=rf, coherence=cand.coherence
                         ),
                     )
+            if reuse is not None:
+                reuse.record(cand, "stuck")
     reason = "no choice of views satisfies the model's requirements"
     if sink is not None:
         sink.emit(

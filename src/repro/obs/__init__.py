@@ -24,8 +24,10 @@ from repro.obs.events import (
     LabeledExtraTried,
     NodeEntered,
     PhaseMark,
+    PrefixReuse,
     PrepassRule,
     PropagationApplied,
+    SessionAppend,
     TraceEvent,
     VerdictReached,
     ViewSearch,
@@ -40,6 +42,7 @@ from repro.obs.sink import (
     CountingSink,
     NullSink,
     RecordingSink,
+    SessionStatsSink,
     TimingSink,
     TraceSink,
     active_sink,
@@ -61,6 +64,8 @@ __all__ = [
     "ViewSolved",
     "ViewStuck",
     "VerdictReached",
+    "SessionAppend",
+    "PrefixReuse",
     "EVENT_KINDS",
     "event_to_dict",
     "event_from_dict",
@@ -68,6 +73,7 @@ __all__ = [
     "NullSink",
     "RecordingSink",
     "CountingSink",
+    "SessionStatsSink",
     "TimingSink",
     "active_sink",
     "tracing",

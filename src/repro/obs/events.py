@@ -29,6 +29,8 @@ event                     emitted by
 :class:`ViewSolved`       layer 4, a legal view found
 :class:`ViewStuck`        layer 4, the view search exhausted
 :class:`VerdictReached`   ``check_with_spec`` on exit
+:class:`SessionAppend`    an incremental session accepted one appended op
+:class:`PrefixReuse`      how much prior-prefix work that append reused
 ========================  ====================================================
 """
 
@@ -52,6 +54,8 @@ __all__ = [
     "ViewSolved",
     "ViewStuck",
     "VerdictReached",
+    "SessionAppend",
+    "PrefixReuse",
     "EVENT_KINDS",
     "event_to_dict",
     "event_from_dict",
@@ -214,6 +218,42 @@ class VerdictReached(TraceEvent):
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class SessionAppend(TraceEvent):
+    """An :class:`~repro.kernel.incremental.IncrementalCheck` session
+    accepted one appended operation.
+
+    ``operations`` is the history size *after* the append; ``reused`` is
+    whether the session's compiled plane grew in place (the appended
+    operation was non-rescuing under a unique reads-from attribution) or
+    had to be rebuilt from scratch.
+    """
+
+    kind: ClassVar[str] = "session-append"
+    model: str
+    op: str
+    operations: int
+    reused: bool
+
+
+@dataclass(frozen=True)
+class PrefixReuse(TraceEvent):
+    """How much prior-prefix search work one session append reused.
+
+    ``hits`` counts candidate serializations whose failure was replayed
+    from the surviving prefix's failure memory (their view searches were
+    skipped); ``misses`` counts candidates searched fresh.  ``fallback``
+    is set when the append invalidated the prefix state entirely and the
+    check ran as a full one-shot search.
+    """
+
+    kind: ClassVar[str] = "prefix-reuse"
+    model: str
+    hits: int
+    misses: int
+    fallback: bool = False
+
+
 #: Every concrete event type, keyed by its ``kind`` tag.
 EVENT_KINDS: dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -231,6 +271,8 @@ EVENT_KINDS: dict[str, Type[TraceEvent]] = {
         ViewSolved,
         ViewStuck,
         VerdictReached,
+        SessionAppend,
+        PrefixReuse,
     )
 }
 

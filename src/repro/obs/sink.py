@@ -35,13 +35,14 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.obs.events import PhaseMark, TraceEvent
+from repro.obs.events import PhaseMark, PrefixReuse, SessionAppend, TraceEvent
 
 __all__ = [
     "TraceSink",
     "NullSink",
     "RecordingSink",
     "CountingSink",
+    "SessionStatsSink",
     "TimingSink",
     "active_sink",
     "tracing",
@@ -98,6 +99,60 @@ class CountingSink(TraceSink):
     def emit(self, event: TraceEvent) -> None:
         kind = type(event).kind
         self.counts[kind] = self.counts.get(kind, 0) + 1
+
+
+class SessionStatsSink(CountingSink):
+    """A counting sink that also totals the incremental-session payloads.
+
+    :class:`~repro.obs.events.SessionAppend` and
+    :class:`~repro.obs.events.PrefixReuse` events carry per-append
+    figures (did the plane grow in place, how many prefix failures the
+    resumed search replayed); this sink sums them, so a service's
+    ``GET /stats`` — or a benchmark's reuse-rate report — reads totals
+    instead of replaying an event stream.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Operations accepted by incremental sessions while installed.
+        self.appends = 0
+        #: Appends whose compiled plane grew in place (vs full recompile).
+        self.planes_grown = 0
+        #: Candidate serializations replayed from prefix failure memory.
+        self.reuse_hits = 0
+        #: Candidate serializations searched fresh under an active memory.
+        self.reuse_misses = 0
+        #: Session checks that ran as full one-shot searches (no memory).
+        self.fallbacks = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        super().emit(event)
+        if isinstance(event, SessionAppend):
+            self.appends += 1
+            if event.reused:
+                self.planes_grown += 1
+        elif isinstance(event, PrefixReuse):
+            if event.fallback:
+                self.fallbacks += 1
+            else:
+                self.reuse_hits += event.hits
+                self.reuse_misses += event.misses
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of candidate serializations served from prefix memory."""
+        total = self.reuse_hits + self.reuse_misses
+        return self.reuse_hits / total if total else 0.0
+
+    def session_counters(self) -> dict[str, int]:
+        """The session totals as a plain dictionary (for ``/stats``)."""
+        return {
+            "appends": self.appends,
+            "planes_grown": self.planes_grown,
+            "reuse_hits": self.reuse_hits,
+            "reuse_misses": self.reuse_misses,
+            "fallbacks": self.fallbacks,
+        }
 
 
 class TimingSink(CountingSink):

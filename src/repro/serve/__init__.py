@@ -11,7 +11,10 @@ of re-searched.
 
 - :mod:`repro.serve.service` — :class:`CheckService`: content-addressed
   job keys, a thread worker pool with per-thread relation caches, the
-  async job table (sweeps), store integration, and the stats aggregate.
+  async job table (sweeps), the incremental session table (LRU-bounded
+  :class:`~repro.engine.session.EngineSession` instances behind
+  ``POST /session`` + ``/session/<id>/append``), store integration, and
+  the stats aggregate.
 - :mod:`repro.serve.http` — a minimal stdlib HTTP/1.1 layer on asyncio
   streams: bounded request sizes, per-request timeouts, keep-alive,
   structured JSON request logging.

@@ -2,19 +2,29 @@
 
 Endpoints (see ``docs/serve.md`` for the full request/response shapes):
 
-=======  ==================  ==================================================
-method   path                meaning
-=======  ==================  ==================================================
-GET      ``/healthz``        liveness (also reports draining state)
-GET      ``/models``         the registered model names
-GET      ``/stats``          service counters, per-model verdicts, store totals
-POST     ``/check``          check a history; sync by default, ``"async": true``
-                             queues and returns 202 with the content key
-POST     ``/sweep``          queue a sweep job; 202 with the job id
-GET      ``/job/<id>``       poll a sweep job
-GET      ``/result/<key>``   a completed check by content key
-GET      ``/witness/<key>``  just the witness views of a completed check
-=======  ==================  ==================================================
+=======  ==========================  ==========================================
+method   path                        meaning
+=======  ==========================  ==========================================
+GET      ``/healthz``                liveness (also reports draining state)
+GET      ``/models``                 the registered model names
+GET      ``/stats``                  service counters, per-model verdicts,
+                                     session/incremental totals, store totals
+POST     ``/check``                  check a history; sync by default,
+                                     ``"async": true`` queues and returns 202
+                                     with the content key
+POST     ``/sweep``                  queue a sweep job; 202 with the job id
+GET      ``/job/<id>``               poll a sweep job
+GET      ``/result/<key>``           a completed check by content key
+GET      ``/witness/<key>``          just the witness views of a completed
+                                     check
+POST     ``/session``                open an incremental session; 201 with the
+                                     session id and the seed prefix's verdicts
+POST     ``/session/<id>/append``    stream op lines in; per-op admit/deny
+                                     rows plus the new prefix's verdicts
+GET      ``/session/<id>``           snapshot: history, verdicts, witness
+                                     views, denial reasons, per-op log
+DELETE   ``/session/<id>``           close the session
+=======  ==========================  ==========================================
 
 :func:`run_server` is the body of ``python -m repro serve`` (signal-aware,
 drains in-flight jobs on SIGINT/SIGTERM); :class:`ServerThread` runs the
@@ -66,6 +76,12 @@ class ServeApp:
                 if method != "POST":
                     return 405, {"error": "POST /sweep"}
                 return self._sweep(request.json())
+            if path == "/session":
+                if method != "POST":
+                    return 405, {"error": "POST /session"}
+                return await self._session_create(request.json())
+            if path.startswith("/session/"):
+                return await self._session(request, path[len("/session/") :])
             if path.startswith("/job/") and method == "GET":
                 return self._job(path[len("/job/") :])
             if path.startswith("/result/") and method == "GET":
@@ -96,6 +112,34 @@ class ServeApp:
                 "poll": f"/result/{key}",
             }
         return 200, await asyncio.wrap_future(outcome)
+
+    async def _session_create(self, body: dict) -> tuple[int, dict]:
+        future = self.service.create_session(body)
+        return 201, await asyncio.wrap_future(future)
+
+    async def _session(
+        self, request: HttpRequest, tail: str
+    ) -> tuple[int, dict]:
+        """Dispatch ``/session/<id>`` and ``/session/<id>/append``."""
+        if tail.endswith("/append"):
+            session_id = tail[: -len("/append")].rstrip("/")
+            if request.method != "POST":
+                return 405, {"error": f"POST /session/{session_id}/append"}
+            future = self.service.append_session(session_id, request.json())
+            if future is None:
+                return 404, {"error": f"unknown session {session_id!r}"}
+            return 200, await asyncio.wrap_future(future)
+        if request.method == "GET":
+            snapshot = self.service.session_state(tail)
+            if snapshot is None:
+                return 404, {"error": f"unknown session {tail!r}"}
+            return 200, snapshot
+        if request.method == "DELETE":
+            closed = self.service.close_session(tail)
+            if closed is None:
+                return 404, {"error": f"unknown session {tail!r}"}
+            return 200, closed
+        return 405, {"error": f"GET/DELETE /session/{tail}"}
 
     def _sweep(self, body: dict) -> tuple[int, dict]:
         job = self.service.submit_sweep(body)

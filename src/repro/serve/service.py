@@ -15,6 +15,17 @@ and the job table is what ``GET /job/<id>`` polls.  Graceful shutdown
 drains the pool — in-flight jobs finish and their results are persisted
 — before the store is summarized and closed.
 
+*Sessions* are the incremental mode: ``POST /session`` opens an
+:class:`~repro.engine.session.EngineSession` (a growing history with a
+live per-model verdict), ``POST /session/<id>/append`` streams
+operations in one at a time and returns per-op admit/deny rows, and
+``GET /session/<id>`` snapshots the current prefix — witness views for
+admitting models, denial reasons for denying ones.  The table is an LRU
+bounded by :attr:`ServeConfig.max_sessions`; the per-session counters in
+``GET /stats`` are totalled from the kernel's own
+:class:`~repro.obs.events.SessionAppend`/:class:`~repro.obs.events.PrefixReuse`
+trace events by a :class:`~repro.obs.sink.SessionStatsSink`.
+
 Verdict fidelity is the contract: a fresh check of a spec-backed model
 runs :func:`repro.checking.check_with_spec` and serializes the result
 with :func:`repro.core.serialization.check_result_to_dict`, so the HTTP
@@ -27,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import secrets
 import threading
 import time
 from collections import OrderedDict
@@ -45,11 +57,19 @@ from repro.core.serialization import (
 )
 from repro.engine import CheckEngine, SweepSpec, open_store
 from repro.engine.cache import RelationCache
+from repro.engine.session import EngineSession
 from repro.kernel.search import check_with_spec
-from repro.obs.sink import CountingSink, tracing
+from repro.obs.sink import SessionStatsSink, tracing
 from repro.orders.memo import relation_memo
 
-__all__ = ["CheckService", "ServeConfig", "ServeError", "job_key", "sweep_key"]
+__all__ = [
+    "CheckService",
+    "ServeConfig",
+    "ServeError",
+    "SessionState",
+    "job_key",
+    "sweep_key",
+]
 
 
 class ServeError(ReproError):
@@ -79,6 +99,9 @@ class ServeConfig:
     log_requests: bool = True
     #: Bound on in-memory cached check responses (the store is durable).
     result_cache: int = 4096
+    #: Bound on live incremental sessions; creating one past the bound
+    #: evicts the least-recently-used session.
+    max_sessions: int = 64
 
 
 def _canonical(payload: Any) -> str:
@@ -197,6 +220,25 @@ class Job:
         return d
 
 
+@dataclass
+class SessionState:
+    """One live incremental session in the service's session table.
+
+    The :class:`~repro.engine.session.EngineSession` is single-threaded
+    by contract, so every append (and every state snapshot) holds
+    :attr:`lock`; the table itself is an LRU keyed by :attr:`id`.
+    """
+
+    id: str
+    session: EngineSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    created: float = field(default_factory=time.time)
+    last_used: float = field(default_factory=time.time)
+    #: Per-op verdict log: one ``{"op", "verdicts", "denying"}`` row per
+    #: appended operation, in append order.
+    log: list[dict] = field(default_factory=list)
+
+
 class CheckService:
     """Content-addressed consistency checking over a thread worker pool."""
 
@@ -217,6 +259,13 @@ class CheckService:
         self._results_lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
+        self._sessions: OrderedDict[str, SessionState] = OrderedDict()
+        self._sessions_lock = threading.Lock()
+        self._session_counters: dict[str, int] = {
+            "created": 0,
+            "evicted": 0,
+            "closed": 0,
+        }
         self._stats_lock = threading.Lock()
         self._verdicts: dict[str, dict[str, int]] = {}
         self._model_seconds: dict[str, float] = {}
@@ -229,9 +278,12 @@ class CheckService:
         self.started = time.time()
         self.closing = False
         # Kernel-level event counts for /stats: one process-global
-        # counting sink for the service's lifetime (the obs layer's
+        # stats sink for the service's lifetime (the obs layer's
         # opt-in installation; zero-cost for models it never touches).
-        self._sink = CountingSink()
+        # The session-aware subclass also totals the incremental
+        # counters — appends, planes grown in place, prefix-memory
+        # hits/misses — that the /stats "sessions" block reports.
+        self._sink = SessionStatsSink()
         self._tracing: AbstractContextManager[Any] | None = tracing(self._sink)
         self._tracing.__enter__()
         if self.store is not None:
@@ -429,6 +481,181 @@ class CheckService:
         with self._jobs_lock:
             return self._jobs.get(job_id)
 
+    # -- incremental sessions ----------------------------------------------------
+
+    def create_session(self, params: Any) -> Future:
+        """Queue session creation; the future resolves to the opening state.
+
+        Creation runs on the worker pool because a seed history's
+        baseline check is a real search.  The response carries the fresh
+        session id and the seed prefix's per-model verdicts.
+        """
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            raise ServeError("POST /session takes a JSON object")
+        unknown = set(params) - {"models", "history", "prepass"}
+        if unknown:
+            raise ServeError(
+                f"unknown session parameter(s): {', '.join(sorted(unknown))}"
+            )
+        return self._submit(self._open_session, params)
+
+    def _open_session(self, params: dict) -> dict:
+        models = resolve_models(params.get("models"))
+        non_spec = [m for m in models if MODELS[m].spec is None]
+        if non_spec:
+            raise ServeError(
+                f"sessions need spec-backed models; not: {', '.join(non_spec)}"
+            )
+        history = None
+        if params.get("history") is not None:
+            history = resolve_history(params["history"])
+        prepass = bool(params.get("prepass", self.config.prepass))
+        try:
+            session = EngineSession(models, history=history, prepass=prepass)
+        except ReproError as exc:
+            raise ServeError(str(exc)) from exc
+        state = SessionState(
+            id=f"ses:{secrets.token_hex(8)}", session=session
+        )
+        with self._sessions_lock:
+            self._sessions[state.id] = state
+            self._session_counters["created"] += 1
+            while len(self._sessions) > self.config.max_sessions:
+                self._sessions.popitem(last=False)
+                self._session_counters["evicted"] += 1
+        return {
+            "session": state.id,
+            "models": list(models),
+            "prepass": prepass,
+            "operations": len(session.history.operations),
+            "verdicts": session.verdicts(),
+            "denying": list(session.denying()),
+        }
+
+    def _lookup_session(self, session_id: str) -> SessionState | None:
+        with self._sessions_lock:
+            state = self._sessions.get(session_id)
+            if state is not None:
+                self._sessions.move_to_end(session_id)
+        return state
+
+    def append_session(self, session_id: str, params: Any) -> Future | None:
+        """Queue appends onto a session; ``None`` for an unknown id (404)."""
+        state = self._lookup_session(session_id)
+        if state is None:
+            return None
+        if not isinstance(params, dict):
+            raise ServeError("POST /session/<id>/append takes a JSON object")
+        if "op" in params:
+            lines: list[Any] = [params["op"]]
+        elif "ops" in params:
+            lines = params["ops"] if isinstance(params["ops"], list) else None
+        else:
+            raise ServeError('append needs an "op" line or an "ops" list')
+        if lines is None or not all(isinstance(x, str) for x in lines):
+            raise ServeError('"op"/"ops" entries must be op-line strings')
+        if not lines:
+            raise ServeError("nothing to append")
+        return self._submit(self._append_session, state, lines)
+
+    def _append_session(self, state: SessionState, lines: list[str]) -> dict:
+        """Apply op lines one at a time (worker-thread body).
+
+        Each appended operation gets its own per-model verdict row in
+        ``steps`` (and the session's durable log).  A bad line raises
+        after the preceding ops have landed — the error response says so
+        and ``GET /session/<id>`` shows the surviving prefix.
+        """
+        steps: list[dict] = []
+        with state.lock:
+            session = state.session
+            try:
+                for line in lines:
+                    for op, results in session.append_line(line):
+                        step = {
+                            "op": str(op),
+                            "verdicts": {
+                                m: r.allowed for m, r in results.items()
+                            },
+                            "denying": [
+                                m for m, r in results.items() if not r.allowed
+                            ],
+                        }
+                        steps.append(step)
+                        state.log.append(step)
+            except ReproError as exc:
+                raise ServeError(
+                    f"{exc} ({len(steps)} op(s) of this request were "
+                    "already appended)"
+                ) from exc
+            state.last_used = time.time()
+            verdicts = session.verdicts()
+            return {
+                "session": state.id,
+                "operations": len(session.history.operations),
+                "steps": steps,
+                "verdicts": verdicts,
+                "denying": list(session.denying()),
+                "admitted": all(verdicts.values()),
+            }
+
+    def session_state(self, session_id: str) -> dict | None:
+        """The ``GET /session/<id>`` snapshot, or ``None`` (404).
+
+        Carries the full per-model results of the current prefix — the
+        witness views of admitting models and the denial reasons of
+        denying ones — plus the per-op verdict log.
+        """
+        state = self._lookup_session(session_id)
+        if state is None:
+            return None
+        from repro.litmus import format_history
+
+        with state.lock:
+            session = state.session
+            results = {
+                m: check_result_to_dict(r)
+                for m, r in session.last_results.items()
+            }
+            return {
+                "session": state.id,
+                "models": list(session.models),
+                "prepass": session.prepass,
+                "operations": len(session.history.operations),
+                "history": format_history(session.history),
+                "verdicts": session.verdicts(),
+                "denying": list(session.denying()),
+                "views": {
+                    m: d["views"]
+                    for m, d in results.items()
+                    if d["allowed"] and d["views"]
+                },
+                "reasons": {
+                    m: d["reason"]
+                    for m, d in results.items()
+                    if not d["allowed"]
+                },
+                "results": results,
+                "log": list(state.log),
+            }
+
+    def close_session(self, session_id: str) -> dict | None:
+        """Drop a session from the table; ``None`` for an unknown id."""
+        with self._sessions_lock:
+            state = self._sessions.pop(session_id, None)
+            if state is not None:
+                self._session_counters["closed"] += 1
+        if state is None:
+            return None
+        with state.lock:
+            return {
+                "session": session_id,
+                "closed": True,
+                "operations": len(state.session.history.operations),
+            }
+
     # -- stats -------------------------------------------------------------------
 
     def stats(self) -> dict:
@@ -445,6 +672,15 @@ class CheckService:
                 jobs_by_status[job.status] = (
                     jobs_by_status.get(job.status, 0) + 1
                 )
+        with self._sessions_lock:
+            sessions = {
+                "active": len(self._sessions),
+                **self._session_counters,
+            }
+        # The incremental counters come from the obs events the kernel
+        # sessions emit (SessionAppend / PrefixReuse), not from serve's
+        # own bookkeeping — /stats is a consumer of the trace stream.
+        sessions.update(self._sink.session_counters())
         stats = {
             "uptime_seconds": round(time.time() - self.started, 3),
             "workers": self.config.workers,
@@ -453,6 +689,7 @@ class CheckService:
             "verdicts": verdicts,
             "model_seconds": model_seconds,
             "jobs": jobs_by_status,
+            "sessions": sessions,
             "events": dict(sorted(self._sink.counts.items())),
         }
         if self.store is not None:

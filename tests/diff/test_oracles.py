@@ -50,6 +50,12 @@ class TestPanelVerdicts:
         with pytest.raises(DiffError, match="unknown model"):
             panel_verdicts(TRIVIAL, ("Nonsense",))
 
+    def test_incremental_oracle_matches_kernel(self):
+        panel = panel_verdicts(SB, ("SC", "TSO"))
+        for name, verdicts in panel.items():
+            assert verdicts["incremental"] == verdicts["kernel"], name
+            assert verdicts["incremental_prefix_ok"] is True, name
+
 
 class TestAgreedVerdicts:
     def test_kernel_wins(self):
@@ -80,6 +86,24 @@ class TestFindDiscrepancies:
     def test_prepass_deny_on_denied_history_is_fine(self):
         panel = {"SC": _row(fast=False, prepass_deny=True)}
         assert find_discrepancies(panel) == []
+
+    def test_incremental_disagreement(self):
+        panel = {"SC": dict(_row(fast=True), incremental=False)}
+        (d,) = find_discrepancies(panel)
+        assert d.kind == "oracle-disagreement"
+        assert "incremental=DENY" in d.detail
+
+    def test_incremental_divergence(self):
+        # Final verdicts agree, but some streamed prefix diverged from a
+        # fresh check of the same prefix.
+        panel = {
+            "SC": dict(
+                _row(fast=False), incremental=False, incremental_prefix_ok=False
+            )
+        }
+        (d,) = find_discrepancies(panel)
+        assert d.kind == "incremental-divergence"
+        assert d.models == ("SC",)
 
     def test_lattice_violation(self):
         # SC-admitted but TSO-denied contradicts SC ⊆ TSO (Figure 5).

@@ -13,8 +13,10 @@ from repro.obs.events import (
     LabeledExtraTried,
     NodeEntered,
     PhaseMark,
+    PrefixReuse,
     PrepassRule,
     PropagationApplied,
+    SessionAppend,
     VerdictReached,
     ViewSearch,
     ViewSolved,
@@ -41,6 +43,8 @@ SAMPLES = [
     ViewSolved(proc="q", order=("r_q(x)0", "w_p(x)1")),
     ViewStuck(proc="q", reason="constraint-cycle"),
     VerdictReached(model="SC", allowed=False, explored=1, reason="exhausted"),
+    SessionAppend(model="SC", op="w_p(x)1", operations=3, reused=True),
+    PrefixReuse(model="SC", hits=2, misses=1, fallback=False),
 ]
 
 

@@ -32,6 +32,52 @@ class TestCheck:
         assert rc == 2
 
 
+class TestCheckStream:
+    def _feed(self, monkeypatch, text):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+
+    def test_streams_to_deny(self, capsys, monkeypatch):
+        self._feed(monkeypatch, "p: w(x)1\nq: r(x)1\nq: r(x)0\n")
+        rc = main(["check", "--stream", "--model", "SC,PRAM"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[1] w_p(x)1  SC=admit  PRAM=admit" in out
+        assert "[3] r_q(x)0  SC=DENY  PRAM=DENY" in out
+        assert "final: SC=DENY  PRAM=DENY" in out
+        assert "-- reuse:" in out
+
+    def test_all_admit_exits_zero(self, capsys, monkeypatch):
+        self._feed(monkeypatch, "# comment\np: w(x)1\n\nq: r(x)1\n")
+        rc = main(["check", "--stream", "--model", "SC"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[2] r_q(x)1  SC=admit" in out
+        assert "final: SC=admit" in out
+
+    def test_seed_history_argument(self, capsys, monkeypatch):
+        self._feed(monkeypatch, "p: r(y)7\n")
+        rc = main(
+            ["check", "--stream", "p: w(x)1 w(x)2 | q: r(x)2 r(x)1"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "seed history: 4 op(s)" in out
+        assert "SC=DENY" in out
+
+    def test_bad_line_exits_two(self, capsys, monkeypatch):
+        self._feed(monkeypatch, "p: w(x)1\ngarbage\n")
+        rc = main(["check", "--stream", "--model", "SC"])
+        assert rc == 2
+        assert "bad op line" in capsys.readouterr().err
+
+    def test_without_stream_history_required(self, capsys):
+        rc = main(["check"])
+        assert rc == 2
+        assert "required" in capsys.readouterr().err
+
+
 class TestClassify:
     def test_lists_every_model(self, capsys):
         rc = main(["classify", "p: w(x)1 r(y)0 | q: w(y)1 r(x)0"])
