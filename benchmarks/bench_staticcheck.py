@@ -1,18 +1,21 @@
 """E13 — the static pre-pass: soundness at scale and searches saved.
 
-Two claims from the staticcheck acceptance criteria, asserted rather than
-just measured:
+Three claims from the staticcheck acceptance criteria, asserted rather
+than just measured:
 
 * **Verdict equivalence** — over the full litmus catalog and 200 seeded
   random histories, every (history, spec) check returns byte-identical
-  verdicts with the pre-pass on and off (the pre-pass is sound for DENY
-  and never admits).
-* **Coverage** — the pre-pass alone decides at least 25% of the
-  catalog's DENY checks without invoking the linear-extension search.
+  verdicts with the pre-pass on and off (the pre-pass is sound in both
+  directions: a DENY means a forced contradiction, an ADMIT carries a
+  constructed per-view witness).
+* **Coverage** — the pre-pass alone decides at least 80% of the
+  catalog x spec sweep without invoking the linear-extension search
+  (and, as before, at least 25% of the catalog's DENY checks).
+* **Witness validity** — every ADMIT the pre-pass issues is backed by
+  witness views the kernel's own ``check_with_spec`` agrees with.
 
-The timed groups compare a DENY-heavy engine sweep with the pre-pass on
-and off; the saved searches are the E13 speedup recorded in
-EXPERIMENTS.md.
+The timed groups compare an engine sweep with the pre-pass on and off;
+the saved searches are the E13 speedup recorded in EXPERIMENTS.md.
 """
 
 import time
@@ -21,6 +24,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.random_histories import random_history
+from repro.core.view import first_legality_violation
 from repro.kernel.search import check_with_spec
 from repro.litmus import CATALOG
 from repro.spec import ALL_SPECS
@@ -68,6 +72,60 @@ def test_prepass_decides_a_quarter_of_catalog_denies():
     )
 
 
+def test_prepass_decides_most_of_the_catalog_sweep():
+    """≥ 80% of the catalog x spec sweep decided without the search.
+
+    This is the admit-witness acceptance bar: with the ADMIT direction
+    in play the pre-pass must settle the bulk of the sweep, abstaining
+    only where attribution is ambiguous or a labeled discipline makes
+    the serialization question genuinely hard.
+    """
+    total = decided = 0
+    for history in CATALOG_HISTORIES:
+        for spec in ALL_SPECS:
+            if spec is None:
+                continue
+            total += 1
+            if prepass_check(spec, history).decided:
+                decided += 1
+    fraction = decided / total
+    print(
+        f"\ncatalog sweep: {decided}/{total} checks ({fraction:.1%}) "
+        "decided without search"
+    )
+    assert fraction >= 0.80, (
+        f"pre-pass sweep coverage regressed: {fraction:.1%} decided, "
+        "need >= 80%"
+    )
+
+
+def test_prepass_admits_carry_kernel_validated_witnesses():
+    """Every pre-pass ADMIT's witness survives the kernel's scrutiny.
+
+    The witness views must be legal serializations in their own right,
+    and ``check_with_spec`` on the same (spec, history) must reach the
+    same ADMIT — over the catalog and the random corpus.
+    """
+    admits = 0
+    for history in CATALOG_HISTORIES + RANDOM_HISTORIES:
+        for spec in ALL_SPECS:
+            verdict = prepass_check(spec, history)
+            if not (verdict.decided and verdict.allowed):
+                continue
+            admits += 1
+            assert verdict.witness is not None
+            for proc, view in verdict.witness.views.items():
+                assert first_legality_violation(list(view)) is None, (
+                    f"{spec.name}: illegal pre-pass witness view "
+                    f"for {proc}"
+                )
+            assert check_with_spec(spec, history).allowed, (
+                f"{spec.name}: pre-pass ADMIT contradicts the kernel"
+            )
+    print(f"\npre-pass ADMITs validated against the kernel: {admits}")
+    assert admits > 0
+
+
 def test_report_fraction_decided_without_search():
     """The headline E13 number: checks decided across catalog + random."""
     total = decided = 0
@@ -111,7 +169,8 @@ def test_sweep_speedup_with_prepass():
         f"prepass {t_fast * 1e3:.1f}ms vs plain {t_slow * 1e3:.1f}ms "
         f"({t_slow / t_fast:.2f}x); "
         f"{fast.metrics.prepass_decided}/{fast.metrics.checks} checks "
-        "decided without search"
+        f"decided without search "
+        f"({fast.metrics.prepass_admitted} admitted with a witness)"
     )
 
 

@@ -241,7 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint_sub = p_lint.add_subparsers(dest="lint_target", required=True)
 
     p_lint_history = lint_sub.add_parser(
-        "history", help="polynomial DENY pre-pass on one history"
+        "history",
+        help="polynomial ADMIT/DENY pre-pass on one history "
+        "(exit 0: no denial; 1: some model denies; 2: usage error)",
     )
     p_lint_history.add_argument(
         "history", help="litmus notation or a catalog entry name"
@@ -251,9 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="spec-backed model name, or 'all' (default)",
     )
+    p_lint_history.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     p_lint_spec = lint_sub.add_parser(
-        "spec", help="lint memory-model specs (registry by default)"
+        "spec",
+        help="lint memory-model specs (registry by default; exit 0: clean; "
+        "1: error-level findings; 2: usage error)",
     )
     p_lint_spec.add_argument("--name", help="lint just this registered spec")
     p_lint_spec.add_argument(
@@ -261,9 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="lint the deliberately broken fixture specs instead",
     )
+    p_lint_spec.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     p_lint_program = lint_sub.add_parser(
-        "program", help="static race/labeling analysis of a pseudocode program"
+        "program",
+        help="static race/labeling analysis of a pseudocode program "
+        "(exit 0: properly labeled; 1: potential races; 2: usage error)",
     )
     p_lint_program.add_argument(
         "program",
@@ -281,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint_program.add_argument(
         "--threads", type=int, default=2, help="concurrent copies to assume"
+    )
+    p_lint_program.add_argument(
+        "--fix",
+        action="store_true",
+        help="print the program with the minimal `sync` relabeling applied",
+    )
+    p_lint_program.add_argument(
+        "--certify",
+        action="store_true",
+        help="emit a machine-checkable DRF certificate (JSON) when the "
+        "program is certifiably race-free",
+    )
+    p_lint_program.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
     )
 
     p_trace = sub.add_parser(
@@ -710,6 +736,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _lint_history(args: argparse.Namespace) -> int:
     """Run the polynomial pre-pass; exit 1 when any model gets a DENY."""
+    import json
+
     from repro.staticcheck import prepass_check
 
     history, _ = _resolve_history(args.history)
@@ -725,23 +753,47 @@ def _lint_history(args: argparse.Namespace) -> int:
             )
             return 2
         names = [args.model]
-    print(render_history(history, title="history:"))
+    rows = []
     denied = 0
     for name in names:
         spec = MODELS[name].spec
         assert spec is not None
         verdict = prepass_check(spec, history)
-        if verdict.decided:
+        if verdict.decided and verdict.allowed:
+            status, reason = "admit", "witness constructed"
+        elif verdict.decided:
+            status, reason = "deny", verdict.reason
             denied += 1
-            print(f"  {name:16s} DENY ({verdict.check}): {verdict.reason}")
         else:
-            ran = ", ".join(verdict.checks_run)
-            print(f"  {name:16s} unknown (search needed; ran {ran})")
+            status = "unknown"
+            reason = "search needed; ran " + ", ".join(verdict.checks_run)
+        rows.append(
+            {
+                "model": name,
+                "status": status,
+                "check": verdict.check or None,
+                "reason": reason,
+            }
+        )
+    if args.json:
+        print(json.dumps({"history": args.history, "verdicts": rows}, indent=2))
+        return 1 if denied else 0
+    print(render_history(history, title="history:"))
+    for row in rows:
+        name, status = row["model"], row["status"]
+        if status == "admit":
+            print(f"  {name:16s} ADMIT ({row['check']}): {row['reason']}")
+        elif status == "deny":
+            print(f"  {name:16s} DENY ({row['check']}): {row['reason']}")
+        else:
+            print(f"  {name:16s} unknown ({row['reason']})")
     return 1 if denied else 0
 
 
 def _lint_spec(args: argparse.Namespace) -> int:
     """Lint specs; exit 1 when any error-level finding is reported."""
+    import json
+
     from repro.spec import ALL_SPECS
     from repro.staticcheck import broken_fixture_specs, lint_registry, lint_spec
 
@@ -758,15 +810,32 @@ def _lint_spec(args: argparse.Namespace) -> int:
         reports = {spec.name: lint_spec(spec)}
     else:
         reports = lint_registry()
-    errors = 0
+    errors = sum(
+        1
+        for findings in reports.values()
+        for finding in findings
+        if finding.level == "error"
+    )
+    if args.json:
+        payload = {
+            name: [
+                {
+                    "code": finding.code,
+                    "level": finding.level,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ]
+            for name, findings in reports.items()
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if errors else 0
     for name, findings in reports.items():
         if not findings:
             print(f"{name}: clean")
             continue
         print(f"{name}:")
         for finding in findings:
-            if finding.level == "error":
-                errors += 1
             print(f"  {finding.render()}")
     return 1 if errors else 0
 
@@ -789,10 +858,19 @@ _LINT_PROGRAMS = {
 
 
 def _lint_program(args: argparse.Namespace) -> int:
-    """Static race analysis; exit 1 when potential races are reported."""
+    """Static race analysis; exit 1 when potential races are reported.
+
+    ``--fix`` prints the program with the minimal ``sync`` relabeling
+    applied (exit 0 — the fixed program has no races by construction);
+    ``--certify`` emits a DRF certificate as JSON, exit 1 when the
+    program is not certifiable.
+    """
     import importlib
+    import json
 
     from repro.staticcheck import analyze_program
+    from repro.staticcheck.drf import certify_program
+    from repro.staticcheck.progcheck import infer_labels
 
     if args.file:
         with open(args.file) as fh:
@@ -811,7 +889,53 @@ def _lint_program(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.fix:
+        patch = infer_labels(text, shared=shared, name=name, threads=args.threads)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "program": name,
+                        "lines": list(patch.lines),
+                        "fixed_text": patch.apply(text),
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        print(f"# {patch.render().splitlines()[0]}")
+        print(patch.apply(text), end="")
+        return 0
+
+    if args.certify:
+        result = certify_program(
+            text, shared=shared, name=name, threads=args.threads
+        )
+        if result.certified:
+            assert result.certificate is not None
+            print(result.certificate.to_json())
+            return 0
+        if args.json:
+            print(json.dumps({"certified": False, "problems": list(result.problems)}))
+        else:
+            print(f"{name}: not certifiable:", file=sys.stderr)
+            for problem in result.problems:
+                print(f"  {problem}", file=sys.stderr)
+        return 1
+
     report = analyze_program(text, shared=shared, name=name, threads=args.threads)
+    if args.json:
+        payload = {
+            "program": name,
+            "threads": report.threads,
+            "properly_labeled": report.properly_labeled,
+            "races": [race.render() for race in report.races],
+            "cs_protected": [race.render() for race in report.cs_protected],
+            "accesses": [access.render() for access in report.accesses],
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if report.races else 0
     print(report.render())
     return 1 if report.races else 0
 

@@ -32,6 +32,14 @@ from repro.diff.oracles import (
     find_discrepancies,
     panel_verdicts,
 )
+from repro.diff.programs import (
+    PROGRAM_SHAPES,
+    ProgramShape,
+    program_discrepancy,
+    random_program,
+    resolve_program_shapes,
+    shrink_program,
+)
 from repro.diff.shapes import ShapePreset, resolve_shapes
 from repro.diff.shrink import ShrinkResult, shrink_history
 from repro.lattice.classify import FIGURE5_EDGES
@@ -92,18 +100,41 @@ class FuzzConfig:
             raise DiffError(
                 f"unknown model(s) {', '.join(unknown)}; known: {', '.join(MODELS)}"
             )
-        resolve_shapes(self.shapes)  # fail fast on unknown presets
+        # Fail fast on unknown presets of either kind.
+        self.resolved_shapes()
+        self.resolved_program_shapes()
 
     def resolved_shapes(self) -> tuple[ShapePreset, ...]:
-        """The concrete preset objects of :attr:`shapes`."""
-        return resolve_shapes(self.shapes)
+        """The concrete *history* presets of :attr:`shapes`.
+
+        ``program:*`` strata are resolved separately by
+        :meth:`resolved_program_shapes`; a campaign naming only program
+        strata has no history presets at all.
+        """
+        history = tuple(n for n in self.shapes if not n.startswith("program:"))
+        if not history and any(n.startswith("program:") for n in self.shapes):
+            return ()
+        return resolve_shapes(history if history else self.shapes)
+
+    def resolved_program_shapes(self) -> tuple[ProgramShape, ...]:
+        """The ``program:*`` strata of :attr:`shapes` (see
+        :mod:`repro.diff.programs`)."""
+        names = tuple(n for n in self.shapes if n.startswith("program:"))
+        try:
+            return resolve_program_shapes(names)
+        except KeyError as exc:
+            raise DiffError(
+                f"unknown program shape {exc.args[0]!r}; known: "
+                "program:*, " + ", ".join(sorted(PROGRAM_SHAPES))
+            ) from exc
 
     def describe(self) -> dict:
         """A JSON-compatible description (recorded in the corpus header)."""
         return {
             "seed": self.seed,
             "count": self.count,
-            "shapes": [p.name for p in self.resolved_shapes()],
+            "shapes": [p.name for p in self.resolved_shapes()]
+            + [p.name for p in self.resolved_program_shapes()],
             "models": list(self.models),
             "shrink": self.shrink,
         }
@@ -251,7 +282,11 @@ def run_fuzz(
     if resume and corpus is None:
         raise DiffError("resume needs a corpus to resume from")
     shapes = config.resolved_shapes()
-    quotas = _quotas(config.count, shapes)
+    program_shapes = config.resolved_program_shapes()
+    all_quotas = _quotas(
+        config.count, tuple(shapes) + tuple(program_shapes)
+    )
+    quotas = all_quotas[: len(shapes)]
     done = corpus.completed() if (corpus is not None and resume) else {}
     report = FuzzReport(config=config)
     if corpus is not None:
@@ -309,6 +344,57 @@ def run_fuzz(
                             else 0
                         ),
                     )
+        if corpus is not None:
+            corpus.append_progress(stratum, quota)
+
+    for k, (pshape, quota) in enumerate(
+        zip(program_shapes, all_quotas[len(shapes):])
+    ):
+        if quota == 0:
+            continue
+        stratum = stratum_key(pshape.name, config.seed)
+        already = min(done.get(stratum, 0), quota)
+        rng = np.random.default_rng((config.seed, len(shapes) + k))
+        samples = [random_program(rng, pshape) for _ in range(quota)]
+        report.skipped += already
+        report.per_shape[pshape.name] = quota
+        for index in range(already, quota):
+            sample = samples[index]
+            key = f"{stratum}:{index:06d}"
+            report.checked += 1
+            found = program_discrepancy(sample, name=pshape.name)
+            if found is None:
+                continue
+            discrepancy, history = found
+            trace = sample.render()
+            if config.shrink:
+                minimal = shrink_program(sample)
+                refound = program_discrepancy(minimal, name=pshape.name)
+                if refound is not None:
+                    discrepancy, history = refound
+                    trace = minimal.render()
+            report.findings.append(
+                Finding(
+                    key=key,
+                    shape=pshape.name,
+                    history=history,
+                    discrepancy=discrepancy,
+                    shrunk=None,
+                    trace=trace,
+                )
+            )
+            if corpus is not None:
+                corpus.append_discrepancy(
+                    key,
+                    kind=discrepancy.kind,
+                    models=discrepancy.models,
+                    detail=discrepancy.detail,
+                    history=history,
+                    shrunk=None,
+                    verdicts=discrepancy.verdicts,
+                    trace=trace,
+                    shrink_steps=0,
+                )
         if corpus is not None:
             corpus.append_progress(stratum, quota)
     return report

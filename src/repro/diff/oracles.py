@@ -19,12 +19,15 @@ The repository can decide "does model M admit history H" five ways:
   the panel's only oracle that also cross-examines the intermediate
   states, not just the final answer;
 * **prepass** — the polynomial static battery
-  (:func:`repro.staticcheck.prepass_check`), sound for DENY and never
-  admitting.
+  (:func:`repro.staticcheck.prepass_check`), sound in both directions:
+  when it decides, the decision must match the kernel, whether DENY
+  (a forced contradiction was found) or ADMIT (a legal topological
+  witness was constructed per view).
 
 :func:`panel_verdicts` runs all five; :func:`find_discrepancies` flags every
 way their answers can be mutually impossible: direct verdict disagreement,
-a prepass DENY on a kernel-ADMIT history (a soundness violation), a
+a decided prepass verdict disagreeing with the kernel in either
+direction (a soundness violation), a
 streamed prefix verdict diverging from a fresh check of the same prefix,
 a verdict pattern contradicting the Figure 5 containment lattice (Steinke
 & Nutt's unified-theory invariants, free on every random history), and a
@@ -103,13 +106,16 @@ def panel_verdicts(
 
     Returns ``{model: {"fast": bool, "kernel": bool, "legacy": bool,
     "incremental": bool, "incremental_prefix_ok": bool,
-    "prepass_deny": bool}}`` — a plain picklable dictionary, so the engine
+    "prepass_deny": bool, "prepass_admit": bool}}`` — a plain picklable
+    dictionary, so the engine
     can ship panels across its process boundary.  Models without a
     framework spec (the axiomatic TSO reference) only carry the ``fast``
     verdict: the other oracles are spec-driven.
     ``incremental_prefix_ok`` is the streaming oracle's extra claim: every
     intermediate prefix's incremental verdict matched a fresh check of
-    that prefix (see :func:`_incremental_replay`).
+    that prefix (see :func:`_incremental_replay`).  ``prepass_deny`` and
+    ``prepass_admit`` split the static battery's outcome by polarity;
+    both ``False`` means it abstained.
     """
     out: dict[str, dict[str, bool]] = {}
     for name in models:
@@ -127,7 +133,9 @@ def panel_verdicts(
             final, prefix_ok = _incremental_replay(model.spec, history)
             verdicts["incremental"] = final
             verdicts["incremental_prefix_ok"] = prefix_ok
-            verdicts["prepass_deny"] = prepass_check(model.spec, history).decided
+            pre = prepass_check(model.spec, history)
+            verdicts["prepass_deny"] = pre.decided and not pre.allowed
+            verdicts["prepass_admit"] = pre.decided and pre.allowed
         out[name] = verdicts
     return out
 
@@ -212,6 +220,15 @@ def find_discrepancies(
                         "prepass-unsound",
                         (name,),
                         "static pre-pass DENYs a history the kernel ADMITs",
+                        row,
+                    )
+                )
+            if verdicts.get("prepass_admit") and not verdicts["kernel"]:
+                found.append(
+                    Discrepancy(
+                        "prepass-unsound",
+                        (name,),
+                        "static pre-pass ADMITs a history the kernel DENYs",
                         row,
                     )
                 )

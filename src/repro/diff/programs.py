@@ -1,0 +1,251 @@
+"""Random-program fuzzing: static DRF verdicts vs dynamic race detection.
+
+The history strata of :mod:`repro.diff.shapes` exercise the *kernel*; the
+``program:*`` strata here exercise the *static program analysis*.  Each
+sample is a small random pseudocode program; the oracle runs it on an SC
+machine under several random schedules and demands that every race the
+dynamic :func:`repro.analysis.labeling.find_races` observes is accounted
+for by the static :func:`repro.staticcheck.progcheck.analyze_program`
+report (flagged as a potential race, or classified cs-protected).  A
+statically-certified-DRF program that races dynamically is exactly the
+soundness bug the stratum hunts — recorded as a ``static-unsound``
+discrepancy with the offending program text, shrunk line-by-line to a
+minimal witness.
+
+Three strata, mirroring the structural coverage of the history presets:
+
+* ``program:straightline`` — unstructured reads/writes over bare
+  locations with random ``sync`` labels;
+* ``program:indexed`` — accesses through thread-indexed locations
+  (``a[i]``, ``a[1 - i]``, constants), stressing the aliasing analysis;
+* ``program:branchy`` — the same under thread-dependent branches and
+  loop-free conditionals, stressing the CFG dataflow;
+* ``program:handshake`` — a terminating flag handshake with ``await``,
+  the only stratum that generates spin reads (each thread publishes its
+  own flag before waiting, so every fair schedule terminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import find_races
+from repro.core.history import SystemHistory
+from repro.diff.oracles import Discrepancy
+from repro.machines import SCMachine
+from repro.programs import RandomScheduler, run
+from repro.programs.pseudocode import parse_program
+from repro.staticcheck.progcheck import analyze_program, report_covers_races
+
+__all__ = [
+    "GeneratedProgram",
+    "ProgramShape",
+    "PROGRAM_SHAPES",
+    "random_program",
+    "program_discrepancy",
+    "shrink_program",
+    "resolve_program_shapes",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One fuzz sample: program text plus its analysis parameters."""
+
+    text: str
+    shared: tuple[str, ...]
+    threads: int = 2
+
+    def render(self) -> str:
+        header = f"# shared: {', '.join(self.shared) or '(none)'}"
+        return header + "\n" + self.text
+
+
+@dataclass(frozen=True)
+class ProgramShape:
+    """One program stratum: a named generator regime."""
+
+    name: str
+    kind: str  # "straightline" | "indexed" | "branchy" | "handshake"
+    statements: int = 5
+    threads: int = 2
+    p_sync: float = 0.4
+
+
+PROGRAM_SHAPES: dict[str, ProgramShape] = {
+    s.name: s
+    for s in (
+        ProgramShape("program:straightline", "straightline"),
+        ProgramShape("program:indexed", "indexed", statements=5),
+        ProgramShape("program:branchy", "branchy", statements=6),
+        ProgramShape("program:handshake", "handshake", statements=3),
+    )
+}
+
+
+def resolve_program_shapes(names: tuple[str, ...]) -> tuple[ProgramShape, ...]:
+    """Presets for ``names``; ``program:*`` expands to every stratum."""
+    out: list[ProgramShape] = []
+    for name in names:
+        if name == "program:*":
+            out.extend(PROGRAM_SHAPES.values())
+        else:
+            out.append(PROGRAM_SHAPES[name])
+    seen: set[str] = set()
+    unique = []
+    for shape in out:
+        if shape.name not in seen:
+            seen.add(shape.name)
+            unique.append(shape)
+    return tuple(unique)
+
+
+# -- generation -----------------------------------------------------------------
+
+_BARE_LOCS = ("x", "y")
+_INDEXED = ("a[i]", "a[1 - i]", "a[0]", "a[1]")
+
+
+def _sync(rng: np.random.Generator, p: float) -> str:
+    return " sync" if rng.random() < p else ""
+
+
+def _access(rng: np.random.Generator, shape: ProgramShape, loc: str, t: int) -> str:
+    suffix = _sync(rng, shape.p_sync)
+    if rng.random() < 0.5:
+        return f"{loc} := {int(rng.integers(1, 4))}{suffix}"
+    return f"t{t} := read {loc}{suffix}"
+
+
+def random_program(
+    rng: np.random.Generator, shape: ProgramShape
+) -> GeneratedProgram:
+    """Draw one program from the stratum (deterministic in ``rng``)."""
+    lines: list[str] = []
+    if shape.kind == "handshake":
+        # Publish own flag, wait for the peer's, then touch shared data.
+        # Both flag writes precede both awaits on every schedule, so the
+        # program always terminates; only the labels are random.
+        lines.append(f"flag[i] := 1{_sync(rng, shape.p_sync)}")
+        lines.append(f"await flag[1 - i] == 1{_sync(rng, shape.p_sync)}")
+        for t in range(shape.statements):
+            loc = _BARE_LOCS[int(rng.integers(0, len(_BARE_LOCS)))]
+            lines.append(_access(rng, shape, loc, t))
+        return GeneratedProgram("\n".join(lines) + "\n", _BARE_LOCS, shape.threads)
+
+    pool: tuple[str, ...]
+    if shape.kind == "indexed":
+        pool = _INDEXED + _BARE_LOCS[:1]
+    else:
+        pool = _BARE_LOCS
+    body: list[str] = []
+    for t in range(shape.statements):
+        loc = pool[int(rng.integers(0, len(pool)))]
+        body.append(_access(rng, shape, loc, t))
+    if shape.kind == "branchy":
+        # Wrap a random middle run of statements in a thread-dependent
+        # conditional; sometimes add an else arm.
+        cut = int(rng.integers(1, len(body)))
+        cond = "i == 0" if rng.random() < 0.5 else "i != 0"
+        wrapped = [f"if {cond}:"] + ["  " + s for s in body[:cut]]
+        if rng.random() < 0.5 and cut < len(body):
+            wrapped += ["else:"] + ["  " + s for s in body[cut:]]
+            body = wrapped
+        else:
+            body = wrapped + body[cut:]
+    return GeneratedProgram("\n".join(body) + "\n", _BARE_LOCS, shape.threads)
+
+
+# -- the static-vs-dynamic oracle ------------------------------------------------
+
+
+def program_discrepancy(
+    sample: GeneratedProgram,
+    *,
+    name: str = "program",
+    runs: int = 6,
+    max_steps: int = 600,
+) -> tuple[Discrepancy, SystemHistory] | None:
+    """Dynamic races the static report cannot account for, if any.
+
+    Runs the program on an SC machine under ``runs`` random schedules; a
+    race pair :func:`find_races` observes whose location base the static
+    report neither flags nor classifies cs-protected is a soundness bug in
+    the static layer.  Returns the discrepancy plus the witnessing
+    history, or ``None`` when the static report covers every observed
+    race.  Histories from schedules that exceed ``max_steps`` are still
+    checked — an incomplete run's races are real races.
+    """
+    try:
+        program = parse_program(sample.text, shared=sample.shared)
+        report = analyze_program(
+            program, name=name, threads=sample.threads
+        )
+    except Exception as exc:  # generator bug, not an analysis discrepancy
+        raise AssertionError(
+            f"generated program failed to parse/analyze: {exc}\n{sample.text}"
+        ) from exc
+    procs = tuple(f"p{t}" for t in range(sample.threads))
+    for seed in range(runs):
+        machine = SCMachine(procs)
+        factories = {
+            proc: (lambda t=t: program.thread(i=t, n=sample.threads))
+            for t, proc in enumerate(procs)
+        }
+        result = run(
+            machine, factories, RandomScheduler(seed), max_steps=max_steps
+        )
+        races = find_races(result.history)
+        if races and not report_covers_races(report, races):
+            a, b = races[0]
+            covered = sorted(report.race_bases | report.cs_protected_bases)
+            detail = (
+                f"dynamic race on {a.location!r} ({a} vs {b}, schedule seed "
+                f"{seed}) not covered by the static report "
+                f"(covers: {', '.join(covered) or 'nothing'})\n"
+                f"{sample.render()}"
+            )
+            return (
+                Discrepancy("static-unsound", ("progcheck",), detail),
+                result.history,
+            )
+    return None
+
+
+def shrink_program(
+    sample: GeneratedProgram,
+    *,
+    runs: int = 6,
+    max_steps: int = 600,
+) -> GeneratedProgram:
+    """Line-deletion shrinking: a 1-minimal program keeping the discrepancy.
+
+    Tries deleting each line in turn (skipping candidates that no longer
+    parse) until no single deletion preserves the static/dynamic
+    disagreement.
+    """
+    current = sample
+    changed = True
+    while changed:
+        changed = False
+        lines = current.text.splitlines()
+        for drop in range(len(lines)):
+            candidate_text = "\n".join(
+                line for k, line in enumerate(lines) if k != drop
+            )
+            candidate = GeneratedProgram(
+                candidate_text + "\n", current.shared, current.threads
+            )
+            try:
+                found = program_discrepancy(
+                    candidate, runs=runs, max_steps=max_steps
+                )
+            except Exception:
+                continue  # deletion broke the program; try the next line
+            if found is not None:
+                current = candidate
+                changed = True
+                break
+    return current

@@ -26,6 +26,9 @@ class EngineMetrics:
     checks: int = 0
     skipped: int = 0
     prepass_decided: int = 0
+    #: Of the decided checks, how many the pre-pass *admitted* (with a
+    #: constructed witness) rather than denied.
+    prepass_admitted: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
@@ -54,6 +57,7 @@ class EngineMetrics:
         self.checks += partial.get("checks", 0)
         self.skipped += partial.get("skipped", 0)
         self.prepass_decided += partial.get("prepass_decided", 0)
+        self.prepass_admitted += partial.get("prepass_admitted", 0)
         self.cache_hits += partial.get("cache_hits", 0)
         self.cache_misses += partial.get("cache_misses", 0)
         for model, seconds in partial.get("model_seconds", {}).items():
@@ -86,6 +90,7 @@ class EngineMetrics:
             "checks": self.checks,
             "skipped": self.skipped,
             "prepass_decided": self.prepass_decided,
+            "prepass_admitted": self.prepass_admitted,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
@@ -114,7 +119,8 @@ class EngineMetrics:
         if self.prepass_decided:
             lines.append(
                 f"static pre-pass: {self.prepass_decided}/{self.checks} "
-                "checks decided without search"
+                "checks decided without search "
+                f"({self.prepass_admitted} admitted with a witness)"
             )
         if self.phase_seconds:
             parts = ", ".join(

@@ -84,6 +84,7 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
     prepass: bool = state.get("prepass", True)
     hits0, misses0 = cache.hits, cache.misses
     prepass_decided = 0
+    prepass_admitted = 0
     # Per-phase wall time across the chunk: the static pre-pass vs the
     # decision procedure itself (folded into EngineMetrics.phase_seconds).
     phase_seconds: dict[str, float] = {}
@@ -99,16 +100,27 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
                 t0 = time.perf_counter()
                 spec = MODELS[model].spec if prepass else None
                 if spec is not None:
-                    decided = prepass_check(spec, history).decided
+                    verdict = prepass_check(spec, history)
                     t1 = time.perf_counter()
                     phase_seconds["prepass"] = (
                         phase_seconds.get("prepass", 0.0) + t1 - t0
                     )
-                    if decided:
-                        # Sound definite DENY: skip the search entirely.
-                        verdicts[model] = False
+                    if verdict.decided:
+                        # Sound definite verdict (a necessary-condition
+                        # DENY or a constructed ADMIT witness): skip the
+                        # search entirely.
+                        verdicts[model] = verdict.allowed
                         explored[model] = 0
                         prepass_decided += 1
+                        if verdict.allowed:
+                            prepass_admitted += 1
+                            if store_views and verdict.witness is not None:
+                                views[model] = [
+                                    view_to_dict(verdict.witness.views[proc])
+                                    for proc in sorted(
+                                        verdict.witness.views, key=str
+                                    )
+                                ]
                         model_seconds[model] = t1 - t0
                         continue
                 else:
@@ -138,6 +150,7 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
         "cache_hits": cache.hits - hits0,
         "cache_misses": cache.misses - misses0,
         "prepass_decided": prepass_decided,
+        "prepass_admitted": prepass_admitted,
         "phase_seconds": phase_seconds,
     }
 
@@ -259,8 +272,9 @@ class CheckEngine:
         with relation_memo(self.cache):
             for name in names:
                 spec = MODELS[name].spec if self.prepass else None
-                if spec is not None and prepass_check(spec, history).decided:
-                    verdicts[name] = False
+                verdict = prepass_check(spec, history) if spec is not None else None
+                if verdict is not None and verdict.decided:
+                    verdicts[name] = verdict.allowed
                 else:
                     verdicts[name] = check(history, name).allowed
         return verdicts
@@ -345,6 +359,7 @@ class CheckEngine:
             metrics.cache_hits += out["cache_hits"]
             metrics.cache_misses += out["cache_misses"]
             metrics.prepass_decided += out.get("prepass_decided", 0)
+            metrics.prepass_admitted += out.get("prepass_admitted", 0)
             for phase, seconds in out.get("phase_seconds", {}).items():
                 metrics.add_phase_time(phase, seconds)
             for record in out["records"]:

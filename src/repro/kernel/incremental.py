@@ -394,12 +394,21 @@ class IncrementalCheck:
     def _fast_path(self) -> CheckResult | None:
         """A verdict without entering the driver, or ``None`` to run it.
 
-        Only with ``prepass`` off: the driver runs the static pre-pass
-        *before* anything these shortcuts replicate, so with it on the
-        shortcut could return a differently-shaped (if same-verdict)
-        result than a fresh check.
+        With ``prepass`` on, the driver's first act is the static
+        pre-pass, so running it here and returning its decided verdict is
+        byte-identical to the driver — and skips the plane compile the
+        driver would pay before discovering the pre-pass decides.  The
+        remaining shortcuts replicate driver behaviour past the pre-pass
+        and are sound only when it is off (a decided pre-pass would have
+        returned a differently-shaped result than they produce).
         """
         if self.prepass:
+            from repro.staticcheck.prepass import prepass_check
+
+            verdict = prepass_check(self.spec, self.stream.history)
+            if verdict.decided:
+                self._emit_reuse(0, 0, fallback=False)
+                return verdict.to_result()
             return None
         plane = self.stream.plane
         # An impossible read poisons every extension; re-deny the way the

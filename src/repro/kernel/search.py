@@ -363,10 +363,13 @@ def check_with_spec(
 
     With ``prepass=True``, the polynomial static pre-pass
     (:mod:`repro.staticcheck.prepass`) runs first and short-circuits the
-    search on a definite DENY.  Verdicts are unchanged either way (the
-    pre-pass is sound for DENY and never admits); the default is off so
-    the kernel surface stays byte-comparable to the frozen legacy solver,
-    and the engine opts in on top.
+    search on a definite verdict — a necessary-condition DENY or an
+    ADMIT whose witness the pre-pass constructed outright.  The
+    ``allowed`` bit is unchanged either way (the pre-pass is sound in
+    both directions; a short-circuited result carries ``explored=0`` and
+    the pre-pass's own witness).  The default is off so the kernel
+    surface stays byte-comparable to the frozen legacy solver, and the
+    engine opts in on top.
 
     With ``trace`` set (or a sink installed via
     :func:`repro.obs.sink.tracing`), the check narrates its search as
@@ -430,10 +433,19 @@ def _check_with_spec_impl(
         if verdict.decided:
             result = verdict.to_result()
             if sink is not None:
+                # Narrate the pre-pass's witness the way the search would:
+                # the views exist and are part of the returned result.
+                for proc, view in result.views.items():
+                    sink.emit(
+                        ViewSolved(
+                            proc=str(proc),
+                            order=tuple(str(op) for op in view),
+                        )
+                    )
                 sink.emit(
                     VerdictReached(
                         model=spec.name,
-                        allowed=False,
+                        allowed=result.allowed,
                         explored=0,
                         reason=result.reason,
                     )

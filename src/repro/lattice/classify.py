@@ -105,8 +105,9 @@ def classify_histories(
     ``jobs > 1``.  The results are identical either way.
 
     ``prepass`` (serial path; the engine path is governed by the engine's
-    own flag) runs the sound polynomial DENY pre-pass before each search —
-    same verdicts, fewer searches on DENY-heavy collections.
+    own flag) runs the sound polynomial pre-pass before each search —
+    same verdicts either way, with decided checks (DENY or witnessed
+    ADMIT) skipping the search entirely.
     """
     hs = list(histories)
     result = ClassificationResult(tuple(models), hs)
@@ -130,8 +131,13 @@ def classify_histories(
         for i, h in enumerate(hs):
             for name in models:
                 spec = MODELS[name].spec if prepass else None
-                if spec is not None and prepass_check(spec, h).decided:
-                    continue  # sound DENY: not in the allowed set
+                if spec is not None:
+                    verdict = prepass_check(spec, h)
+                    if verdict.decided:
+                        # Sound in both directions: the polarity is final.
+                        if verdict.allowed:
+                            result.allowed[name].add(i)
+                        continue
                 if check(h, name).allowed:
                     result.allowed[name].add(i)
     return result

@@ -8,8 +8,9 @@ produced by this module from the live code:
   command reference, walked out of the real argparse tree
   (:func:`cli_reference_markdown`), so the reference *cannot* drift from
   the parser: a CI check regenerates and compares.
-* ``trace-example`` (in ``docs/obs.md``) — a worked search narration of
-  the paper's Figure 1 history under TSO and SC, rendered by the same
+* ``trace-example`` (in ``docs/obs.md``) — a worked check narration of
+  the paper's Figure 1 history under TSO and SC (the static pre-pass
+  admits one and denies the other), rendered by the same
   :func:`~repro.obs.render.render_trace` the ``trace`` verb uses.  The
   kernel is deterministic and events carry no timestamps, so the block
   is byte-stable.

@@ -35,7 +35,13 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-from repro.obs.events import PhaseMark, PrefixReuse, SessionAppend, TraceEvent
+from repro.obs.events import (
+    PhaseMark,
+    PrefixReuse,
+    PrepassRule,
+    SessionAppend,
+    TraceEvent,
+)
 
 __all__ = [
     "TraceSink",
@@ -124,6 +130,11 @@ class SessionStatsSink(CountingSink):
         self.reuse_misses = 0
         #: Session checks that ran as full one-shot searches (no memory).
         self.fallbacks = 0
+        #: Static pre-pass rule outcomes while installed, keyed
+        #: ``{"deny": n, "admit": n, "pass": n, "abstain": n}`` — the
+        #: service's ``/stats`` view of how often the polynomial battery
+        #: decided (in either direction) without a search.
+        self.prepass_outcomes: dict[str, int] = {}
 
     def emit(self, event: TraceEvent) -> None:
         super().emit(event)
@@ -137,6 +148,10 @@ class SessionStatsSink(CountingSink):
             else:
                 self.reuse_hits += event.hits
                 self.reuse_misses += event.misses
+        elif isinstance(event, PrepassRule):
+            self.prepass_outcomes[event.outcome] = (
+                self.prepass_outcomes.get(event.outcome, 0) + 1
+            )
 
     @property
     def reuse_rate(self) -> float:
@@ -152,6 +167,20 @@ class SessionStatsSink(CountingSink):
             "reuse_hits": self.reuse_hits,
             "reuse_misses": self.reuse_misses,
             "fallbacks": self.fallbacks,
+        }
+
+    def prepass_counters(self) -> dict[str, int]:
+        """Pre-pass rule outcomes as a plain dictionary (for ``/stats``).
+
+        ``denied``/``admitted`` count checks the static battery decided
+        outright; ``passed``/``abstained`` count rule runs that fell
+        through to the search.
+        """
+        return {
+            "denied": self.prepass_outcomes.get("deny", 0),
+            "admitted": self.prepass_outcomes.get("admit", 0),
+            "passed": self.prepass_outcomes.get("pass", 0),
+            "abstained": self.prepass_outcomes.get("abstain", 0),
         }
 
 

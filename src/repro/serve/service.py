@@ -685,6 +685,7 @@ class CheckService:
             "uptime_seconds": round(time.time() - self.started, 3),
             "workers": self.config.workers,
             "prepass": self.config.prepass,
+            "prepass_rules": self._sink.prepass_counters(),
             "counters": counters,
             "verdicts": verdicts,
             "model_seconds": model_seconds,

@@ -1,24 +1,52 @@
 """repro.staticcheck — the static analysis layer in front of the kernel.
 
-Three coordinated analyzers, all polynomial-time, all *without* running the
-kernel's exponential linear-extension search or executing a program:
+Five coordinated analyzers, all polynomial-time except the bounded
+agreement enumeration, all *without* running the kernel's full
+linear-extension search or executing a program:
 
-* :mod:`repro.staticcheck.prepass` — per-spec necessary-condition checks on
-  histories.  Sound for DENY (a decided verdict is always correct), never
-  ADMITs; UNKNOWN falls through to the kernel.  The engine runs it as an
-  opt-out fast path in front of every spec-backed checker.
+* :mod:`repro.staticcheck.prepass` — per-spec checks on histories.  Sound
+  in both directions: necessary-condition rules decide DENY, and the
+  bounded agreement-exhausted rule decides ADMIT with a witness view;
+  UNKNOWN falls through to the kernel.  The engine runs it as an opt-out
+  fast path in front of every spec-backed checker.
 * :mod:`repro.staticcheck.speclint` — validation of
   :class:`~repro.spec.model_spec.MemoryModelSpec` parameter triples, plus
   small-history probing that flags specs indistinguishable from (or
   contained in) an existing lattice node.
+* :mod:`repro.staticcheck.cfg` — control-flow graphs for pseudocode
+  programs with the must-dataflow analyses (``must_in_cs``,
+  ``cs_bracketed``) the program analyses build on.
 * :mod:`repro.staticcheck.progcheck` — static race and proper-labeling
-  analysis of pseudocode programs (paper Section 3.4), cross-validated in
-  the test suite against the dynamic :mod:`repro.analysis.labeling` checks
-  on scheduler-generated histories.
+  analysis of pseudocode programs (paper Section 3.4) on the CFG, plus
+  :func:`~repro.staticcheck.progcheck.infer_labels`, which proposes the
+  minimal ``sync`` relabeling that makes a racy program properly labeled.
+* :mod:`repro.staticcheck.drf` — machine-checkable DRF certificates:
+  :func:`~repro.staticcheck.drf.certify_program` records every competing
+  pair with its discharge, and
+  :func:`~repro.staticcheck.drf.verify_certificate` re-validates the
+  artifact from the program text alone.
 
-All three are exposed by ``python -m repro lint {history,spec,program}``.
+The program analyses are cross-validated in the test suite against the
+dynamic :mod:`repro.analysis.labeling` checks on scheduler-generated
+histories, and continuously by the ``program:*`` fuzz strata of
+:mod:`repro.diff.programs`.  All of this is exposed by
+``python -m repro lint {history,spec,program}``.
 """
 
+from repro.staticcheck.cfg import (
+    Cfg,
+    CfgNode,
+    build_cfg,
+    cs_bracketed,
+    must_in_cs,
+)
+from repro.staticcheck.drf import (
+    CertificationResult,
+    DrfCertificate,
+    Obligation,
+    certify_program,
+    verify_certificate,
+)
 from repro.staticcheck.prepass import (
     HistoryPrepass,
     PrepassVerdict,
@@ -26,10 +54,13 @@ from repro.staticcheck.prepass import (
     prepass_check,
 )
 from repro.staticcheck.progcheck import (
+    LabelPatch,
     PotentialRace,
     ProgramReport,
     SharedAccess,
     analyze_program,
+    competing_pairs,
+    infer_labels,
     report_covers_races,
 )
 from repro.staticcheck.speclint import (
@@ -50,9 +81,22 @@ __all__ = [
     "lint_parameters",
     "lint_registry",
     "lint_spec",
+    "Cfg",
+    "CfgNode",
+    "build_cfg",
+    "cs_bracketed",
+    "must_in_cs",
+    "CertificationResult",
+    "DrfCertificate",
+    "Obligation",
+    "certify_program",
+    "verify_certificate",
+    "LabelPatch",
     "PotentialRace",
     "ProgramReport",
     "SharedAccess",
     "analyze_program",
+    "competing_pairs",
+    "infer_labels",
     "report_covers_races",
 ]

@@ -1,0 +1,417 @@
+"""Control-flow graphs for pseudocode programs, with label dataflow.
+
+:mod:`repro.staticcheck.progcheck` originally collected shared accesses by
+a flat pre-order AST walk with a critical-section *depth counter* — which
+cannot see that a ``cs_enter`` inside one branch arm does not protect the
+code after the join, and happily collects accesses that sit after a
+``break``.  This module builds a real control-flow graph from the
+:mod:`repro.programs.pseudocode` AST and runs three *must* dataflow
+analyses over it:
+
+* :func:`must_in_cs` — is a node inside a critical section on **every**
+  path from entry?  (The sound replacement for the depth counter.)
+* :func:`acquires_before` / :func:`sync_before` — does every path from
+  entry to the node pass a labeled read (an *acquire*, in the RC machine's
+  sense) / any labeled access first?
+* :func:`releases_after` — does every path from the node to exit pass a
+  labeled write (a *release*) afterwards?
+
+The acquire/release vocabulary mirrors :mod:`repro.machines.rc_machine`:
+labeled reads synchronize-with the labeled writes they read, so a critical
+section whose entry is dominated by labeled synchronization and whose exit
+is post-dominated by a labeled write is bracketed the way the paper's
+properly-labeled programs are (Figure 6's ``choosing[i] := 1 sync`` …
+``number[i] := 0 sync``).  :func:`cs_bracketed` packages that check for
+the certifier.  Entry protocols usually *spin* on a conditional acquire
+(``await choosing[j] == 0 sync`` under ``if j != i``), which a static
+must-analysis cannot see executing, so the enter side accepts any
+dominating labeled access while the exit side demands a true release.
+
+Loops are modeled with back edges (``await`` spins on itself), ``break``
+and ``continue`` jump to the loop exit and header, and statements that
+follow them in the same block are simply never connected — unreachable
+accesses do not exist in the CFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.errors import ProgramError
+from repro.programs.pseudocode import (
+    PseudoProgram,
+    _Assign,
+    _Await,
+    _For,
+    _If,
+    _Node,
+    _SharedRead,
+    _Simple,
+    _While,
+    parse_program,
+)
+
+__all__ = [
+    "CfgNode",
+    "Cfg",
+    "build_cfg",
+    "must_in_cs",
+    "acquires_before",
+    "releases_after",
+    "sync_before",
+    "cs_bracketed",
+]
+
+
+@dataclass(frozen=True)
+class CfgNode:
+    """One statement (or structural point) in the control-flow graph.
+
+    ``kind`` is one of ``entry``, ``exit``, ``write``, ``read``, ``await``,
+    ``local``, ``branch``, ``cs-enter``, ``cs-exit``, ``join``.  Access
+    nodes (``write`` / ``read`` / ``await``) carry the location split into
+    ``base`` and raw ``index`` expression text plus their ``sync`` label.
+    """
+
+    id: int
+    kind: str
+    line: int = 0
+    base: str | None = None
+    index: str | None = None
+    labeled: bool = False
+    text: str = ""
+
+    @property
+    def is_access(self) -> bool:
+        return self.kind in ("write", "read", "await")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in ("read", "await")
+
+    def render(self) -> str:
+        loc = ""
+        if self.base is not None:
+            loc = self.base if self.index is None else f"{self.base}[{self.index}]"
+            loc = f" {loc}"
+        mark = " sync" if self.labeled else ""
+        return f"[{self.id}] {self.kind}{loc}{mark} (line {self.line})"
+
+
+@dataclass
+class Cfg:
+    """A program's control-flow graph; node 0 is entry, node 1 is exit."""
+
+    nodes: tuple[CfgNode, ...]
+    succ: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    ENTRY = 0
+    EXIT = 1
+
+    @cached_property
+    def pred(self) -> dict[int, tuple[int, ...]]:
+        back: dict[int, list[int]] = {n.id: [] for n in self.nodes}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                back[dst].append(src)
+        return {k: tuple(v) for k, v in back.items()}
+
+    def accesses(self) -> tuple[CfgNode, ...]:
+        """All shared-access nodes, in program (= creation) order."""
+        return tuple(n for n in self.nodes if n.is_access)
+
+    def render(self) -> str:
+        lines = []
+        for node in self.nodes:
+            dsts = ", ".join(str(d) for d in self.succ.get(node.id, ()))
+            lines.append(f"{node.render()} -> [{dsts}]")
+        return "\n".join(lines)
+
+
+def _split_location(text: str) -> tuple[str, str | None]:
+    text = text.strip()
+    if "[" in text and text.endswith("]"):
+        base, index = text.split("[", 1)
+        return base.strip(), index[:-1].strip()
+    return text, None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        entry = CfgNode(0, "entry")
+        exit_ = CfgNode(1, "exit")
+        self.nodes: list[CfgNode] = [entry, exit_]
+        self.succ: dict[int, set[int]] = {0: set(), 1: set()}
+        # (header id, exit-collector list) per enclosing loop.
+        self.loops: list[tuple[int, list[int]]] = []
+
+    def node(self, kind: str, line: int = 0, **kw: object) -> int:
+        n = CfgNode(len(self.nodes), kind, line, **kw)  # type: ignore[arg-type]
+        self.nodes.append(n)
+        self.succ[n.id] = set()
+        return n.id
+
+    def edge(self, src: int | None, dst: int) -> None:
+        if src is not None:
+            self.succ[src].add(dst)
+
+    def finish(self) -> Cfg:
+        return Cfg(
+            tuple(self.nodes),
+            {k: tuple(sorted(v)) for k, v in self.succ.items()},
+        )
+
+
+def build_cfg(
+    program: PseudoProgram | str, *, shared: tuple[str, ...] = ()
+) -> Cfg:
+    """The control-flow graph of a program (text or parsed form)."""
+    if isinstance(program, str):
+        program = parse_program(program, shared=shared)
+    b = _Builder()
+    tail = _build_block(b, program.body, Cfg.ENTRY, program.shared_names)
+    b.edge(tail, Cfg.EXIT)
+    return b.finish()
+
+
+def _build_block(
+    b: _Builder,
+    body: list[_Node],
+    current: int | None,
+    shared_names: frozenset[str],
+) -> int | None:
+    """Wire ``body`` starting from ``current``; return the open tail node.
+
+    ``None`` means the flow never falls out of this block (it ended in
+    ``break``/``continue`` on every path) — later statements in the parent
+    block stay unconnected, i.e. unreachable.
+    """
+    for stmt in body:
+        if current is None:
+            break  # everything after an unconditional jump is unreachable
+        current = _build_stmt(b, stmt, current, shared_names)
+    return current
+
+
+def _build_stmt(
+    b: _Builder,
+    stmt: _Node,
+    current: int,
+    shared_names: frozenset[str],
+) -> int | None:
+    match stmt:
+        case _Simple(kind="pass"):
+            return current
+        case _Simple(kind="cs_enter"):
+            nid = b.node("cs-enter", stmt.line)
+            b.edge(current, nid)
+            return nid
+        case _Simple(kind="cs_exit"):
+            nid = b.node("cs-exit", stmt.line)
+            b.edge(current, nid)
+            return nid
+        case _Simple(kind="break"):
+            if not b.loops:
+                raise ProgramError(f"line {stmt.line}: break outside a loop")
+            b.loops[-1][1].append(current)
+            return None
+        case _Simple(kind="continue"):
+            if not b.loops:
+                raise ProgramError(f"line {stmt.line}: continue outside a loop")
+            b.edge(current, b.loops[-1][0])
+            return None
+        case _Assign(target=target, sync=sync, shared=is_shared):
+            base = target.split("[", 1)[0].strip()
+            if is_shared or base in shared_names:
+                base, index = _split_location(target)
+                nid = b.node(
+                    "write", stmt.line, base=base, index=index, labeled=sync
+                )
+            else:
+                nid = b.node("local", stmt.line, text=target)
+            b.edge(current, nid)
+            return nid
+        case _SharedRead(loc=loc, sync=sync):
+            base, index = _split_location(loc)
+            nid = b.node("read", stmt.line, base=base, index=index, labeled=sync)
+            b.edge(current, nid)
+            return nid
+        case _Await(loc=loc, sync=sync):
+            base, index = _split_location(loc)
+            nid = b.node("await", stmt.line, base=base, index=index, labeled=sync)
+            b.edge(current, nid)
+            b.edge(nid, nid)  # the spin re-reads until the value matches
+            return nid
+        case _If(arms=arms):
+            branch = b.node("branch", stmt.line, text=arms[0][0] or "")
+            b.edge(current, branch)
+            join = b.node("join", stmt.line)
+            has_else = any(cond is None for cond, _ in arms)
+            for cond, arm_body in arms:
+                tail = _build_block(b, arm_body, branch, shared_names)
+                b.edge(tail, join)
+            if not has_else:
+                b.edge(branch, join)  # fall-through when no arm matches
+            return join
+        case _While(cond=cond, body=loop_body):
+            header = b.node("branch", stmt.line, text=cond)
+            b.edge(current, header)
+            exits: list[int] = []
+            b.loops.append((header, exits))
+            tail = _build_block(b, loop_body, header, shared_names)
+            b.edge(tail, header)
+            b.loops.pop()
+            after = b.node("join", stmt.line)
+            if cond.strip() != "true":
+                b.edge(header, after)  # the condition can be false on entry
+            for src in exits:
+                b.edge(src, after)
+            return after
+        case _For(var=var, body=loop_body):
+            header = b.node("branch", stmt.line, text=f"for {var}")
+            b.edge(current, header)
+            exits = []
+            b.loops.append((header, exits))
+            tail = _build_block(b, loop_body, header, shared_names)
+            b.edge(tail, header)
+            b.loops.pop()
+            after = b.node("join", stmt.line)
+            b.edge(header, after)  # a range can be empty
+            for src in exits:
+                b.edge(src, after)
+            return after
+        case _:
+            raise ProgramError(f"line {stmt.line}: unknown statement {stmt!r}")
+
+
+# -- dataflow -------------------------------------------------------------------
+#
+# All four analyses are *must* (intersection) problems over the boolean
+# lattice, solved by chaotic iteration to a fixpoint: start every non-root
+# node at the optimistic top (True), propagate the meet (AND) over the
+# relevant neighbors, and shrink monotonically.  The CFGs are statement-
+# sized, so worklist refinement is unnecessary.
+
+
+def _reachable(cfg: Cfg) -> set[int]:
+    seen = {Cfg.ENTRY}
+    frontier = [Cfg.ENTRY]
+    while frontier:
+        node = frontier.pop()
+        for nxt in cfg.succ.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def _forward_must(
+    cfg: Cfg, gen: set[int], kill: set[int]
+) -> dict[int, bool]:
+    """In-state per node: do **all** entry paths pass a ``gen`` node (with
+    no later ``kill`` node) before reaching it?"""
+    reach = _reachable(cfg)
+    state = {n.id: True for n in cfg.nodes}  # optimistic top
+
+    def out(node: int) -> bool:
+        if node in gen:
+            return True
+        if node in kill:
+            return False
+        return state[node]
+
+    state[Cfg.ENTRY] = False
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.id == Cfg.ENTRY or node.id not in reach:
+                continue
+            preds = [p for p in cfg.pred.get(node.id, ()) if p in reach]
+            new = all(out(p) for p in preds) if preds else False
+            if new != state[node.id]:
+                state[node.id] = new
+                changed = True
+    return state
+
+
+def _backward_must(cfg: Cfg, gen: set[int]) -> dict[int, bool]:
+    """Out-state per node: do **all** paths from it to exit pass a ``gen``
+    node afterwards?"""
+    reach = _reachable(cfg)
+    state = {n.id: True for n in cfg.nodes}
+
+    def into(node: int) -> bool:
+        return True if node in gen else state[node]
+
+    state[Cfg.EXIT] = False
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.id == Cfg.EXIT or node.id not in reach:
+                continue
+            succs = cfg.succ.get(node.id, ())
+            new = all(into(s) for s in succs) if succs else False
+            if new != state[node.id]:
+                state[node.id] = new
+                changed = True
+    return state
+
+
+def must_in_cs(cfg: Cfg) -> dict[int, bool]:
+    """Node id → is the node inside a critical section on every path?
+
+    A node is *in* a critical section when every path from entry to it
+    passes a ``cs_enter`` with no intervening ``cs_exit``.  Accesses that
+    are only sometimes protected (a ``cs_enter`` in one branch arm) are
+    correctly reported unprotected, unlike the old depth counter.
+    """
+    gen = {n.id for n in cfg.nodes if n.kind == "cs-enter"}
+    kill = {n.id for n in cfg.nodes if n.kind == "cs-exit"}
+    return _forward_must(cfg, gen, kill)
+
+
+def acquires_before(cfg: Cfg) -> set[int]:
+    """Ids of nodes dominated by a labeled read (an RC *acquire*)."""
+    gen = {n.id for n in cfg.nodes if n.is_read and n.labeled}
+    state = _forward_must(cfg, gen, set())
+    return {nid for nid, ok in state.items() if ok}
+
+
+def sync_before(cfg: Cfg) -> set[int]:
+    """Ids of nodes dominated by *any* labeled access."""
+    gen = {n.id for n in cfg.nodes if n.is_access and n.labeled}
+    state = _forward_must(cfg, gen, set())
+    return {nid for nid, ok in state.items() if ok}
+
+
+def releases_after(cfg: Cfg) -> set[int]:
+    """Ids of nodes post-dominated by a labeled write (an RC *release*)."""
+    gen = {n.id for n in cfg.nodes if n.is_write and n.labeled}
+    state = _backward_must(cfg, gen)
+    return {nid for nid, ok in state.items() if ok}
+
+
+def cs_bracketed(cfg: Cfg) -> bool:
+    """Is every critical-section region bracketed by labeled sync?
+
+    Every ``cs_enter`` must be dominated by a labeled access (the entry
+    handshake) and every ``cs_exit`` post-dominated by a labeled write
+    (the release that publishes the exit).  Programs without critical
+    sections are trivially bracketed.  This is what lets the certifier
+    trust the markers: the mutual exclusion they assert is implemented by
+    labeled operations the memory model orders.
+    """
+    enters = [n.id for n in cfg.nodes if n.kind == "cs-enter"]
+    exits = [n.id for n in cfg.nodes if n.kind == "cs-exit"]
+    if not enters and not exits:
+        return True
+    before = sync_before(cfg)
+    after = releases_after(cfg)
+    return all(e in before for e in enters) and all(x in after for x in exits)

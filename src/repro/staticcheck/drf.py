@@ -1,0 +1,343 @@
+"""Machine-checkable DRF certificates for pseudocode programs (§3.4).
+
+The paper's payoff for proper labeling is behavioral: a properly labeled
+program running on any machine of the Figure 5 lattice that respects its
+labels behaves as if the memory were sequentially consistent.  This module
+turns the static analysis of :mod:`repro.staticcheck.progcheck` into an
+*auditable artifact*: :func:`certify_program` issues a
+:class:`DrfCertificate` that records every competing access pair together
+with the reason it cannot race, and :func:`verify_certificate` re-derives
+the pairs from the program text and checks each one against the recorded
+discharge — so a certificate can be stored, shipped, and re-validated
+without trusting the issuer.
+
+A pair is discharged one of two ways:
+
+* ``labeled`` — both sides carry the ``sync`` label; the paper's
+  discipline explicitly permits competing labeled operations.
+* ``critical-section`` — both sides are inside declared critical sections
+  on every path (:func:`~repro.staticcheck.cfg.must_in_cs`), **and** the
+  program's CS regions are bracketed by labeled synchronization
+  (:func:`~repro.staticcheck.cfg.cs_bracketed`), so the mutual exclusion
+  the markers assert is implemented by operations the model orders.  The
+  bracketing check is the certificate's only assumption, recorded in
+  :attr:`DrfCertificate.assumptions`.
+
+Cross-validation lives in the test suite: every certified program in the
+mutex suite is exhaustively model-checked
+(:mod:`repro.programs.modelcheck`) and dynamically race-checked
+(:func:`repro.analysis.labeling.find_races`) on weaker machines, and the
+``program:`` fuzz strata of :mod:`repro.diff.programs` compare the static
+verdict against dynamic races on random programs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.staticcheck.cfg import build_cfg, cs_bracketed
+from repro.staticcheck.progcheck import (
+    ProgramReport,
+    analyze_program,
+    competing_pairs,
+)
+
+__all__ = [
+    "Obligation",
+    "DrfCertificate",
+    "CertificationResult",
+    "certify_program",
+    "verify_certificate",
+]
+
+#: The certificate format version; bumped on any schema change.
+CERTIFICATE_VERSION = 1
+
+_CS_ASSUMPTION = (
+    "critical-section markers provide mutual exclusion "
+    "(entry dominated by labeled sync, exit released by a labeled write)"
+)
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One competing access pair and why it cannot race."""
+
+    base: str
+    line_a: int
+    line_b: int
+    discharge: str  # "labeled" | "critical-section"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base": self.base,
+            "lines": [self.line_a, self.line_b],
+            "discharge": self.discharge,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Obligation":
+        a, b = data["lines"]
+        return cls(str(data["base"]), int(a), int(b), str(data["discharge"]))
+
+
+@dataclass(frozen=True)
+class DrfCertificate:
+    """A data-race-freedom certificate for ``threads`` copies of a program.
+
+    The certificate is self-contained: the digest pins the exact program
+    text, ``obligations`` enumerate every competing pair with its
+    discharge, and ``assumptions`` list what the verifier must grant
+    (empty for programs without critical sections).
+    """
+
+    program: str
+    threads: int
+    thread_param: str
+    shared: tuple[str, ...]
+    text_sha256: str
+    obligations: tuple[Obligation, ...]
+    assumptions: tuple[str, ...]
+    version: int = CERTIFICATE_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "program": self.program,
+            "threads": self.threads,
+            "thread_param": self.thread_param,
+            "shared": list(self.shared),
+            "text_sha256": self.text_sha256,
+            "obligations": [o.to_dict() for o in self.obligations],
+            "assumptions": list(self.assumptions),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DrfCertificate":
+        return cls(
+            program=str(data["program"]),
+            threads=int(data["threads"]),
+            thread_param=str(data["thread_param"]),
+            shared=tuple(data["shared"]),
+            text_sha256=str(data["text_sha256"]),
+            obligations=tuple(
+                Obligation.from_dict(o) for o in data["obligations"]
+            ),
+            assumptions=tuple(data["assumptions"]),
+            version=int(data.get("version", CERTIFICATE_VERSION)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DrfCertificate":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        lines = [
+            f"DRF certificate for {self.program!r} "
+            f"({self.threads} threads, digest {self.text_sha256[:12]}…)"
+        ]
+        if not self.obligations:
+            lines.append("  no competing pairs")
+        for ob in self.obligations:
+            lines.append(
+                f"  {ob.base}: lines {ob.line_a}/{ob.line_b} — {ob.discharge}"
+            )
+        for assumption in self.assumptions:
+            lines.append(f"  assumes: {assumption}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Outcome of :func:`certify_program`.
+
+    ``certificate`` is ``None`` exactly when ``problems`` is non-empty;
+    the problems name the races (or unbracketed critical sections) that
+    block certification.
+    """
+
+    report: ProgramReport
+    certificate: DrfCertificate | None
+    problems: tuple[str, ...]
+
+    @property
+    def certified(self) -> bool:
+        return self.certificate is not None
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _competing_obligations(
+    report: ProgramReport, bracketed: bool
+) -> tuple[tuple[Obligation, ...], tuple[str, ...]]:
+    """Discharge every competing pair of a race-free report.
+
+    ``cs_protected`` pairs discharge via the critical-section argument only
+    when the regions are bracketed; labeled-vs-labeled pairs are implicit
+    in the report (it only records pairs with an unlabeled side), so they
+    are re-derived by the verifier rather than stored here.
+    """
+    obligations: list[Obligation] = []
+    problems: list[str] = []
+    for race in report.races:
+        problems.append(f"potential race: {race.render()}")
+    for pair in report.cs_protected:
+        if bracketed:
+            obligations.append(
+                Obligation(
+                    pair.base,
+                    pair.first.line,
+                    pair.second.line,
+                    "critical-section",
+                )
+            )
+        else:
+            problems.append(
+                f"critical-section pair on {pair.base!r} "
+                "(lines "
+                f"{pair.first.line}/{pair.second.line}) but the CS regions "
+                "are not bracketed by labeled synchronization"
+            )
+    return tuple(obligations), tuple(problems)
+
+
+def certify_program(
+    text: str,
+    *,
+    shared: tuple[str, ...] = (),
+    name: str = "program",
+    threads: int = 2,
+    thread_param: str = "i",
+    params: Mapping[str, Any] | None = None,
+) -> CertificationResult:
+    """Issue a DRF certificate for ``threads`` copies of ``text``, or
+    explain why none can be issued."""
+    report = analyze_program(
+        text,
+        shared=shared,
+        name=name,
+        threads=threads,
+        thread_param=thread_param,
+        params=params,
+    )
+    cfg = build_cfg(text, shared=shared)
+    bracketed = cs_bracketed(cfg)
+    obligations, problems = _competing_obligations(report, bracketed)
+    if problems:
+        return CertificationResult(report, None, problems)
+    # Labeled competing pairs: record them too, so the certificate lists
+    # every competing pair the verifier will re-derive.
+    labeled: list[Obligation] = []
+    pairs = competing_pairs(
+        text,
+        shared=shared,
+        threads=threads,
+        thread_param=thread_param,
+        params=params,
+    )
+    for a, b in pairs:
+        if a.labeled and b.labeled:
+            labeled.append(Obligation(a.base, a.line, b.line, "labeled"))
+    assumptions = (_CS_ASSUMPTION,) if report.cs_protected else ()
+    cert = DrfCertificate(
+        program=name,
+        threads=threads,
+        thread_param=thread_param,
+        shared=tuple(shared),
+        text_sha256=_digest(text),
+        obligations=tuple(labeled) + obligations,
+        assumptions=assumptions,
+    )
+    return CertificationResult(report, cert, ())
+
+
+def verify_certificate(
+    cert: DrfCertificate,
+    text: str,
+    *,
+    params: Mapping[str, Any] | None = None,
+) -> tuple[str, ...]:
+    """Re-check a certificate against program text; return the problems.
+
+    An empty tuple means the certificate is valid: the digest matches, the
+    program is still race-free at the certified thread count, every
+    re-derived competing pair appears among the obligations, and each
+    obligation's discharge still holds (``critical-section`` discharges
+    additionally require the CS regions to be bracketed).  The verifier
+    shares no state with the issuer beyond the certificate itself.
+    """
+    problems: list[str] = []
+    if _digest(text) != cert.text_sha256:
+        return (
+            "digest mismatch: the program text is not the one certified",
+        )
+    report = analyze_program(
+        text,
+        shared=cert.shared,
+        name=cert.program,
+        threads=cert.threads,
+        thread_param=cert.thread_param,
+        params=params,
+    )
+    for race in report.races:
+        problems.append(f"uncertifiable race: {race.render()}")
+    bracketed = cs_bracketed(build_cfg(text, shared=cert.shared))
+    by_key = {
+        (ob.base, frozenset((ob.line_a, ob.line_b))): ob
+        for ob in cert.obligations
+    }
+    sites = {a.line: a for a in report.accesses}
+    pairs = competing_pairs(
+        text,
+        shared=cert.shared,
+        threads=cert.threads,
+        thread_param=cert.thread_param,
+        params=params,
+    )
+    for a, b in pairs:
+        if by_key.get((a.base, frozenset((a.line, b.line)))) is None:
+            problems.append(
+                f"competing pair {a.base!r} lines {a.line}/{b.line} "
+                "has no obligation"
+            )
+    for ob in cert.obligations:
+        a, b = sites.get(ob.line_a), sites.get(ob.line_b)
+        if a is None or b is None:
+            problems.append(
+                f"obligation names missing access lines "
+                f"{ob.line_a}/{ob.line_b}"
+            )
+            continue
+        if ob.discharge == "labeled":
+            if not (a.labeled and b.labeled):
+                problems.append(
+                    f"labeled discharge at lines {ob.line_a}/{ob.line_b} "
+                    "but a side is unlabeled"
+                )
+        elif ob.discharge == "critical-section":
+            if not (a.in_cs and b.in_cs):
+                problems.append(
+                    f"critical-section discharge at lines "
+                    f"{ob.line_a}/{ob.line_b} but a side is outside the CS"
+                )
+            elif not bracketed:
+                problems.append(
+                    "critical-section discharge but the CS regions are not "
+                    "bracketed by labeled synchronization"
+                )
+            elif _CS_ASSUMPTION not in cert.assumptions:
+                problems.append(
+                    "critical-section discharge without the mutual-"
+                    "exclusion assumption recorded"
+                )
+        else:
+            problems.append(f"unknown discharge kind {ob.discharge!r}")
+    return tuple(problems)

@@ -1,15 +1,18 @@
 """Static race and proper-labeling analysis of pseudocode programs (§3.4).
 
 The dynamic checks in :mod:`repro.analysis.labeling` need an executed
-history; this module inspects the program *text* — the parsed AST from
-:mod:`repro.programs.pseudocode` — and reports which shared locations can
-race when ``threads`` copies of the program run concurrently.
+history; this module inspects the program *text* — via the control-flow
+graph :mod:`repro.staticcheck.cfg` builds from the
+:mod:`repro.programs.pseudocode` AST — and reports which shared locations
+can race when ``threads`` copies of the program run concurrently.
 
 The analysis is deliberately conservative, mirroring the paper's notion of
 *competing* operations:
 
-* every shared access in the AST is collected with its label (``sync``)
-  and whether it sits between ``cs_enter``/``cs_exit`` markers;
+* every *reachable* shared access is collected from the CFG with its
+  label (``sync``) and whether it is inside a critical section on **every**
+  path (the :func:`~repro.staticcheck.cfg.must_in_cs` dataflow — a
+  ``cs_enter`` in one branch arm does not protect the join);
 * two accesses from distinct threads form a *potential race* when they
   touch locations that may alias, at least one is a write, and at least
   one is unlabeled — exactly the pairs that §3.4's proper-labeling
@@ -17,13 +20,20 @@ The analysis is deliberately conservative, mirroring the paper's notion of
 * pairs where **both** sides lie inside declared critical sections are
   reported separately (:attr:`ProgramReport.cs_protected`): the markers
   assert mutual exclusion, but that assertion is only as good as the
-  labeled synchronization implementing the section, which a static
-  analysis of one thread body cannot verify.
+  labeled synchronization implementing the section — which the
+  certificate layer (:mod:`repro.staticcheck.drf`) checks via
+  :func:`~repro.staticcheck.cfg.cs_bracketed`.
 
 Aliasing of indexed locations (``flag[1 - i]`` vs ``flag[i]``) is decided
 by evaluating the index expressions over all assignments of distinct
 thread ids to the thread parameter; any expression mentioning other
-variables (loop counters, locals) is conservatively assumed to alias.
+variables (loop counters, locals — including locals that *shadow* a
+thread parameter, which an environment-only evaluation would silently
+misread) is conservatively assumed to alias.
+
+:func:`infer_labels` closes the loop: it computes the (unique minimal)
+set of extra ``sync`` labels that silences every reported race and can
+apply them to the program text — ``python -m repro lint program --fix``.
 
 Soundness direction: the analyzer may over-report (an access guarded by
 data flow it cannot see), but on the repository's algorithm suite every
@@ -34,6 +44,7 @@ potential race it reports is confirmed by the dynamic
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -41,21 +52,23 @@ from repro.core.operation import Operation
 from repro.programs.pseudocode import (
     PseudoProgram,
     _Assign,
-    _Await,
     _For,
     _If,
     _Node,
     _SharedRead,
-    _Simple,
     _While,
     parse_program,
 )
+from repro.staticcheck.cfg import build_cfg, must_in_cs
 
 __all__ = [
     "SharedAccess",
     "PotentialRace",
     "ProgramReport",
+    "LabelPatch",
     "analyze_program",
+    "competing_pairs",
+    "infer_labels",
     "report_covers_races",
 ]
 
@@ -143,70 +156,75 @@ class ProgramReport:
 # -- access collection ----------------------------------------------------------
 
 
-def _split_location(text: str) -> tuple[str, str | None]:
-    text = text.strip()
-    if "[" in text and text.endswith("]"):
-        base, index = text.split("[", 1)
-        return base.strip(), index[:-1].strip()
-    return text, None
+def collect_accesses(program: PseudoProgram) -> tuple[SharedAccess, ...]:
+    """All reachable shared-access sites of a program, in program order.
+
+    Built from the control-flow graph: the ``in_cs`` flag is the
+    :func:`~repro.staticcheck.cfg.must_in_cs` dataflow fact (inside a
+    critical section on *every* path), and accesses in unreachable code
+    (after a ``break``, say) are not collected at all.
+    """
+    cfg = build_cfg(program)
+    in_cs = must_in_cs(cfg)
+    out: list[SharedAccess] = []
+    for node in cfg.accesses():
+        assert node.base is not None
+        kind = "write" if node.is_write else "read"
+        out.append(
+            SharedAccess(
+                node.line, kind, node.base, node.index, node.labeled, in_cs[node.id]
+            )
+        )
+    return tuple(out)
 
 
-def _collect(
-    body: list[_Node], shared_names: frozenset[str], depth: int
-) -> Iterator[tuple[SharedAccess, int]]:
-    """Pre-order walk yielding (access, cs-depth-after-node)."""
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _local_names(body: list[_Node], shared_names: frozenset[str]) -> Iterator[str]:
+    """Every name a program binds locally (assignments, reads, loop vars).
+
+    Index expressions mentioning any of these must be treated as opaque
+    even when a *parameter* of the same name exists — a local shadowing
+    the thread parameter would otherwise be evaluated with the parameter's
+    value, which is unsound.
+    """
     for node in body:
-        if isinstance(node, _Simple):
-            if node.kind == "cs_enter":
-                depth += 1
-            elif node.kind == "cs_exit":
-                depth = max(0, depth - 1)
-        elif isinstance(node, _Assign):
-            base = node.target.split("[", 1)[0].strip()
-            if node.shared or base in shared_names:
-                base, index = _split_location(node.target)
-                yield (
-                    SharedAccess(node.line, "write", base, index, node.sync, depth > 0),
-                    depth,
-                )
+        if (
+            isinstance(node, _Assign)
+            and not node.shared
+            and "[" not in node.target
+            and node.target not in shared_names
+        ):
+            yield node.target
         elif isinstance(node, _SharedRead):
-            base, index = _split_location(node.loc)
-            yield (
-                SharedAccess(node.line, "read", base, index, node.sync, depth > 0),
-                depth,
-            )
-        elif isinstance(node, _Await):
-            base, index = _split_location(node.loc)
-            yield (
-                SharedAccess(node.line, "read", base, index, node.sync, depth > 0),
-                depth,
-            )
+            yield node.name
         elif isinstance(node, _If):
             for _, arm_body in node.arms:
-                for item in _collect(arm_body, shared_names, depth):
-                    yield item
-                    depth = item[1]
-        elif isinstance(node, (_While, _For)):
-            for item in _collect(node.body, shared_names, depth):
-                yield item
-                depth = item[1]
-
-
-def collect_accesses(program: PseudoProgram) -> tuple[SharedAccess, ...]:
-    """All static shared-access sites of a program, in program order."""
-    return tuple(
-        access for access, _ in _collect(program.body, program.shared_names, 0)
-    )
+                yield from _local_names(arm_body, shared_names)
+        elif isinstance(node, _While):
+            yield from _local_names(node.body, shared_names)
+        elif isinstance(node, _For):
+            yield node.var
+            yield from _local_names(node.body, shared_names)
 
 
 # -- aliasing -------------------------------------------------------------------
 
 
 def _eval_index(
-    expr: str, env: Mapping[str, Any]
+    expr: str, env: Mapping[str, Any], opaque: frozenset[str] = frozenset()
 ) -> int | None:
     """Evaluate an index expression, or ``None`` when it is not closed
-    over the thread parameters (loop variables, locals → conservative)."""
+    over the thread parameters (loop variables, locals → conservative).
+
+    ``opaque`` lists names the program binds locally: an expression
+    mentioning any of them is unknown *even when the environment holds a
+    parameter of the same name*, because the local shadows the parameter
+    at run time.
+    """
+    if opaque and any(name in opaque for name in _NAME_RE.findall(expr)):
+        return None
     try:
         value = eval(expr, {"__builtins__": {}}, dict(env))
     except Exception:
@@ -222,9 +240,17 @@ def _indices_may_collide(
     thread_param: str,
     threads: int,
     params: Mapping[str, Any],
+    opaque: frozenset[str] = frozenset(),
 ) -> bool:
     """May ``base[a]`` on one thread and ``base[b]`` on a *different*
-    thread name the same location?"""
+    thread name the same location?
+
+    Decided by evaluating both expressions under **every** ordered pair of
+    distinct thread ids — with three or more threads, ``flag[1 - i]`` on
+    thread 2 names ``flag[-1]``, which still collides with ``flag[1 - i]``
+    on thread... no other thread, but does collide with ``flag[i]`` via
+    the (0, 1) pair; the pairwise sweep covers all of it.
+    """
     if a is None and b is None:
         return True
     if a is None or b is None:
@@ -234,8 +260,8 @@ def _indices_may_collide(
         for tb in range(threads):
             if ta == tb:
                 continue
-            va = _eval_index(a, {**params, thread_param: ta})
-            vb = _eval_index(b, {**params, thread_param: tb})
+            va = _eval_index(a, {**params, thread_param: ta}, opaque)
+            vb = _eval_index(b, {**params, thread_param: tb}, opaque)
             if va is None or vb is None:
                 return True  # unknown index → conservative alias
             if va == vb:
@@ -266,11 +292,58 @@ def analyze_program(
     """
     if isinstance(program, str):
         program = parse_program(program, shared=shared)
-    env = dict(params or {})
-    env.setdefault("n", threads)
     accesses = collect_accesses(program)
     races: list[PotentialRace] = []
     protected: list[PotentialRace] = []
+    for a, b in competing_pairs(
+        program,
+        threads=threads,
+        thread_param=thread_param,
+        params=params,
+        _accesses=accesses,
+    ):
+        if a.labeled and b.labeled:
+            continue  # competing but labeled: exactly what §3.4 allows
+        unlabeled = [s for s in (a, b) if not s.labeled]
+        reason = (
+            "unlabeled "
+            + " and ".join(
+                f"{s.kind} at line {s.line}" for s in unlabeled
+            )
+            + " can compete across threads"
+        )
+        race = PotentialRace(a, b, reason)
+        if a.in_cs and b.in_cs:
+            protected.append(race)
+        else:
+            races.append(race)
+    return ProgramReport(name, threads, accesses, tuple(races), tuple(protected))
+
+
+def competing_pairs(
+    program: PseudoProgram | str,
+    *,
+    shared: tuple[str, ...] = (),
+    threads: int = 2,
+    thread_param: str = "i",
+    params: Mapping[str, Any] | None = None,
+    _accesses: tuple[SharedAccess, ...] | None = None,
+) -> tuple[tuple[SharedAccess, SharedAccess], ...]:
+    """Every access pair that may touch the same location from distinct
+    threads with at least one write — *competing* in the paper's sense,
+    before any labeling or critical-section classification.
+
+    This is the pair universe both :func:`analyze_program` and the
+    certificate issuer/verifier (:mod:`repro.staticcheck.drf`) reason
+    over, so the two can never disagree about which pairs exist.
+    """
+    if isinstance(program, str):
+        program = parse_program(program, shared=shared)
+    env = dict(params or {})
+    env.setdefault("n", threads)
+    opaque = frozenset(_local_names(program.body, program.shared_names))
+    accesses = collect_accesses(program) if _accesses is None else _accesses
+    pairs: list[tuple[SharedAccess, SharedAccess]] = []
     for i, a in enumerate(accesses):
         for b in accesses[i:]:
             if a.base != b.base:
@@ -278,25 +351,88 @@ def analyze_program(
             if a.kind != "write" and b.kind != "write":
                 continue
             if not _indices_may_collide(
-                a.index, b.index, thread_param, threads, env
+                a.index, b.index, thread_param, threads, env, opaque
             ):
                 continue
-            if a.labeled and b.labeled:
-                continue  # competing but labeled: exactly what §3.4 allows
-            unlabeled = [s for s in (a, b) if not s.labeled]
-            reason = (
-                "unlabeled "
-                + " and ".join(
-                    f"{s.kind} at line {s.line}" for s in unlabeled
-                )
-                + " can compete across threads"
-            )
-            race = PotentialRace(a, b, reason)
-            if a.in_cs and b.in_cs:
-                protected.append(race)
-            else:
-                races.append(race)
-    return ProgramReport(name, threads, accesses, tuple(races), tuple(protected))
+            pairs.append((a, b))
+    return tuple(pairs)
+
+
+# -- synchronization inference ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelPatch:
+    """The minimal relabeling that makes a program properly labeled.
+
+    ``lines`` are the 1-based source lines whose statement must gain a
+    ``sync`` suffix; ``accesses`` are the corresponding access sites.  The
+    set is *forced*, hence minimal: a potential race is permitted only
+    when both sides are labeled (or both are inside critical sections), so
+    every unlabeled participant of every reported race must be labeled —
+    there is no smaller choice, and labeling never creates new races.
+    """
+
+    lines: tuple[int, ...]
+    accesses: tuple[SharedAccess, ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.lines
+
+    def apply(self, text: str) -> str:
+        """``text`` with ``sync`` appended to each patched statement.
+
+        The suffix is inserted before any trailing comment, so the patched
+        program re-parses with the same line numbers.
+        """
+        out = text.splitlines()
+        for line in self.lines:
+            raw = out[line - 1]
+            code, sep, comment = raw.partition("#")
+            stripped = code.rstrip()
+            pad = code[len(stripped):]
+            out[line - 1] = f"{stripped} sync{pad}{sep}{comment}"
+        return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+    def render(self) -> str:
+        if self.empty:
+            return "already properly labeled: no relabeling needed"
+        lines = [f"add `sync` to {len(self.lines)} statement(s):"]
+        lines += [f"  {a.render()}" for a in self.accesses]
+        return "\n".join(lines)
+
+
+def infer_labels(
+    program: PseudoProgram | str,
+    *,
+    shared: tuple[str, ...] = (),
+    name: str = "program",
+    threads: int = 2,
+    thread_param: str = "i",
+    params: Mapping[str, Any] | None = None,
+) -> LabelPatch:
+    """The minimal extra ``sync`` labels that silence every reported race.
+
+    Arguments mirror :func:`analyze_program`.  The patch is idempotent:
+    applying it and re-inferring yields the empty patch (pinned by the CI
+    ``staticcheck-smoke`` job over the mutex algorithm suite).
+    """
+    report = analyze_program(
+        program,
+        shared=shared,
+        name=name,
+        threads=threads,
+        thread_param=thread_param,
+        params=params,
+    )
+    sites: dict[int, SharedAccess] = {}
+    for race in report.races:
+        for side in (race.first, race.second):
+            if not side.labeled:
+                sites.setdefault(side.line, side)
+    lines = tuple(sorted(sites))
+    return LabelPatch(lines, tuple(sites[line] for line in lines))
 
 
 # -- cross-validation against the dynamic analysis ------------------------------

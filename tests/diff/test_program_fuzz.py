@@ -1,0 +1,158 @@
+"""Tests for the program fuzz strata: static DRF verdict vs dynamic races."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DiffError
+from repro.diff import DiscrepancyCorpus, FuzzConfig, run_fuzz
+from repro.diff.programs import (
+    PROGRAM_SHAPES,
+    GeneratedProgram,
+    program_discrepancy,
+    random_program,
+    resolve_program_shapes,
+    shrink_program,
+)
+from repro.programs.pseudocode import parse_program
+from repro.staticcheck import analyze_program
+
+
+class TestShapes:
+    def test_wildcard_expands_to_every_stratum(self):
+        shapes = resolve_program_shapes(("program:*",))
+        assert {s.name for s in shapes} == set(PROGRAM_SHAPES)
+
+    def test_duplicates_are_dropped(self):
+        shapes = resolve_program_shapes(
+            ("program:indexed", "program:*", "program:indexed")
+        )
+        assert len(shapes) == len(PROGRAM_SHAPES)
+
+    def test_unknown_program_shape_rejected_by_config(self):
+        with pytest.raises(DiffError, match="program:"):
+            FuzzConfig(shapes=("program:bogus",))
+
+    def test_describe_lists_both_shape_kinds(self):
+        desc = FuzzConfig(shapes=("tiny", "program:indexed")).describe()
+        assert "tiny" in desc["shapes"]
+        assert "program:indexed" in desc["shapes"]
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(PROGRAM_SHAPES))
+    def test_samples_parse_and_analyze(self, name):
+        shape = PROGRAM_SHAPES[name]
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            sample = random_program(rng, shape)
+            program = parse_program(sample.text, shared=sample.shared)
+            analyze_program(program, threads=sample.threads)
+
+    def test_generation_is_deterministic(self):
+        shape = PROGRAM_SHAPES["program:branchy"]
+        a = [random_program(np.random.default_rng(3), shape) for _ in range(5)]
+        b = [random_program(np.random.default_rng(3), shape) for _ in range(5)]
+        assert a == b
+
+    def test_render_carries_the_shared_header(self):
+        sample = GeneratedProgram("x := 1\n", ("x", "y"))
+        assert sample.render().startswith("# shared: x, y\n")
+
+    def test_handshake_samples_terminate(self):
+        # Each thread publishes its own flag before awaiting the peer's,
+        # so the oracle's bounded runs complete.
+        shape = PROGRAM_SHAPES["program:handshake"]
+        rng = np.random.default_rng(11)
+        sample = random_program(rng, shape)
+        assert "flag[i] := 1" in sample.text
+        assert "await flag[1 - i] == 1" in sample.text
+
+
+class TestOracle:
+    def test_covered_races_are_not_discrepancies(self):
+        # A racy program the static analysis flags: dynamic races are
+        # covered, so the oracle stays silent.
+        sample = GeneratedProgram("x := 1\nt0 := read x\n", ("x", "y"))
+        assert program_discrepancy(sample) is None
+
+    def test_unsound_report_is_caught(self, monkeypatch):
+        # Force the static layer to claim it covers nothing: every dynamic
+        # race now becomes a static-unsound discrepancy.
+        from repro.diff import programs as programs_module
+
+        monkeypatch.setattr(
+            programs_module, "report_covers_races", lambda report, races: False
+        )
+        sample = GeneratedProgram("x := 1\nt0 := read x\n", ("x", "y"))
+        found = program_discrepancy(sample)
+        assert found is not None
+        discrepancy, history = found
+        assert discrepancy.kind == "static-unsound"
+        assert "progcheck" in discrepancy.models
+        assert sample.text.strip() in discrepancy.detail
+        assert history.operations
+
+    def test_shrinking_minimizes_the_program(self, monkeypatch):
+        from repro.diff import programs as programs_module
+
+        monkeypatch.setattr(
+            programs_module, "report_covers_races", lambda report, races: False
+        )
+        sample = GeneratedProgram(
+            "m := 0\nx := 1\nt0 := read x\ny := 2 sync\n", ("x", "y")
+        )
+        small = shrink_program(sample)
+        assert len(small.text.splitlines()) < len(sample.text.splitlines())
+        assert program_discrepancy(small) is not None
+
+
+class TestCampaign:
+    def test_program_only_campaign_is_clean(self):
+        report = run_fuzz(
+            FuzzConfig(seed=0, count=40, shapes=("program:*",))
+        )
+        assert report.clean
+        assert report.checked == 40
+        assert set(report.per_shape) == set(PROGRAM_SHAPES)
+
+    def test_program_campaign_is_deterministic(self):
+        config = FuzzConfig(seed=5, count=12, shapes=("program:indexed",))
+        a, b = run_fuzz(config), run_fuzz(config)
+        assert a.checked == b.checked and a.findings == b.findings
+
+    def test_mixed_campaign_runs_both_kinds(self):
+        report = run_fuzz(
+            FuzzConfig(seed=0, count=10, shapes=("tiny", "program:straightline"))
+        )
+        assert report.checked == 10
+        assert report.per_shape == {"tiny": 5, "program:straightline": 5}
+
+    def test_program_campaign_resumes(self, tmp_path):
+        config = FuzzConfig(seed=0, count=8, shapes=("program:branchy",))
+        path = tmp_path / "c.jsonl"
+        with DiscrepancyCorpus(path) as corpus:
+            first = run_fuzz(config, corpus=corpus)
+        assert first.checked == 8
+        with DiscrepancyCorpus(path) as corpus:
+            second = run_fuzz(config, corpus=corpus, resume=True)
+        assert second.checked == 0 and second.skipped == 8
+
+    def test_findings_carry_the_program_text(self, monkeypatch):
+        # Break the static layer: every dynamic race becomes a finding,
+        # proving the campaign wiring (finding key, shape, rendered
+        # program in the discrepancy detail) end to end.
+        from repro.diff import programs as programs_module
+
+        monkeypatch.setattr(
+            programs_module, "report_covers_races", lambda report, races: False
+        )
+        report = run_fuzz(
+            FuzzConfig(
+                seed=0, count=6, shapes=("program:straightline",), shrink=False
+            )
+        )
+        assert not report.clean
+        finding = report.findings[0]
+        assert finding.shape == "program:straightline"
+        assert finding.discrepancy.kind == "static-unsound"
+        assert "# shared:" in finding.discrepancy.detail

@@ -1,4 +1,4 @@
-"""Engine integration of the static DENY pre-pass."""
+"""Engine integration of the static pre-pass (DENY and witnessed ADMIT)."""
 
 from repro.engine import CheckEngine, SweepSpec
 
@@ -32,21 +32,33 @@ class TestEnginePrepass:
         assert on.metrics.prepass_decided <= on.metrics.checks
 
     def test_decided_checks_skip_the_search(self):
-        # A pre-pass DENY records explored=0 where the plain kernel run
-        # explored candidates — those are exactly the searches skipped.
+        # A pre-pass decision records explored=0 where the plain kernel
+        # run explored candidates — those are exactly the searches
+        # skipped, and the verdicts must still match the kernel's.
         spec = SweepSpec(source="catalog", models=("SC",))
         on = CheckEngine(jobs=1).run(spec)
         off = CheckEngine(jobs=1, prepass=False).run(spec)
-        explored_off = {r["key"]: r["explored"]["SC"] for r in off.results}
+        off_rows = {r["key"]: r for r in off.results}
         skipped = [
             r
             for r in on.results
-            if r["explored"]["SC"] == 0 and explored_off[r["key"]] > 0
+            if r["explored"]["SC"] == 0
+            and off_rows[r["key"]]["explored"]["SC"] > 0
         ]
         assert on.metrics.prepass_decided > 0
         assert len(skipped) <= on.metrics.prepass_decided
         for r in skipped:
-            assert not r["models"]["SC"]
+            assert r["models"]["SC"] == off_rows[r["key"]]["models"]["SC"]
+
+    def test_metrics_count_admitted_checks(self):
+        spec = SweepSpec(source="catalog", models=("all",))
+        on = CheckEngine(jobs=1).run(spec)
+        assert on.metrics.prepass_admitted > 0
+        assert on.metrics.prepass_admitted <= on.metrics.prepass_decided
+        assert (
+            on.metrics.to_dict()["prepass_admitted"]
+            == on.metrics.prepass_admitted
+        )
 
     def test_metrics_render_and_serialize_the_counter(self):
         spec = SweepSpec(source="catalog", models=("all",))

@@ -1,0 +1,161 @@
+"""Tests for the pseudocode control-flow graph and its must-dataflow."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.programs.algorithm_texts import (
+    MISLABELED_BAKERY_TEXT,
+    NAIVE_LOCK_TEXT,
+    PETERSON_TEXT,
+)
+from repro.programs.figure6 import FIGURE6_TEXT
+from repro.staticcheck.cfg import (
+    Cfg,
+    acquires_before,
+    build_cfg,
+    cs_bracketed,
+    must_in_cs,
+    releases_after,
+    sync_before,
+)
+
+
+class TestConstruction:
+    def test_straightline_accesses_in_program_order(self):
+        cfg = build_cfg("x := 1\nv := read x\ny := 2\n", shared=("x", "y"))
+        kinds = [(n.kind, n.base) for n in cfg.accesses()]
+        assert kinds == [("write", "x"), ("read", "x"), ("write", "y")]
+
+    def test_entry_and_exit_are_fixed_ids(self):
+        cfg = build_cfg("x := 1\n", shared=("x",))
+        assert cfg.nodes[Cfg.ENTRY].kind == "entry"
+        assert cfg.nodes[Cfg.EXIT].kind == "exit"
+
+    def test_await_spins_on_itself(self):
+        cfg = build_cfg("await x == 1\n", shared=("x",))
+        (node,) = cfg.accesses()
+        assert node.kind == "await"
+        assert node.id in cfg.succ[node.id]
+
+    def test_indexed_location_split_into_base_and_index(self):
+        cfg = build_cfg("a[1 - i] := 1\n")
+        (node,) = cfg.accesses()
+        assert node.base == "a" and node.index == "1 - i"
+
+    def test_local_assignment_is_not_an_access(self):
+        cfg = build_cfg("m := 0\n")
+        assert cfg.accesses() == ()
+
+    def test_statements_after_break_are_unreachable(self):
+        cfg = build_cfg(
+            "while true:\n  x := 1\n  break\n  y := 2\n", shared=("x", "y")
+        )
+        bases = [n.base for n in cfg.accesses()]
+        assert bases == ["x"]  # y := 2 never made it into the graph
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(ProgramError, match="break outside"):
+            build_cfg("break\n")
+
+    def test_render_lists_every_node(self):
+        cfg = build_cfg("x := 1 sync\n", shared=("x",))
+        assert "write x sync" in cfg.render()
+
+
+class TestMustInCs:
+    def test_cs_enter_in_one_branch_arm_does_not_protect_join(self):
+        # The regression the CFG exists to fix: a flat depth counter walks
+        # the arm's cs_enter and believes the access after the join is
+        # protected.  The must-analysis meets over both arms.
+        cfg = build_cfg("if i == 0:\n  cs_enter\nx := 1\ncs_exit\n", shared=("x",))
+        state = must_in_cs(cfg)
+        (access,) = cfg.accesses()
+        assert state[access.id] is False
+
+    def test_access_between_enter_and_exit_is_protected(self):
+        cfg = build_cfg("cs_enter\nx := 1\ncs_exit\n", shared=("x",))
+        state = must_in_cs(cfg)
+        (access,) = cfg.accesses()
+        assert state[access.id] is True
+
+    def test_access_after_exit_is_unprotected(self):
+        cfg = build_cfg("cs_enter\ncs_exit\nx := 1\n", shared=("x",))
+        state = must_in_cs(cfg)
+        (access,) = cfg.accesses()
+        assert state[access.id] is False
+
+    def test_cs_protection_survives_a_loop(self):
+        cfg = build_cfg(
+            "cs_enter\nfor j in 0..1:\n  x := 1\ncs_exit\n", shared=("x",)
+        )
+        state = must_in_cs(cfg)
+        (access,) = cfg.accesses()
+        assert state[access.id] is True
+
+
+class TestLabelDataflow:
+    def test_sync_before_requires_label_on_every_path(self):
+        cfg = build_cfg(
+            "if i == 0:\n  x := 1 sync\ny := 2\n", shared=("x", "y")
+        )
+        before = sync_before(cfg)
+        write_y = next(n for n in cfg.accesses() if n.base == "y")
+        assert write_y.id not in before
+
+    def test_acquires_before_sees_labeled_read(self):
+        cfg = build_cfg("v := read x sync\ny := 2\n", shared=("x", "y"))
+        write_y = next(n for n in cfg.accesses() if n.base == "y")
+        assert write_y.id in acquires_before(cfg)
+
+    def test_labeled_write_is_not_an_acquire(self):
+        cfg = build_cfg("x := 1 sync\ny := 2\n", shared=("x", "y"))
+        write_y = next(n for n in cfg.accesses() if n.base == "y")
+        assert write_y.id not in acquires_before(cfg)
+        assert write_y.id in sync_before(cfg)
+
+    def test_releases_after_sees_trailing_labeled_write(self):
+        cfg = build_cfg("x := 1\ny := 2 sync\n", shared=("x", "y"))
+        write_x = next(n for n in cfg.accesses() if n.base == "x")
+        assert write_x.id in releases_after(cfg)
+
+    def test_trailing_labeled_read_is_not_a_release(self):
+        cfg = build_cfg("x := 1\nv := read y sync\n", shared=("x", "y"))
+        write_x = next(n for n in cfg.accesses() if n.base == "x")
+        assert write_x.id not in releases_after(cfg)
+
+
+class TestCsBracketed:
+    @pytest.mark.parametrize(
+        "text,shared,expect",
+        [
+            (FIGURE6_TEXT, ("shared",), True),
+            (PETERSON_TEXT, ("turn", "shared"), True),
+            (NAIVE_LOCK_TEXT, ("lock",), False),
+            (MISLABELED_BAKERY_TEXT, ("shared",), False),
+        ],
+        ids=["figure6", "peterson", "naive-lock", "mislabeled-bakery"],
+    )
+    def test_suite_verdicts(self, text, shared, expect):
+        assert cs_bracketed(build_cfg(text, shared=shared)) is expect
+
+    def test_program_without_cs_is_trivially_bracketed(self):
+        assert cs_bracketed(build_cfg("x := 1\n", shared=("x",)))
+
+    def test_bare_cs_markers_are_not_bracketed(self):
+        cfg = build_cfg("cs_enter\nx := 1\ncs_exit\n", shared=("x",))
+        assert not cs_bracketed(cfg)
+
+    def test_sync_bracketed_cs_is_accepted(self):
+        cfg = build_cfg(
+            "v := read g sync\ncs_enter\nx := 1\ncs_exit\ng := 0 sync\n",
+            shared=("g", "x"),
+        )
+        assert cs_bracketed(cfg)
+
+    def test_exit_needs_a_release_not_just_any_label(self):
+        # A labeled *read* after cs_exit does not publish the exit.
+        cfg = build_cfg(
+            "v := read g sync\ncs_enter\nx := 1\ncs_exit\nw := read g sync\n",
+            shared=("g", "x"),
+        )
+        assert not cs_bracketed(cfg)

@@ -1,0 +1,213 @@
+"""Tests for DRF certificates: issue, verify, tamper, cross-validate.
+
+The cross-validation class discharges the paper's claim behaviorally:
+every program this module certifies DRF is run through the bounded
+model checker and on the RC_sc machine — the weaker lattice member that
+honors labels — and keeps mutual exclusion there.  (Exhaustive
+exploration is out of reach for spin-loop programs, so the runs are
+bounded; see tests/programs/test_modelcheck.py.)
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machines import RCMachine, SCMachine
+from repro.programs import RandomScheduler, run, verify_mutual_exclusion
+from repro.programs.algorithm_texts import (
+    MISLABELED_BAKERY_TEXT,
+    NAIVE_LOCK_TEXT,
+    PETERSON_TEXT,
+)
+from repro.programs.figure6 import FIGURE6_TEXT
+from repro.programs.pseudocode import parse_program
+from repro.staticcheck import certify_program, infer_labels, verify_certificate
+from repro.staticcheck.drf import DrfCertificate, Obligation
+
+
+def _certify(name):
+    text, shared = {
+        "figure6": (FIGURE6_TEXT, ("shared",)),
+        "peterson": (PETERSON_TEXT, ("turn", "shared")),
+        "naive-lock": (NAIVE_LOCK_TEXT, ("lock",)),
+        "mislabeled-bakery": (MISLABELED_BAKERY_TEXT, ("shared",)),
+    }[name]
+    return certify_program(text, shared=shared, name=name), text
+
+
+class TestCertification:
+    def test_figure6_certifies(self):
+        result, text = _certify("figure6")
+        assert result.certified
+        cert = result.certificate
+        assert cert.obligations  # competing pairs exist and are discharged
+        assert any(o.discharge == "labeled" for o in cert.obligations)
+        assert any(
+            o.discharge == "critical-section" for o in cert.obligations
+        )
+        assert verify_certificate(cert, text) == ()
+
+    def test_peterson_certifies(self):
+        result, text = _certify("peterson")
+        assert result.certified
+        assert verify_certificate(result.certificate, text) == ()
+
+    def test_racy_programs_do_not_certify(self):
+        for name in ("naive-lock", "mislabeled-bakery"):
+            result, _ = _certify(name)
+            assert not result.certified
+            assert any("potential race" in p for p in result.problems)
+
+    def test_unbracketed_cs_blocks_certification(self):
+        result = certify_program(
+            "cs_enter\nx := 1\ncs_exit\n", shared=("x",), name="bare-cs"
+        )
+        assert not result.certified
+        assert any("not bracketed" in p for p in result.problems)
+
+    def test_cs_assumption_recorded_only_when_needed(self):
+        with_cs, _ = _certify("figure6")
+        assert with_cs.certificate.assumptions
+        labeled_only = certify_program(
+            "x := 1 sync\nv := read x sync\n", shared=("x",), name="tiny"
+        )
+        assert labeled_only.certified
+        assert labeled_only.certificate.assumptions == ()
+
+    def test_relabeled_bakery_certifies(self):
+        patch = infer_labels(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="bakery"
+        )
+        fixed = patch.apply(MISLABELED_BAKERY_TEXT)
+        result = certify_program(fixed, shared=("shared",), name="bakery")
+        assert result.certified
+        assert verify_certificate(result.certificate, fixed) == ()
+
+
+class TestVerification:
+    def test_json_round_trip_verifies(self):
+        result, text = _certify("figure6")
+        restored = DrfCertificate.from_json(result.certificate.to_json())
+        assert restored == result.certificate
+        assert verify_certificate(restored, text) == ()
+
+    def test_edited_text_fails_the_digest(self):
+        result, text = _certify("figure6")
+        problems = verify_certificate(result.certificate, text + "\n# note\n")
+        assert problems and "digest" in problems[0]
+
+    def test_dropped_obligation_is_detected(self):
+        result, text = _certify("figure6")
+        cert = result.certificate
+        tampered = dataclasses.replace(cert, obligations=cert.obligations[1:])
+        problems = verify_certificate(tampered, text)
+        assert any("has no obligation" in p for p in problems)
+
+    def test_forged_discharge_is_detected(self):
+        result, text = _certify("figure6")
+        cert = result.certificate
+        forged = tuple(
+            dataclasses.replace(o, discharge="labeled")
+            if o.discharge == "critical-section"
+            else o
+            for o in cert.obligations
+        )
+        problems = verify_certificate(
+            dataclasses.replace(cert, obligations=forged), text
+        )
+        assert any("unlabeled" in p for p in problems)
+
+    def test_unknown_discharge_kind_is_rejected(self):
+        result, text = _certify("figure6")
+        cert = result.certificate
+        first = cert.obligations[0]
+        bogus = (
+            dataclasses.replace(first, discharge="wishful"),
+        ) + cert.obligations[1:]
+        problems = verify_certificate(
+            dataclasses.replace(cert, obligations=bogus), text
+        )
+        assert any("unknown discharge" in p for p in problems)
+
+    def test_missing_assumption_is_detected(self):
+        result, text = _certify("figure6")
+        cert = dataclasses.replace(result.certificate, assumptions=())
+        problems = verify_certificate(cert, text)
+        assert any("assumption" in p for p in problems)
+
+    def test_obligation_dict_round_trip(self):
+        ob = Obligation("x", 3, 7, "labeled")
+        assert Obligation.from_dict(ob.to_dict()) == ob
+
+    def test_render_mentions_the_digest_and_pairs(self):
+        result, _ = _certify("peterson")
+        text = result.certificate.render()
+        assert "DRF certificate" in text and "labeled" in text
+
+
+class TestCertifiedProgramsBehave:
+    """Certified-DRF programs keep mutual exclusion on weaker machines."""
+
+    CERTIFIED = [
+        ("figure6", FIGURE6_TEXT, ("shared",)),
+        ("peterson", PETERSON_TEXT, ("turn", "shared")),
+    ]
+
+    def _setup(self, text, shared, machine_factory):
+        program = parse_program(text, shared=shared)
+
+        def setup():
+            machine = machine_factory()
+            factories = {
+                f"p{i}": (lambda i=i: program.thread(i=i, n=2))
+                for i in range(2)
+            }
+            return machine, factories
+
+        return setup
+
+    @pytest.mark.parametrize("name,text,shared", CERTIFIED, ids=["figure6", "peterson"])
+    def test_certified_suite_is_certified(self, name, text, shared):
+        assert certify_program(text, shared=shared, name=name).certified
+
+    @pytest.mark.parametrize("name,text,shared", CERTIFIED, ids=["figure6", "peterson"])
+    def test_bounded_modelcheck_on_sc(self, name, text, shared):
+        setup = self._setup(text, shared, lambda: SCMachine(("p0", "p1")))
+        report = verify_mutual_exclusion(setup, max_steps=150, max_runs=40)
+        assert report.safe
+
+    @pytest.mark.parametrize("name,text,shared", CERTIFIED, ids=["figure6", "peterson"])
+    def test_bounded_modelcheck_on_rc_sc(self, name, text, shared):
+        setup = self._setup(
+            text, shared, lambda: RCMachine(("p0", "p1"), labeled_mode="sc")
+        )
+        report = verify_mutual_exclusion(setup, max_steps=150, max_runs=40)
+        assert report.safe
+
+    @pytest.mark.parametrize("name,text,shared", CERTIFIED, ids=["figure6", "peterson"])
+    def test_random_schedules_on_rc_sc(self, name, text, shared):
+        program = parse_program(text, shared=shared)
+        factories = {
+            f"p{i}": (lambda i=i: program.thread(i=i, n=2)) for i in range(2)
+        }
+        for seed in range(20):
+            result = run(
+                RCMachine(("p0", "p1"), labeled_mode="sc"),
+                factories,
+                RandomScheduler(seed),
+                max_steps=4000,
+            )
+            assert not result.mutex_violation, f"seed {seed}"
+
+    def test_uncertified_program_actually_misbehaves(self):
+        # The contrast case: the broken lock is refused a certificate AND
+        # violates mutual exclusion — the static refusal is not spurious.
+        result = certify_program(
+            NAIVE_LOCK_TEXT, shared=("lock",), name="naive-lock"
+        )
+        assert not result.certified
+        setup = self._setup(
+            NAIVE_LOCK_TEXT, ("lock",), lambda: SCMachine(("p0", "p1"))
+        )
+        report = verify_mutual_exclusion(setup, max_steps=60)
+        assert not report.safe

@@ -1,15 +1,19 @@
 """Tests for the polynomial history pre-pass.
 
-The load-bearing property is soundness: whenever the pre-pass decides, the
-kernel must deny.  It is exercised here over the full litmus catalog and a
-seeded random sample for every registered spec (the 200-history sweep with
-exact byte comparison lives in ``benchmarks/bench_staticcheck.py``).
+The load-bearing property is soundness in *both* directions: whenever the
+pre-pass decides, its polarity must match the kernel's — DENY means the
+kernel denies, ADMIT means the kernel admits and the pre-pass's witness
+views are themselves legal serializations.  It is exercised here over the
+full litmus catalog and a seeded random sample for every registered spec
+(the 200-history sweep with exact byte comparison lives in
+``benchmarks/bench_staticcheck.py``).
 """
 
 import numpy as np
 import pytest
 
 from repro.analysis.random_histories import random_history
+from repro.core.view import first_legality_violation
 from repro.kernel.search import check_with_spec
 from repro.litmus import CATALOG, parse_history
 from repro.spec import ALL_SPECS
@@ -19,18 +23,20 @@ SPECS = {spec.name: spec for spec in ALL_SPECS}
 
 
 class TestSoundness:
-    def test_catalog_decided_implies_kernel_deny(self):
+    def test_catalog_decided_matches_kernel(self):
         for test in CATALOG.values():
             for spec in ALL_SPECS:
                 verdict = prepass_check(spec, test.history)
                 if verdict.decided:
                     result = check_with_spec(spec, test.history)
-                    assert not result.allowed, (
-                        f"{test.name} x {spec.name}: pre-pass denied "
-                        f"({verdict.check}) but the kernel admits"
+                    assert verdict.allowed == result.allowed, (
+                        f"{test.name} x {spec.name}: pre-pass "
+                        f"{'ADMIT' if verdict.allowed else 'DENY'} "
+                        f"({verdict.check}) but the kernel says "
+                        f"{'ADMIT' if result.allowed else 'DENY'}"
                     )
 
-    def test_random_histories_decided_implies_kernel_deny(self):
+    def test_random_histories_decided_matches_kernel(self):
         for seed in range(40):
             h = random_history(
                 np.random.default_rng(seed), procs=3, ops_per_proc=4
@@ -38,8 +44,9 @@ class TestSoundness:
             for spec in ALL_SPECS:
                 verdict = prepass_check(spec, h)
                 if verdict.decided:
-                    assert not check_with_spec(spec, h).allowed, (
-                        f"seed {seed} x {spec.name}: unsound pre-pass DENY "
+                    assert verdict.allowed == check_with_spec(spec, h).allowed, (
+                        f"seed {seed} x {spec.name}: unsound pre-pass "
+                        f"{'ADMIT' if verdict.allowed else 'DENY'} "
                         f"({verdict.check}: {verdict.reason})"
                     )
 
@@ -64,20 +71,16 @@ class TestSpecificDenies:
         assert verdict.counterexample.kind == "cyclic-constraints"
 
     def test_message_passing_denied_under_sc(self):
-        assert prepass_check(SPECS["SC"], CATALOG["mp"].history).decided
+        verdict = prepass_check(SPECS["SC"], CATALOG["mp"].history)
+        assert verdict.decided
+        assert not verdict.allowed
 
     def test_coherence_read_reordering_denied(self):
         # corr needs the from-read edges: reads of x=2 then x=1 against
         # the forced write order w(x)1 -> w(x)2.
         verdict = prepass_check(SPECS["Coherence"], CATALOG["corr"].history)
         assert verdict.decided
-
-    def test_allowed_history_never_decided(self):
-        h = CATALOG["mp-ok"].history
-        for spec in ALL_SPECS:
-            verdict = prepass_check(spec, h)
-            if verdict.decided:
-                assert not check_with_spec(spec, h).allowed
+        assert not verdict.allowed
 
     def test_impossible_value_denied_for_every_spec(self):
         h = parse_history("p: w(x)1 | q: r(x)7")
@@ -86,6 +89,52 @@ class TestSpecificDenies:
             assert verdict.decided
             assert verdict.check == "rf-sanity"
             assert "never written" in verdict.reason
+
+
+class TestSpecificAdmits:
+    def test_simple_handoff_admitted_with_witness(self):
+        # One writer, one reader of the written value: unique rf, no
+        # cycles anywhere — the witness construction must fire for SC.
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        verdict = prepass_check(SPECS["SC"], h)
+        assert verdict.decided
+        assert verdict.allowed
+        assert verdict.check == "admit-witness"
+        assert verdict.witness is not None
+
+    def test_admit_witness_views_are_legal(self):
+        # Every witness view the pre-pass constructs — across the whole
+        # catalog and every spec — must itself pass the kernel's exact
+        # legality check and match the kernel's verdict.
+        for test in CATALOG.values():
+            for spec in ALL_SPECS:
+                verdict = prepass_check(spec, test.history)
+                if not (verdict.decided and verdict.allowed):
+                    continue
+                assert verdict.witness is not None
+                for proc, view in verdict.witness.views.items():
+                    violation = first_legality_violation(list(view))
+                    assert violation is None, (
+                        f"{test.name} x {spec.name}: illegal witness "
+                        f"view for {proc}: {violation}"
+                    )
+
+    def test_allowed_history_decides_admit_or_abstains(self):
+        h = CATALOG["mp-ok"].history
+        for spec in ALL_SPECS:
+            verdict = prepass_check(spec, h)
+            if verdict.decided:
+                assert verdict.allowed
+                assert check_with_spec(spec, h).allowed
+
+    def test_admit_to_result_matches_driver_shape(self):
+        h = parse_history("p: w(x)1 | q: r(x)1")
+        verdict = prepass_check(SPECS["SC"], h)
+        result = verdict.to_result()
+        assert result.allowed
+        assert result.explored == 0
+        assert result.witness is not None
+        assert set(result.views) == {"p", "q"}
 
 
 class TestUnknown:
@@ -97,8 +146,17 @@ class TestUnknown:
         assert not verdict.decided
         assert verdict.checks_run == ("rf-sanity",)
 
+    def test_labeled_history_abstains_under_rc(self):
+        # Labeled serializations are the NP-hard part: a labeled history
+        # under a labeled-discipline spec must fall through to the search.
+        h = parse_history("p: w*(x)1 | q: r*(x)1")
+        verdict = prepass_check(SPECS["RC_sc"], h)
+        assert not verdict.decided
+
     def test_unknown_to_result_raises(self):
-        h = parse_history("p: w(x)1 | q: r(x)1")
+        # Ambiguous attribution keeps the verdict undecided; to_result()
+        # on an undecided verdict has nothing to report.
+        h = parse_history("p: w(x)1 | q: w(x)1 | r: r(x)1")
         verdict = prepass_check(SPECS["SC"], h)
         assert not verdict.decided
         with pytest.raises(ValueError):
@@ -122,3 +180,7 @@ class TestCompilation:
         # (no write agreement) does not.
         assert "write-order-cycle" in compile_prepass(SPECS["Coherence"]).checks
         assert "write-order-cycle" not in compile_prepass(SPECS["PRAM"]).checks
+
+    def test_admit_witness_listed_for_every_spec(self):
+        for spec in ALL_SPECS:
+            assert "admit-witness" in compile_prepass(spec).checks

@@ -12,7 +12,12 @@ from repro.programs.algorithm_texts import (
     naive_lock_text_program,
 )
 from repro.programs.figure6 import FIGURE6_TEXT
-from repro.staticcheck import analyze_program, report_covers_races
+from repro.staticcheck import (
+    analyze_program,
+    competing_pairs,
+    infer_labels,
+    report_covers_races,
+)
 from repro.staticcheck.progcheck import _indices_may_collide
 
 
@@ -139,6 +144,114 @@ class TestCrossValidation:
         assert bases == set()
         for races in races_by_seed:
             assert report_covers_races(report, races)
+
+
+class TestAliasingRegressions:
+    """Gaps the original _eval_index treatment got wrong."""
+
+    def test_complementary_indices_with_three_threads(self):
+        # flag[i] vs flag[1 - i]: with threads ∈ {0, 1, 2}, thread 0's
+        # flag[1 - i] = flag[1] collides with thread 1's flag[i].
+        assert _indices_may_collide("i", "1 - i", "i", 3, {})
+
+    def test_two_minus_i_collides_only_at_three_threads(self):
+        # 2 - i ∈ {2, 1, 0} meets i ∈ {0, 1, 2} at i=1; with two threads
+        # 2 - i ∈ {2, 1} never equals the *other* thread's i ∈ {0, 1}...
+        assert _indices_may_collide("i", "2 - i", "i", 3, {})
+        # ...wait: at threads=2, thread 0 has 2-i=2, thread 1 has i=1 —
+        # and thread 1's 2-i=1 vs thread 0's i=0: no collision either way.
+        assert not _indices_may_collide("i", "2 - i", "i", 2, {})
+
+    def test_locally_bound_name_is_opaque(self):
+        # `j` is assigned locally, so a[j] may be anything — even though a
+        # parameter named j could exist in the environment.
+        text = "j := 0\na[j] := 1\na[i] := 2\n"
+        pairs = competing_pairs(text, threads=2, params={"j": 5})
+        assert pairs  # conservative: the local j shadows the param
+
+    def test_shadowed_thread_param_is_opaque(self):
+        # A local assignment to `i` shadows the thread parameter; a[i] can
+        # no longer be assumed distinct across threads.
+        shadowed = "i := 0\na[i] := 1\n"
+        pairs = competing_pairs(shadowed, threads=2)
+        assert pairs
+        # Without the shadowing assignment the self-pair is alias-free.
+        assert not competing_pairs("a[i] := 1\n", threads=2)
+
+    def test_for_loop_variable_is_opaque(self):
+        text = "for j in 0..n-1:\n  a[j] := 1\n"
+        assert competing_pairs(text, threads=2)
+
+    def test_read_target_is_opaque(self):
+        text = "k := read x\na[k] := 1\na[i] := 2\n"
+        assert competing_pairs(text, shared=("x",), threads=2)
+
+
+class TestLabelInference:
+    def test_properly_labeled_program_needs_no_patch(self):
+        patch = infer_labels(FIGURE6_TEXT, shared=("shared",), name="figure6")
+        assert patch.empty
+        assert "no relabeling" in patch.render()
+
+    def test_patch_silences_every_race(self):
+        patch = infer_labels(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="bakery"
+        )
+        assert not patch.empty
+        fixed = patch.apply(MISLABELED_BAKERY_TEXT)
+        report = analyze_program(fixed, shared=("shared",), name="bakery")
+        assert report.properly_labeled
+
+    def test_patch_is_idempotent(self):
+        patch = infer_labels(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="bakery"
+        )
+        fixed = patch.apply(MISLABELED_BAKERY_TEXT)
+        again = infer_labels(fixed, shared=("shared",), name="bakery")
+        assert again.empty
+        assert again.apply(fixed) == fixed
+
+    def test_patch_recovers_figure6_labeling(self):
+        # Relabeling the stripped Bakery labels exactly the sites the
+        # paper labels: every choosing/number access, nothing else.
+        patch = infer_labels(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="bakery"
+        )
+        assert {a.base for a in patch.accesses} == {"choosing", "number"}
+        fixed = patch.apply(MISLABELED_BAKERY_TEXT)
+        report = analyze_program(fixed, shared=("shared",), name="bakery")
+        assert all(
+            a.labeled for a in report.accesses if a.base != "shared"
+        )
+
+    def test_patch_preserves_trailing_comments(self):
+        text = "x := 1  # publish\nv := read x\n"
+        patch = infer_labels(text, shared=("x",))
+        fixed = patch.apply(text)
+        assert "x := 1 sync  # publish" in fixed
+        assert analyze_program(fixed, shared=("x",)).properly_labeled
+
+    def test_relabeled_bakery_is_dynamically_race_free(self):
+        # The acceptance check: the inferred labeling is confirmed by the
+        # dynamic race detector on real SC executions.
+        from repro.programs.pseudocode import parse_program
+
+        patch = infer_labels(
+            MISLABELED_BAKERY_TEXT, shared=("shared",), name="bakery"
+        )
+        fixed = patch.apply(MISLABELED_BAKERY_TEXT)
+        program = parse_program(fixed, shared=("shared",))
+        factories = {
+            f"p{i}": (lambda i=i: program.thread(i=i, n=2)) for i in range(2)
+        }
+        for seed in range(10):
+            result = run(
+                SCMachine(("p0", "p1")),
+                factories,
+                RandomScheduler(seed),
+                max_steps=5000,
+            )
+            assert not find_races(result.history), f"seed {seed}"
 
 
 class TestTextInput:

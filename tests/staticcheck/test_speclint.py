@@ -38,6 +38,29 @@ class TestRegistry:
         assert {"TSO", "PC", "PRAM", "Causal", "Coherence"} <= contained_in
 
 
+class TestEveryRegisteredSpec:
+    """The whole zoo goes through the linter, spec by spec (tier 1)."""
+
+    def test_registry_is_complete_and_clean(self):
+        results = lint_registry()
+        assert len(results) == len(ALL_SPECS)
+        assert set(results) == {spec.name for spec in ALL_SPECS}
+        for name, findings in results.items():
+            flagged = [f for f in findings if f.level in ("error", "warning")]
+            assert not flagged, (
+                f"{name}: {[f.render() for f in flagged]}"
+            )
+
+    def test_fixture_specs_still_trip_the_rules(self):
+        # The clean-registry assertion above must not be vacuous: the
+        # deliberately broken fixtures still produce non-info findings.
+        for spec in broken_fixture_specs():
+            findings = lint_spec(spec)
+            assert any(
+                f.level in ("error", "warning") for f in findings
+            ), spec.name
+
+
 class TestBrokenFixtures:
     def test_reversed_po_ordering_is_flagged(self):
         broken = broken_fixture_specs()[0]

@@ -269,9 +269,18 @@ class TestLintHistory:
         assert "DENY" in out and "view-cycle" in out
 
     def test_undecided_exits_zero(self, capsys):
-        rc = main(["lint", "history", "p: w(x)1 | q: r(x)1", "--model", "SC"])
+        # Ambiguous attribution (two candidate sources): no rule decides.
+        rc = main(
+            ["lint", "history", "p: w(x)1 | q: w(x)1 | r: r(x)1", "--model", "SC"]
+        )
         assert rc == 0
         assert "unknown" in capsys.readouterr().out
+
+    def test_admitted_exits_zero(self, capsys):
+        rc = main(["lint", "history", "p: w(x)1 | q: r(x)1", "--model", "SC"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ADMIT" in out and "DENY" not in out
 
     def test_all_models_sweep(self, capsys):
         rc = main(["lint", "history", "fig1-sb"])
