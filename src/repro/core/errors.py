@@ -21,6 +21,7 @@ __all__ = [
     "ParseError",
     "EngineError",
     "DiffError",
+    "KernelError",
 ]
 
 
@@ -88,3 +89,7 @@ class EngineError(ReproError):
 
 class DiffError(ReproError):
     """The differential fuzzer was given an invalid campaign, shape, or corpus."""
+
+
+class KernelError(ReproError):
+    """The constraint kernel was misconfigured (unknown backend, bad plane)."""

@@ -10,12 +10,22 @@ for any worker count.
 Histories cross the process boundary in the versioned wire format of
 :mod:`repro.core.serialization` rather than as pickled objects, keeping the
 protocol stable and start-method agnostic (fork and spawn both work).
+
+A *persistent* engine (``persistent=True``) is the warm-daemon variant the
+serve layer runs on: the worker pool is created once and reused across
+runs, and sweep payloads travel through the shared-memory
+:class:`~repro.engine.arena.PlaneArena` — one segment per job key holding
+the history plus its compiled plane masks — so a repeated sweep re-pickles
+nothing and workers skip recompilation by installing the decoded plane
+into the kernel's plane LRU.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -24,10 +34,13 @@ from repro.checking.models import MODELS, check, model_names
 from repro.core.errors import EngineError
 from repro.core.history import SystemHistory
 from repro.core.serialization import history_from_dict, history_to_dict, view_to_dict
+from repro.engine.arena import PlaneArena
 from repro.engine.cache import RelationCache
 from repro.engine.jobs import SweepSpec
 from repro.engine.metrics import EngineMetrics
 from repro.engine.store import ResultStore
+from repro.kernel.backend import set_backend, use_backend
+from repro.kernel.constraints import install_plane
 from repro.orders.memo import relation_memo
 
 __all__ = ["CheckEngine", "SweepReport", "DEFAULT_CACHE_HISTORIES"]
@@ -35,7 +48,9 @@ __all__ = ["CheckEngine", "SweepReport", "DEFAULT_CACHE_HISTORIES"]
 #: Per-worker bound on distinct histories held in the relation cache.
 DEFAULT_CACHE_HISTORIES = 256
 
-#: One unit of worker input: (key, history wire dict, model names).
+#: One unit of worker input: (key, payload dict, model names).  The payload
+#: is either a history wire dict or an arena marker
+#: ``{"__arena__": segment_name}`` (see :func:`_payload_history`).
 _Payload = tuple[str, dict, tuple[str, ...]]
 
 # Per-worker state, installed by the pool initializer (one per process).
@@ -51,7 +66,36 @@ def _fresh_state(
         "cache": RelationCache(max_histories=cache_histories),
         "store_views": store_views,
         "prepass": prepass,
+        # Attach cache for arena payloads: segment name -> decoded history,
+        # bounded like the relation cache.  A hit costs one dict lookup and
+        # keeps the previously installed plane warm.
+        "arena": OrderedDict(),
+        "arena_bound": cache_histories,
     }
+
+
+def _payload_history(payload: dict, state: dict) -> SystemHistory:
+    """Materialize a payload's history: wire dict, or shared-memory segment.
+
+    Arena payloads are decoded once per worker and cached by segment name;
+    the decoded plane is installed into the kernel's plane LRU so every
+    check of the history — this job and later jobs alike — compiles
+    nothing the parent already compiled.
+    """
+    name = payload.get("__arena__")
+    if name is None:
+        return history_from_dict(payload)
+    attach_cache: OrderedDict = state["arena"]
+    cached = attach_cache.get(name)
+    if cached is not None:
+        attach_cache.move_to_end(name)
+        return cached
+    history, plane = PlaneArena.load(name)
+    install_plane(history, plane)
+    attach_cache[name] = history
+    while len(attach_cache) > state["arena_bound"]:
+        attach_cache.popitem(last=False)
+    return history
 
 
 def _warm_models() -> None:
@@ -67,8 +111,15 @@ def _warm_models() -> None:
         check(tiny, name)
 
 
-def _init_worker(cache_histories: int, store_views: bool, prepass: bool) -> None:
+def _init_worker(
+    cache_histories: int,
+    store_views: bool,
+    prepass: bool,
+    backend: str | None = None,
+) -> None:
     global _WORKER_STATE
+    if backend is not None:
+        set_backend(backend)
     _warm_models()
     _WORKER_STATE = _fresh_state(cache_histories, store_views, prepass)
 
@@ -90,7 +141,7 @@ def _run_chunk_impl(chunk: Sequence[_Payload], state: dict) -> dict:
     phase_seconds: dict[str, float] = {}
     records: list[dict] = []
     for key, history_dict, models in chunk:
-        history = history_from_dict(history_dict)
+        history = _payload_history(history_dict, state)
         verdicts: dict[str, bool] = {}
         explored: dict[str, int] = {}
         views: dict[str, list[dict]] = {}
@@ -160,6 +211,14 @@ def _run_chunk(chunk: Sequence[_Payload]) -> dict:
     return _run_chunk_impl(chunk, _WORKER_STATE)
 
 
+def _terminate_pools(holder: list) -> None:
+    """Terminate and forget every pool in ``holder`` (finalizer-safe)."""
+    while holder:
+        pool = holder.pop()
+        pool.terminate()
+        pool.join()
+
+
 def _run_panel_chunk_impl(chunk: Sequence[_Payload], state: dict) -> list[dict]:
     """Oracle-panel verdicts for every payload of ``chunk``, in order.
 
@@ -174,7 +233,7 @@ def _run_panel_chunk_impl(chunk: Sequence[_Payload], state: dict) -> list[dict]:
     panels: list[dict] = []
     with relation_memo(cache):
         for _key, history_dict, models in chunk:
-            history = history_from_dict(history_dict)
+            history = _payload_history(history_dict, state)
             panels.append(panel_verdicts(history, models))
     return panels
 
@@ -227,6 +286,15 @@ class CheckEngine:
         and skip the search on a definite DENY.  Sound — verdicts are
         identical with it on or off — so it defaults on; disable to
         benchmark the raw kernel (``sweep --no-prepass``).
+    persistent:
+        Keep the worker pool alive across runs (the warm daemon) and, for
+        ``jobs > 1``, ship sweep payloads through a shared-memory
+        :class:`~repro.engine.arena.PlaneArena` instead of pickling each
+        history per job.  Results are identical either way; call
+        :meth:`close` (or use the engine as a context manager) when done.
+    backend:
+        Kernel mask backend name for the workers (and the in-process
+        path); ``None`` inherits the process default (``REPRO_BACKEND``).
     """
 
     def __init__(
@@ -236,6 +304,8 @@ class CheckEngine:
         cache_histories: int = DEFAULT_CACHE_HISTORIES,
         store_views: bool = False,
         prepass: bool = True,
+        persistent: bool = False,
+        backend: str | None = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -246,7 +316,42 @@ class CheckEngine:
         self.cache_histories = cache_histories
         self.store_views = store_views
         self.prepass = prepass
+        self.persistent = persistent
+        self.backend = backend
         self._local_state: dict | None = None
+        # The persistent pool lives in a one-slot holder so a finalizer can
+        # terminate it without keeping the engine itself alive.
+        self._pool_holder: list = []
+        self._arena: PlaneArena | None = None
+        self._finalizer = weakref.finalize(self, _terminate_pools, self._pool_holder)
+
+    # -- warm-daemon lifecycle ---------------------------------------------------
+
+    @property
+    def arena(self) -> PlaneArena | None:
+        """The live plane arena, if this engine runs warm with workers."""
+        if not (self.persistent and self.jobs > 1):
+            return None
+        if self._arena is None:
+            self._arena = PlaneArena()
+        return self._arena
+
+    def close(self) -> None:
+        """Release the persistent pool and arena (idempotent).
+
+        A closed engine stays usable — the next run simply starts cold
+        again, re-creating the pool and arena on demand.
+        """
+        _terminate_pools(self._pool_holder)
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "CheckEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- serial cached checking (the in-process fast path) ----------------------
 
@@ -268,8 +373,11 @@ class CheckEngine:
         names = tuple(models) if models is not None else model_names()
         from repro.staticcheck.prepass import prepass_check
 
+        from contextlib import nullcontext
+
         verdicts: dict[str, bool] = {}
-        with relation_memo(self.cache):
+        scope = use_backend(self.backend) if self.backend is not None else nullcontext()
+        with scope, relation_memo(self.cache):
             for name in names:
                 spec = MODELS[name].spec if self.prepass else None
                 verdict = prepass_check(spec, history) if spec is not None else None
@@ -351,9 +459,18 @@ class CheckEngine:
                 }
             )
 
-        payloads: list[_Payload] = [
-            (job.key, history_to_dict(job.history), job.models) for job in todo
-        ]
+        arena = self.arena
+        if arena is not None:
+            # Warm path: one shared-memory segment per job key (idempotent
+            # across runs), shipped by name instead of re-pickled per job.
+            payloads: list[_Payload] = [
+                (job.key, {"__arena__": arena.put(job.key, job.history)}, job.models)
+                for job in todo
+            ]
+        else:
+            payloads = [
+                (job.key, history_to_dict(job.history), job.models) for job in todo
+            ]
         results: list[dict] = []
         for out in self._execute(self._chunks(payloads)):
             metrics.cache_hits += out["cache_hits"]
@@ -429,13 +546,40 @@ class CheckEngine:
             state["store_views"] = self.store_views
             state["prepass"] = self.prepass
             self._local_state = state
+            if self.backend is not None:
+                with use_backend(self.backend):
+                    for chunk in chunks:
+                        yield impl(chunk, state)
+                return
             for chunk in chunks:
                 yield impl(chunk, state)
+            return
+        if self.persistent:
+            if not self._pool_holder:
+                ctx = multiprocessing.get_context()
+                self._pool_holder.append(
+                    ctx.Pool(
+                        processes=self.jobs,
+                        initializer=_init_worker,
+                        initargs=(
+                            self.cache_histories,
+                            self.store_views,
+                            self.prepass,
+                            self.backend,
+                        ),
+                    )
+                )
+            yield from self._pool_holder[0].imap(worker, chunks)
             return
         ctx = multiprocessing.get_context()
         with ctx.Pool(
             processes=self.jobs,
             initializer=_init_worker,
-            initargs=(self.cache_histories, self.store_views, self.prepass),
+            initargs=(
+                self.cache_histories,
+                self.store_views,
+                self.prepass,
+                self.backend,
+            ),
         ) as pool:
             yield from pool.imap(worker, chunks)

@@ -18,9 +18,11 @@ coordinator:
   spec) the way an engine sweep shares them across a batch.
 
 Sessions are single-threaded by contract — the serve layer serializes
-appends per session with a lock; the kernel's plane slot is re-installed
-defensively before every check, so interleaved sessions stay correct and
-merely lose plane reuse.
+appends per session with a lock.  The kernel's plane cache is a bounded
+LRU keyed per history, so interleaved live sessions each keep their own
+entry; streams still re-install defensively before every check, so even
+a cache blown by unrelated churn only costs a recompile, never
+correctness.
 """
 
 from __future__ import annotations

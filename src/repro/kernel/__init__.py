@@ -21,15 +21,31 @@ The fast checkers in :mod:`repro.checking` are thin strategies over these
 layers, and every checker reports through the shared
 :class:`~repro.kernel.results.CheckResult` / ``Witness`` /
 ``Counterexample`` types.
+
+The mask-plane operations the layers bottom out in (transitive closure,
+acyclicity, the candidate gate) are pluggable: :mod:`repro.kernel.backend`
+holds the pure-Python reference implementation and a batched numpy
+bit-matrix backend, selected by ``REPRO_BACKEND`` / ``--backend`` — with
+verdicts and witnesses byte-identical across backends (docs/kernel.md).
 """
 
+from repro.kernel.backend import (
+    MaskBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.kernel.constraints import (
     CompiledConstraints,
     bracketing_edges,
     compile_constraints,
+    configure_plane_cache,
     extend_plane,
     history_plane,
     install_plane,
+    plane_cache_stats,
 )
 from repro.kernel.incremental import HistoryStream, IncrementalCheck
 from repro.kernel.results import CheckResult, Counterexample, Witness
@@ -64,6 +80,14 @@ __all__ = [
     "extend_plane",
     "history_plane",
     "install_plane",
+    "plane_cache_stats",
+    "configure_plane_cache",
+    "MaskBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "HistoryStream",
     "IncrementalCheck",
     "forced_write_order",

@@ -1,0 +1,224 @@
+"""Pluggable mask-plane backends for the constraint kernel.
+
+The kernel's data plane is a set of *predecessor masks*: ``masks[j]`` bit
+``i`` set means operation ``i`` must precede operation ``j`` (see
+:mod:`repro.kernel.constraints`).  Everything the search layer does to a
+candidate serialization reduces to three operations on that plane —
+transitive closure, acyclicity, and the fused *gate* (reject cyclic
+candidates, close the survivors) — and this package makes those
+operations swappable:
+
+* the **python** backend (:mod:`repro.kernel.backend.reference`) is the
+  original int-bitmask path, one plane at a time — the reference
+  implementation every other backend must match bit for bit;
+* the **numpy** backend (:mod:`repro.kernel.backend.matrix`) packs whole
+  *frontiers* of candidate planes into unsigned bit-matrix batches and
+  gates them with vectorized matrix ops.
+
+Backends are total functions of their inputs (a closure is a unique
+fixpoint; acyclicity is a boolean), so verdicts, witnesses and explored
+counts are byte-identical across backends by construction; the parity
+suite (``tests/kernel/test_backend.py``, ``tests/property``) pins this.
+
+Selection: :func:`active_backend` resolves, on first use, to the
+``REPRO_BACKEND`` environment variable (``python`` when unset);
+:func:`set_backend` and :func:`use_backend` override it programmatically,
+and the CLI's ``--backend`` flag maps onto :func:`set_backend`.
+
+The mask contract: every row of an ``n``-operation plane is an ``n``-bit
+integer (bits at positions ``>= n`` clear).  Backends may reject
+out-of-contract rows loudly, but must never return different results for
+rows inside it.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+from repro.core.errors import KernelError
+
+__all__ = [
+    "MaskBackend",
+    "RecordingBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: The environment variable consulted by :func:`active_backend`.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class MaskBackend(ABC):
+    """One implementation of the kernel's mask-plane operations.
+
+    Subclasses provide the three primitive operations; the batched
+    entries have default implementations that loop, so a minimal backend
+    only implements the single-plane ops and still behaves correctly —
+    a batching backend overrides :meth:`gate_batch` (the search layer's
+    hot call) with something better.
+    """
+
+    #: Registry name; also what ``--backend`` and ``REPRO_BACKEND`` match.
+    name: str = "abstract"
+
+    @abstractmethod
+    def close(self, masks: Sequence[int], n: int) -> list[int]:
+        """Transitive closure of one ``n``-row predecessor plane."""
+
+    @abstractmethod
+    def acyclic(self, masks: Sequence[int], n: int) -> bool:
+        """Whether one ``n``-row predecessor plane is cycle-free."""
+
+    def gate(self, masks: Sequence[int], n: int) -> list[int] | None:
+        """Acyclicity gate + closure: ``None`` for cyclic planes.
+
+        Mirrors ``CompiledConstraints.assemble_base``'s use exactly: a
+        cyclic candidate is rejected without closing; survivors are
+        returned closed.
+        """
+        if not self.acyclic(masks, n):
+            return None
+        return self.close(masks, n)
+
+    def gate_batch(
+        self, batch: Sequence[Sequence[int]], n: int
+    ) -> list[list[int] | None]:
+        """Gate a whole frontier of candidate planes.
+
+        The search layer's entry point: one call per candidate chunk
+        (see ``kernel.search``), so a vectorizing backend amortizes per
+        plane.  The default loops :meth:`gate`.
+        """
+        return [self.gate(masks, n) for masks in batch]
+
+    def close_batch(
+        self, batch: Sequence[Sequence[int]], n: int
+    ) -> list[list[int]]:
+        """Transitive closures of many planes (default: loop)."""
+        return [self.close(masks, n) for masks in batch]
+
+    def acyclic_batch(self, batch: Sequence[Sequence[int]], n: int) -> list[bool]:
+        """Acyclicity of many planes (default: loop)."""
+        return [self.acyclic(masks, n) for masks in batch]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<MaskBackend {self.name}>"
+
+
+class RecordingBackend(MaskBackend):
+    """A backend wrapper that records every batched gate it serves.
+
+    Instrumentation for benchmarks and tests: ``bench_kernel`` harvests
+    the catalog sweep's real gate workload by running the sweep under a
+    recorder and replaying :attr:`gate_calls` through each backend.
+    """
+
+    name = "recording"
+
+    def __init__(self, inner: MaskBackend) -> None:
+        self.inner = inner
+        #: Every ``gate_batch`` input, as ``(rows, n)`` pairs.
+        self.gate_calls: list[tuple[list[list[int]], int]] = []
+
+    def close(self, masks: Sequence[int], n: int) -> list[int]:
+        return self.inner.close(masks, n)
+
+    def acyclic(self, masks: Sequence[int], n: int) -> bool:
+        return self.inner.acyclic(masks, n)
+
+    def gate_batch(
+        self, batch: Sequence[Sequence[int]], n: int
+    ) -> list[list[int] | None]:
+        self.gate_calls.append(([list(masks) for masks in batch], n))
+        return self.inner.gate_batch(batch, n)
+
+
+# -- registry -----------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], MaskBackend]] = {}
+_INSTANCES: dict[str, MaskBackend] = {}
+_ACTIVE: MaskBackend | None = None
+
+
+def register_backend(name: str, factory: Callable[[], MaskBackend]) -> None:
+    """Register a backend factory under ``name`` (last registration wins)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str) -> MaskBackend:
+    """The backend registered as ``name`` (instantiated once, cached)."""
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(available_backends())
+        raise KernelError(f"unknown kernel backend {name!r} (available: {known})")
+    instance = factory()
+    _INSTANCES[name] = instance
+    return instance
+
+
+def active_backend() -> MaskBackend:
+    """The backend in effect: the last :func:`set_backend`, else the env.
+
+    First use resolves ``REPRO_BACKEND`` (default ``python``); the result
+    sticks until :func:`set_backend` or :func:`use_backend` changes it.
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend(os.environ.get(BACKEND_ENV) or "python")
+    return _ACTIVE
+
+
+def set_backend(backend: str | MaskBackend) -> MaskBackend:
+    """Install ``backend`` (a registry name or an instance) process-wide."""
+    global _ACTIVE
+    _ACTIVE = get_backend(backend) if isinstance(backend, str) else backend
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(backend: str | MaskBackend) -> Iterator[MaskBackend]:
+    """Run a block under ``backend``, restoring the previous one after."""
+    global _ACTIVE
+    previous = _ACTIVE
+    installed = set_backend(backend)
+    try:
+        yield installed
+    finally:
+        _ACTIVE = previous
+
+
+def _register_builtins() -> None:
+    from repro.kernel.backend.reference import PythonBackend
+
+    register_backend("python", PythonBackend)
+
+    def _numpy_factory() -> MaskBackend:
+        try:
+            from repro.kernel.backend.matrix import NumpyBackend
+        except ImportError as exc:  # pragma: no cover - numpy is a core dep
+            raise KernelError(
+                "the numpy kernel backend requires numpy; install it or "
+                "select --backend python"
+            ) from exc
+        return NumpyBackend()
+
+    register_backend("numpy", _numpy_factory)
+
+
+_register_builtins()

@@ -1,0 +1,36 @@
+"""The pure-Python reference backend: one int-bitmask plane at a time.
+
+This is the kernel's original data path, unchanged: Python's arbitrary-
+precision integers are the bit rows, :func:`repro.kernel.constraints.close_masks`
+is the bitset Floyd–Warshall closure and
+:func:`repro.kernel.constraints.masks_acyclic` the Kahn peeling test.  Every
+other backend is defined by agreeing with this one bit for bit — the
+closure is a unique fixpoint and acyclicity a boolean, so agreement is a
+mathematical property the parity suite merely pins down.
+
+It stays the default because at litmus-test sizes (a handful of
+operations) a single plane gates faster through native ints than through
+any array library's per-call overhead; the numpy backend wins when the
+search hands it whole frontiers per call (see ``bench_kernel``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernel.backend import MaskBackend
+from repro.kernel.constraints import close_masks, masks_acyclic
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(MaskBackend):
+    """The int-bitmask reference implementation of the backend protocol."""
+
+    name = "python"
+
+    def close(self, masks: Sequence[int], n: int) -> list[int]:
+        return close_masks(masks)
+
+    def acyclic(self, masks: Sequence[int], n: int) -> bool:
+        return masks_acyclic(masks, n)

@@ -28,8 +28,10 @@ closure; :func:`masks_acyclic` a Kahn peeling test.  Both replace the
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core.errors import KernelError
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation
 from repro.orders.memo import active_memo
@@ -44,8 +46,10 @@ __all__ = [
     "HistoryPlane",
     "ViewPlane",
     "compile_constraints",
+    "configure_plane_cache",
     "history_plane",
     "install_plane",
+    "plane_cache_stats",
     "extend_plane",
     "bracketing_edges",
     "chain_masks",
@@ -209,7 +213,7 @@ class HistoryPlane:
     A sweep checks the same history against many specs (the registry has a
     dozen; the lattice enumerates hundreds), and everything here is a
     function of the history alone, so the kernel shares one instance across
-    those checks through a single-slot identity cache
+    those checks through a bounded identity-keyed LRU
     (:func:`history_plane`).  Entries in :attr:`masks` are keyed by an
     ordering rule (or a derived tag) and are populated only under the
     *unique* reads-from attribution, where the attribution-dependent
@@ -341,23 +345,83 @@ class HistoryPlane:
         return self._unique_rf
 
 
-#: Single-slot identity cache: (history, plane).  Holding the history
-#: strongly keeps its id() stable for the lifetime of the slot.
-_ACTIVE_PLANE: tuple[SystemHistory, HistoryPlane] | None = None
+#: Bounded keyed LRU of compiled planes: ``id(history) -> (history, plane)``.
+#: Entries hold their history strongly, which both keeps the id stable for
+#: the entry's lifetime and guarantees a live id can never be recycled by
+#: a different history while it is cached (the identity check is a
+#: belt-and-braces second line).  Replaces the original single slot, under
+#: which interleaved :class:`~repro.engine.session.EngineSession`\ s evicted
+#: each other's grown planes on every append.
+_PLANE_CACHE: "OrderedDict[int, tuple[SystemHistory, HistoryPlane]]" = OrderedDict()
+_PLANE_CAPACITY = 64
+
+#: Plane-cache observability counters (read via :func:`plane_cache_stats`).
+_PLANE_HITS = 0
+_PLANE_MISSES = 0
+_PLANE_EVICTIONS = 0
+
+
+def plane_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters and current size of the plane cache.
+
+    Cumulative for the process (the serve layer folds them into
+    ``/stats``); reset with :func:`configure_plane_cache`.
+    """
+    return {
+        "hits": _PLANE_HITS,
+        "misses": _PLANE_MISSES,
+        "evictions": _PLANE_EVICTIONS,
+        "size": len(_PLANE_CACHE),
+        "capacity": _PLANE_CAPACITY,
+    }
+
+
+def configure_plane_cache(capacity: int | None = None) -> None:
+    """Resize the plane cache and reset its contents and counters.
+
+    ``capacity=None`` keeps the current bound.  Mainly for tests and for
+    long-lived daemons that want a different residency/memory trade-off;
+    capacity must cover the histories interleaved checks touch between
+    repeats for the LRU to help (the default 64 covers the serve layer's
+    default session bound).
+    """
+    global _PLANE_CAPACITY, _PLANE_HITS, _PLANE_MISSES, _PLANE_EVICTIONS
+    if capacity is not None:
+        if capacity < 1:
+            raise KernelError(f"plane cache capacity must be >= 1, got {capacity}")
+        _PLANE_CAPACITY = capacity
+    _PLANE_CACHE.clear()
+    _PLANE_HITS = _PLANE_MISSES = _PLANE_EVICTIONS = 0
+
+
+def _plane_cache_insert(history: SystemHistory, plane: HistoryPlane) -> None:
+    global _PLANE_EVICTIONS
+    _PLANE_CACHE[id(history)] = (history, plane)
+    _PLANE_CACHE.move_to_end(id(history))
+    while len(_PLANE_CACHE) > _PLANE_CAPACITY:
+        _PLANE_CACHE.popitem(last=False)
+        _PLANE_EVICTIONS += 1
 
 
 def history_plane(history: SystemHistory) -> HistoryPlane:
     """The shared :class:`HistoryPlane` of ``history`` (identity-cached).
 
-    One slot suffices: checkers sweep spec-by-spec over one history before
-    moving to the next, so consecutive checks hit.  A stale slot is merely
-    rebuilt — the cache is keyed by object identity, never by value.
+    A bounded keyed LRU: sweeps hit on consecutive specs over one
+    history, and interleaved streams (several live :class:`EngineSession`\\ s
+    appending in turn) each keep their own entry instead of evicting the
+    others.  A cold entry is merely rebuilt — the cache is keyed by
+    object identity, never by value.
     """
-    global _ACTIVE_PLANE
-    if _ACTIVE_PLANE is not None and _ACTIVE_PLANE[0] is history:
-        return _ACTIVE_PLANE[1]
+    global _PLANE_HITS, _PLANE_MISSES
+    key = id(history)
+    entry = _PLANE_CACHE.get(key)
+    if entry is not None and entry[0] is history:
+        _PLANE_HITS += 1
+        _PLANE_CACHE.move_to_end(key)
+        return entry[1]
+    _PLANE_MISSES += 1
     plane = HistoryPlane(history)
-    _ACTIVE_PLANE = (history, plane)
+    _plane_cache_insert(history, plane)
     return plane
 
 
@@ -367,12 +431,12 @@ def install_plane(history: SystemHistory, plane: HistoryPlane) -> None:
     The incremental session's hook: after growing a plane in place
     (:func:`extend_plane`) the session installs it so the stock driver —
     which derives its plane through :func:`history_plane` — runs on the
-    extended data instead of recompiling.  Installing a plane that was
-    not built for ``history`` corrupts every later check; only
-    :class:`~repro.kernel.incremental.HistoryStream` should call this.
+    extended data instead of recompiling.  The warm worker pool uses the
+    same hook to seed planes decoded from the shared-memory arena.
+    Installing a plane that was not built for ``history`` corrupts every
+    later check of it; only those two callers should install.
     """
-    global _ACTIVE_PLANE
-    _ACTIVE_PLANE = (history, plane)
+    _plane_cache_insert(history, plane)
 
 
 def _extended_rule_row(

@@ -96,8 +96,8 @@ class HistoryStream:
     the plane's expensive caches — the candidate-source table and the
     per-ordering-rule mask rows — are *grown* rather than recomputed
     whenever the append is non-rescuing, and the grown plane is installed
-    into the kernel's single-slot plane cache so the stock driver picks
-    it up without knowing the session exists.
+    into the kernel's plane-cache LRU so the stock driver picks it up
+    without knowing the session exists.
     """
 
     __slots__ = ("history", "plane", "last_reused", "_ops")
@@ -159,11 +159,12 @@ class HistoryStream:
         return placed, reused
 
     def install(self) -> None:
-        """(Re-)install the stream's plane into the kernel's plane slot.
+        """(Re-)install the stream's plane into the kernel's plane cache.
 
-        Any one-shot check of a *different* history between two session
-        checks evicts the single slot; sessions re-install defensively
-        before every check.
+        The cache is a bounded LRU, so an interleaved check of another
+        history no longer evicts this stream's entry — but enough churn
+        still can, so sessions re-install defensively before every
+        check.
         """
         install_plane(self.history, self.plane)
 

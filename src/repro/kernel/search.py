@@ -33,12 +33,14 @@ All fast paths and all experiments use distinct values.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Sequence
 
 from repro.core.errors import CheckerError
 from repro.core.history import SystemHistory
 from repro.core.operation import INITIAL_VALUE, Operation
 from repro.core.view import View
+from repro.kernel.backend import active_backend
 from repro.kernel.constraints import (
     CompiledConstraints,
     compile_constraints,
@@ -491,6 +493,103 @@ def _check_with_spec_impl(
             sink.emit(PhaseMark(phase="search", mark="end"))
 
 
+#: Frontier chunk sizes for batched candidate gating: start at one so the
+#: common admit-on-first-candidate check pays nothing for batching, ramp
+#: geometrically so DENY verdicts (which enumerate the whole frontier
+#: anyway) hand the backend large batches.
+_FRONTIER_RAMP_CAP = 64
+
+
+def _gate_chunk(
+    cc: CompiledConstraints,
+    plane,
+    chunk: Sequence[Any],
+    orderings: Sequence[Sequence[int] | None],
+) -> list[tuple[list[int], dict[Any, list[int]] | None] | None]:
+    """Assemble and gate a whole chunk of mutual candidates at once.
+
+    The batched counterpart of ``CompiledConstraints.assemble_base``: the
+    raw base masks are built per candidate (chains are tiny), then the
+    acyclicity gate + closure of the entire frontier goes through the
+    active backend in one ``gate_batch`` call.  The gate is a pure
+    function of each plane, so results are identical to the sequential
+    path for every backend — the reference backend's ``gate_batch`` *is*
+    the sequential path.
+    """
+    raw = [
+        cc._base_masks(plane, cand.chains, ordering)
+        for cand, ordering in zip(chunk, orderings)
+    ]
+    gated = active_backend().gate_batch([masks for masks, _ in raw], cc.n)
+    return [
+        None if closed is None else (closed, raw[i][1])
+        for i, closed in enumerate(gated)
+    ]
+
+
+def _try_candidate(
+    spec,
+    budget: SearchBudget,
+    sink: TraceSink | None,
+    cc: CompiledConstraints,
+    plane,
+    rf: ReadsFrom,
+    cand,
+    prepared: tuple[list[int], dict[Any, list[int]] | None],
+    propagate: bool,
+    explored: int,
+    history: SystemHistory,
+) -> tuple[int, CheckResult | None]:
+    """Run one gated candidate's labeled-extra loop and view searches.
+
+    Returns the updated ``explored`` count and the ADMIT result, or
+    ``None`` when every labeled extra of this candidate is exhausted.
+    Shared verbatim by the sequential (incremental-reuse) and batched
+    drivers so the two cannot drift.
+    """
+    base, own = prepared
+    prop = cc.candidate_propagation(plane, cand.coherence) if propagate else None
+    if sink is not None and prop is not None:
+        sink.emit(PropagationApplied(edges=sum(m.bit_count() for m in prop)))
+    n_extra = 0
+    for extra in iter_labeled_extras(
+        spec, history, rf, cand.coherence, budget.max_labeled_orders
+    ):
+        explored += 1
+        if explored > budget.max_serializations:
+            raise CheckerError(
+                f"{spec.name}: search budget exceeded after "
+                f"{budget.max_serializations} candidate serializations"
+            )
+        if sink is not None and extra is not None:
+            n_extra += 1
+            order = extra.chains[0] if extra.chains else ()
+            sink.emit(
+                LabeledExtraTried(
+                    index=n_extra, order=tuple(str(op) for op in order)
+                )
+            )
+        extra_m = cc.extra_masks(extra)
+        views = _solve_views(cc, base, own, extra_m, prop, sink)
+        if views is not None:
+            if sink is not None:
+                sink.emit(
+                    VerdictReached(
+                        model=spec.name, allowed=True, explored=explored
+                    )
+                )
+            return explored, CheckResult(
+                spec.name,
+                True,
+                views=views,
+                explored=explored,
+                witness=Witness(
+                    views=views, reads_from=rf, coherence=cand.coherence
+                ),
+            )
+    return explored, None
+
+
 def _search_candidates(
     spec,
     history: SystemHistory,
@@ -529,25 +628,30 @@ def _search_candidates(
                 )
             )
         plane = cc.plane(rf, propagate)
-        n_cand = 0
-        for cand in iter_mutual_candidates(
-            spec,
-            history,
-            rf,
-            use_reads_from_pruning=budget.use_reads_from_pruning,
-            unambiguous=propagate,
-        ):
-            n_cand += 1
-            if sink is not None:
-                sink.emit(
-                    CandidateTried(
-                        index=n_cand,
-                        chains=tuple(
-                            tuple(str(op) for op in chain) for chain in cand.chains
-                        ),
+        if reuse is not None:
+            # Sequential driver: the failure-memory hook interleaves a
+            # per-candidate lookup with the gate, so candidates go one at
+            # a time through the reference primitives (sessions check a
+            # single appended history — there is no frontier to batch).
+            n_cand = 0
+            for cand in iter_mutual_candidates(
+                spec,
+                history,
+                rf,
+                use_reads_from_pruning=budget.use_reads_from_pruning,
+                unambiguous=propagate,
+            ):
+                n_cand += 1
+                if sink is not None:
+                    sink.emit(
+                        CandidateTried(
+                            index=n_cand,
+                            chains=tuple(
+                                tuple(str(op) for op in chain)
+                                for chain in cand.chains
+                            ),
+                        )
                     )
-                )
-            if reuse is not None:
                 mode = reuse.lookup(cand)
                 if mode == "cyclic":
                     # The prefix's cycle only gained edges; skip without
@@ -579,64 +683,77 @@ def _search_candidates(
                             f"{budget.max_serializations} candidate serializations"
                         )
                     continue
-            ordering = (
-                spec.ordering.build(history, rf, cand.coherence).pred_masks(cc.ops)
-                if cc.needs_coherence
-                else None
-            )
-            prepared = cc.assemble_base(plane, cand.chains, ordering)
-            if prepared is None:
-                if reuse is not None:
-                    reuse.record(cand, "cyclic")
-                continue
-            base, own = prepared
-            prop = (
-                cc.candidate_propagation(plane, cand.coherence)
-                if propagate
-                else None
-            )
-            if sink is not None and prop is not None:
-                sink.emit(
-                    PropagationApplied(edges=sum(m.bit_count() for m in prop))
+                ordering = (
+                    spec.ordering.build(history, rf, cand.coherence).pred_masks(
+                        cc.ops
+                    )
+                    if cc.needs_coherence
+                    else None
                 )
-            n_extra = 0
-            for extra in iter_labeled_extras(
-                spec, history, rf, cand.coherence, budget.max_labeled_orders
-            ):
-                explored += 1
-                if explored > budget.max_serializations:
-                    raise CheckerError(
-                        f"{spec.name}: search budget exceeded after "
-                        f"{budget.max_serializations} candidate serializations"
+                prepared = cc.assemble_base(plane, cand.chains, ordering)
+                if prepared is None:
+                    reuse.record(cand, "cyclic")
+                    continue
+                explored, result = _try_candidate(
+                    spec, budget, sink, cc, plane, rf, cand, prepared,
+                    propagate, explored, history,
+                )
+                if result is not None:
+                    return result
+                reuse.record(cand, "stuck")
+        else:
+            # Batched driver: pull candidates in geometrically ramping
+            # chunks and gate each whole frontier chunk through the
+            # active backend in one call.  Pulling candidates ahead of
+            # processing has no observable effect (enumeration emits no
+            # events), the ramp starts at one so an admit-on-first check
+            # does no extra work, and the per-candidate pass below runs
+            # in enumeration order — so events, explored counts, budget
+            # errors and the first witness are byte-identical to the
+            # sequential driver on every backend.
+            cand_iter = iter_mutual_candidates(
+                spec,
+                history,
+                rf,
+                use_reads_from_pruning=budget.use_reads_from_pruning,
+                unambiguous=propagate,
+            )
+            n_cand = 0
+            chunk_size = 1
+            while True:
+                chunk = list(islice(cand_iter, chunk_size))
+                if not chunk:
+                    break
+                chunk_size = min(chunk_size * 4, _FRONTIER_RAMP_CAP)
+                orderings = [
+                    spec.ordering.build(history, rf, cand.coherence).pred_masks(
+                        cc.ops
                     )
-                if sink is not None and extra is not None:
-                    n_extra += 1
-                    order = extra.chains[0] if extra.chains else ()
-                    sink.emit(
-                        LabeledExtraTried(
-                            index=n_extra, order=tuple(str(op) for op in order)
-                        )
-                    )
-                extra_m = cc.extra_masks(extra)
-                views = _solve_views(cc, base, own, extra_m, prop, sink)
-                if views is not None:
+                    if cc.needs_coherence
+                    else None
+                    for cand in chunk
+                ]
+                gated = _gate_chunk(cc, plane, chunk, orderings)
+                for cand, prepared in zip(chunk, gated):
+                    n_cand += 1
                     if sink is not None:
                         sink.emit(
-                            VerdictReached(
-                                model=spec.name, allowed=True, explored=explored
+                            CandidateTried(
+                                index=n_cand,
+                                chains=tuple(
+                                    tuple(str(op) for op in chain)
+                                    for chain in cand.chains
+                                ),
                             )
                         )
-                    return CheckResult(
-                        spec.name,
-                        True,
-                        views=views,
-                        explored=explored,
-                        witness=Witness(
-                            views=views, reads_from=rf, coherence=cand.coherence
-                        ),
+                    if prepared is None:
+                        continue
+                    explored, result = _try_candidate(
+                        spec, budget, sink, cc, plane, rf, cand, prepared,
+                        propagate, explored, history,
                     )
-            if reuse is not None:
-                reuse.record(cand, "stuck")
+                    if result is not None:
+                        return result
     reason = "no choice of views satisfies the model's requirements"
     if sink is not None:
         sink.emit(

@@ -58,6 +58,8 @@ from repro.core.serialization import (
 from repro.engine import CheckEngine, SweepSpec, open_store
 from repro.engine.cache import RelationCache
 from repro.engine.session import EngineSession
+from repro.kernel.backend import active_backend, set_backend
+from repro.kernel.constraints import plane_cache_stats
 from repro.kernel.search import check_with_spec
 from repro.obs.sink import SessionStatsSink, tracing
 from repro.orders.memo import relation_memo
@@ -102,6 +104,9 @@ class ServeConfig:
     #: Bound on live incremental sessions; creating one past the bound
     #: evicts the least-recently-used session.
     max_sessions: int = 64
+    #: Kernel mask backend for the whole service process (``--backend``);
+    #: ``None`` inherits the process default (``REPRO_BACKEND``).
+    backend: str | None = None
 
 
 def _canonical(payload: Any) -> str:
@@ -244,12 +249,25 @@ class CheckService:
 
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
+        if self.config.backend is not None:
+            # Process-global by design: every check thread, session, and
+            # sweep worker of this daemon runs the same kernel backend.
+            set_backend(self.config.backend)
         self.store = (
             open_store(self.config.store_url)
             if self.config.store_url
             else None
         )
         self._store_lock = threading.Lock()
+        # The warm sweep engine: created on the first sweep job and kept
+        # across jobs, so repeated sweeps reuse the worker pool and the
+        # shared-memory plane arena instead of paying cold start + a
+        # pickled history per job.  drain() closes it.
+        self._sweep_engine: CheckEngine | None = None
+        self._sweep_engine_lock = threading.Lock()
+        # Sweep jobs share that engine (one pool, one arena), so runs are
+        # serialized; concurrent submissions queue rather than racing.
+        self._sweep_run_lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="repro-serve",
@@ -454,20 +472,32 @@ class CheckService:
         self._submit(self._run_sweep, job, spec)
         return job
 
+    def _sweep_engine_handle(self) -> CheckEngine:
+        """The service's one persistent sweep engine (created on demand)."""
+        with self._sweep_engine_lock:
+            if self._sweep_engine is None:
+                self._sweep_engine = CheckEngine(
+                    jobs=self.config.sweep_jobs,
+                    prepass=self.config.prepass,
+                    persistent=True,
+                    backend=self.config.backend,
+                )
+            return self._sweep_engine
+
     def _run_sweep(self, job: Job, spec: SweepSpec) -> None:
         job.status = "running"
-        engine = CheckEngine(
-            jobs=self.config.sweep_jobs, prepass=self.config.prepass
-        )
+        engine = self._sweep_engine_handle()
         try:
             # The sweep shares the service's store; per-record appends
             # are thread-safe on both backends (single O_APPEND writes /
-            # SQLite's internal lock), so the engine runs unlocked and
-            # concurrent /check appends interleave at record granularity.
-            if self.store is not None:
-                report = engine.run(spec, store=self.store, resume=True)
-            else:
-                report = engine.run(spec)
+            # SQLite's internal lock), so concurrent /check appends
+            # interleave at record granularity.  The run lock only
+            # serializes sweeps against each other (shared warm engine).
+            with self._sweep_run_lock:
+                if self.store is not None:
+                    report = engine.run(spec, store=self.store, resume=True)
+                else:
+                    report = engine.run(spec)
             job.result = {
                 "counts": report.counts,
                 "metrics": report.metrics.to_dict(),
@@ -684,6 +714,8 @@ class CheckService:
         stats = {
             "uptime_seconds": round(time.time() - self.started, 3),
             "workers": self.config.workers,
+            "backend": active_backend().name,
+            "plane_cache": plane_cache_stats(),
             "prepass": self.config.prepass,
             "prepass_rules": self._sink.prepass_counters(),
             "counters": counters,
@@ -711,6 +743,10 @@ class CheckService:
         """
         self.closing = True
         self._executor.shutdown(wait=True)
+        with self._sweep_engine_lock:
+            if self._sweep_engine is not None:
+                self._sweep_engine.close()
+                self._sweep_engine = None
         if self.store is not None:
             with self._store_lock:
                 self.store.append_summary(self.store.summarize())

@@ -1,0 +1,255 @@
+"""The mask-backend registry, both backends, and the plane-cache LRU.
+
+Three contracts from the backend PR:
+
+* the registry — names resolve, the active backend is process-global
+  with an env default, ``use_backend`` scopes and restores;
+* semantics — the numpy backend's closure/acyclicity/gate answers equal
+  the pure-Python reference's on crafted planes (cycles, self-loops,
+  empty universes, full chains) and at every supported width;
+* the plane cache — a bounded identity-keyed LRU with observable
+  hit/miss/eviction counters, under which interleaved sessions no
+  longer evict each other (the regression the single slot had).
+"""
+
+import pytest
+
+from repro.core.errors import KernelError
+from repro.kernel import backend as backend_mod
+from repro.kernel.backend import (
+    MaskBackend,
+    RecordingBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.kernel.constraints import (
+    close_masks,
+    configure_plane_cache,
+    history_plane,
+    install_plane,
+    masks_acyclic,
+    plane_cache_stats,
+)
+from repro.litmus import parse_history
+
+# -- the registry --------------------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    assert "python" in available_backends()
+    assert "numpy" in available_backends()
+    assert get_backend("python").name == "python"
+    assert get_backend("numpy").name == "numpy"
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(KernelError, match="unknown"):
+        get_backend("fortran")
+
+
+def test_get_backend_returns_singleton():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_set_backend_by_name_and_instance():
+    try:
+        set_backend("numpy")
+        assert active_backend().name == "numpy"
+        inst = get_backend("python")
+        set_backend(inst)
+        assert active_backend() is inst
+    finally:
+        set_backend("python")
+
+
+def test_use_backend_scopes_and_restores():
+    before = active_backend()
+    with use_backend("numpy"):
+        assert active_backend().name == "numpy"
+        with use_backend("python"):
+            assert active_backend().name == "python"
+        assert active_backend().name == "numpy"
+    assert active_backend() is before
+
+
+def test_use_backend_restores_on_error():
+    before = active_backend()
+    with pytest.raises(RuntimeError):
+        with use_backend("numpy"):
+            raise RuntimeError("boom")
+    assert active_backend() is before
+
+
+def test_env_default_resolution(monkeypatch):
+    monkeypatch.setenv(backend_mod.BACKEND_ENV, "numpy")
+    monkeypatch.setattr(backend_mod, "_ACTIVE", None)
+    assert active_backend().name == "numpy"
+    monkeypatch.setenv(backend_mod.BACKEND_ENV, "")
+    monkeypatch.setattr(backend_mod, "_ACTIVE", None)
+    assert active_backend().name == "python"
+
+
+def test_recording_backend_records_gate_calls():
+    rec = RecordingBackend(get_backend("python"))
+    out = rec.gate_batch([[0, 1], [2, 1]], 2)
+    assert rec.gate_calls == [([[0, 1], [2, 1]], 2)]
+    # Row 0: edge 0->1, acyclic; row 1: a 2-cycle, gated out.
+    assert out[0] is not None and out[1] is None
+
+
+# -- semantics: numpy == reference ---------------------------------------------
+
+#: Crafted planes: (masks, n) covering the shapes the search produces.
+PLANES = [
+    ([], 0),
+    ([0], 1),
+    ([1], 1),  # self-loop
+    ([0, 1, 3], 3),  # chain, closed
+    ([0, 1, 2], 3),  # chain needing closure (2 depends on 1 only)
+    ([2, 4, 1], 3),  # 3-cycle
+    ([0, 1, 0, 5], 4),  # diamond-ish
+    ([0b0000, 0b0001, 0b0011, 0b0111], 4),  # total order
+    ([8, 0, 2, 4], 4),  # 0<-3, 2<-1, 3<-2: chain through the middle
+]
+
+
+@pytest.mark.parametrize("masks,n", PLANES)
+def test_close_matches_reference(masks, n):
+    assert get_backend("numpy").close(masks, n) == close_masks(masks)
+
+
+@pytest.mark.parametrize("masks,n", PLANES)
+def test_acyclic_matches_reference(masks, n):
+    assert get_backend("numpy").acyclic(masks, n) == masks_acyclic(masks, n)
+
+
+@pytest.mark.parametrize("masks,n", PLANES)
+def test_gate_matches_reference(masks, n):
+    py = get_backend("python").gate(masks, n)
+    np_ = get_backend("numpy").gate(masks, n)
+    assert py == np_
+
+
+def test_gate_batch_mixed_verdicts():
+    batch = [[0, 1, 2], [2, 4, 1], [0, 0, 0]]
+    out = get_backend("numpy").gate_batch(batch, 3)
+    ref = [get_backend("python").gate(m, 3) for m in batch]
+    assert out == ref
+    assert out[1] is None  # the cycle is gated out
+
+
+@pytest.mark.parametrize("n", [1, 15, 16, 17, 31, 32, 33, 63, 64])
+def test_widths_chain_plane(n):
+    # A full chain at every dtype boundary: closure is the strict
+    # lower-triangle, acyclicity holds.
+    chain = [(1 << i) - 1 if i else 0 for i in range(n)]
+    nb = get_backend("numpy")
+    assert nb.close(chain, n) == close_masks(chain)
+    assert nb.acyclic(chain, n) is True
+    # And a cycle closing the chain is rejected.
+    cyclic = list(chain)
+    cyclic[0] |= 1 << (n - 1)
+    assert nb.acyclic(cyclic, n) == masks_acyclic(cyclic, n)
+
+
+def test_width_over_64_rejected():
+    from repro.kernel.backend.matrix import word_dtype
+
+    with pytest.raises(ValueError):
+        word_dtype(65)
+
+
+def test_empty_batch():
+    nb = get_backend("numpy")
+    assert nb.gate_batch([], 5) == []
+    assert nb.close_batch([], 5) == []
+    assert nb.acyclic_batch([], 5) == []
+
+
+# -- the plane-cache LRU -------------------------------------------------------
+
+
+@pytest.fixture
+def small_plane_cache():
+    configure_plane_cache(capacity=2)
+    yield
+    configure_plane_cache(capacity=64)
+
+
+def _histories(k):
+    return [parse_history(f"p: w(x){i + 1} | q: r(x){i + 1}") for i in range(k)]
+
+
+def test_plane_cache_hit_and_miss_counters(small_plane_cache):
+    (h,) = _histories(1)
+    plane = history_plane(h)
+    stats = plane_cache_stats()
+    assert (stats["hits"], stats["misses"]) == (0, 1)
+    assert history_plane(h) is plane
+    stats = plane_cache_stats()
+    assert (stats["hits"], stats["misses"]) == (1, 1)
+    assert stats["size"] == 1 and stats["capacity"] == 2
+
+
+def test_plane_cache_interleaved_histories_keep_entries(small_plane_cache):
+    # The single-slot regression: two live histories checked in turn must
+    # both stay resident (capacity permitting), not evict each other.
+    h1, h2 = _histories(2)
+    p1, p2 = history_plane(h1), history_plane(h2)
+    for _ in range(3):
+        assert history_plane(h1) is p1
+        assert history_plane(h2) is p2
+    stats = plane_cache_stats()
+    assert stats["misses"] == 2 and stats["evictions"] == 0
+
+
+def test_plane_cache_evicts_lru(small_plane_cache):
+    h1, h2, h3 = _histories(3)
+    p1 = history_plane(h1)
+    history_plane(h2)
+    history_plane(h1)  # touch h1 so h2 is the LRU entry
+    history_plane(h3)  # evicts h2
+    assert plane_cache_stats()["evictions"] == 1
+    assert history_plane(h1) is p1  # still resident
+    misses = plane_cache_stats()["misses"]
+    history_plane(h2)  # rebuilt
+    assert plane_cache_stats()["misses"] == misses + 1
+
+
+def test_install_plane_overrides(small_plane_cache):
+    h1, h2 = _histories(2)
+    plane = history_plane(h1)
+    install_plane(h2, plane)
+    assert history_plane(h2) is plane
+
+
+def test_configure_plane_cache_validates():
+    with pytest.raises(KernelError):
+        configure_plane_cache(capacity=0)
+    configure_plane_cache(capacity=64)
+
+
+# -- the protocol's default batch implementations ------------------------------
+
+
+class _TinyBackend(MaskBackend):
+    """A minimal third-party backend: only the two abstract ops."""
+
+    name = "tiny"
+
+    def close(self, masks, n):
+        return close_masks(list(masks))
+
+    def acyclic(self, masks, n):
+        return masks_acyclic(masks, n)
+
+
+def test_custom_backend_inherits_batch_defaults():
+    tiny = _TinyBackend()
+    batch = [[0, 1, 2], [2, 4, 1]]
+    assert tiny.gate_batch(batch, 3) == get_backend("python").gate_batch(batch, 3)
+    assert tiny.close_batch(batch, 3) == [close_masks(m) for m in batch]
+    assert tiny.acyclic_batch(batch, 3) == [masks_acyclic(m, 3) for m in batch]

@@ -1,0 +1,109 @@
+"""Property-based backend parity (hypothesis).
+
+The backend contract as properties: for *any* mask plane — not just the
+ones the search happens to produce — the numpy backend's transitive
+closure, acyclicity verdict, and fused gate equal the pure-Python
+reference's, at every batch size; and for any random history, the full
+``check_with_spec`` result (verdict, witness views, reason, exploration
+count) is identical under both backends for every spec-backed model.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checking.models import MODELS, model_names
+from repro.core.serialization import check_result_to_dict
+from repro.kernel.backend import get_backend, use_backend
+from repro.kernel.constraints import close_masks, masks_acyclic
+from repro.kernel.search import check_with_spec
+
+from tests.property.test_history_strategies import history_strategy
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+SPEC_MODELS = tuple(n for n in model_names() if MODELS[n].spec is not None)
+
+
+@st.composite
+def mask_plane(draw, max_n=12):
+    """A random predecessor-mask plane: ``(masks, n)``, bits < n only.
+
+    Self-loops and cycles are deliberately *allowed* — the gate's whole
+    job is to reject them, so the strategy must produce them.
+    """
+    n = draw(st.integers(0, max_n))
+    masks = [draw(st.integers(0, (1 << n) - 1)) if n else 0 for _ in range(n)]
+    return masks, n
+
+
+@st.composite
+def mask_batch(draw, max_rows=6):
+    n = draw(st.integers(0, 10))
+    rows = draw(st.integers(0, max_rows))
+    return [
+        [draw(st.integers(0, (1 << n) - 1)) if n else 0 for _ in range(n)]
+        for _ in range(rows)
+    ], n
+
+
+@given(mask_plane())
+@RELAXED
+def test_closure_parity(plane):
+    masks, n = plane
+    assert get_backend("numpy").close(masks, n) == close_masks(masks)
+
+
+@given(mask_plane())
+@RELAXED
+def test_acyclicity_parity(plane):
+    masks, n = plane
+    assert get_backend("numpy").acyclic(masks, n) == masks_acyclic(masks, n)
+
+
+@given(mask_plane())
+@RELAXED
+def test_gate_consistency(plane):
+    # The fused gate must agree with its two components on both backends.
+    masks, n = plane
+    for name in ("python", "numpy"):
+        backend = get_backend(name)
+        gated = backend.gate(masks, n)
+        if masks_acyclic(masks, n):
+            assert gated == close_masks(masks)
+        else:
+            assert gated is None
+
+
+@given(mask_batch())
+@RELAXED
+def test_batch_parity(batch):
+    rows, n = batch
+    py = get_backend("python")
+    nb = get_backend("numpy")
+    assert nb.gate_batch(rows, n) == py.gate_batch(rows, n)
+    assert nb.close_batch(rows, n) == py.close_batch(rows, n)
+    assert nb.acyclic_batch(rows, n) == py.acyclic_batch(rows, n)
+
+
+@given(history_strategy(), st.booleans())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_check_results_identical_across_backends(history, prepass):
+    for name in SPEC_MODELS:
+        spec = MODELS[name].spec
+        with use_backend("python"):
+            ref = check_result_to_dict(
+                check_with_spec(spec, history, prepass=prepass)
+            )
+        with use_backend("numpy"):
+            got = check_result_to_dict(
+                check_with_spec(spec, history, prepass=prepass)
+            )
+        assert ref == got, f"backend divergence under {name}"
