@@ -24,6 +24,7 @@ pinned by ``tests/engine/test_arena.py``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import weakref
 from collections import OrderedDict
@@ -37,12 +38,27 @@ from repro.core.serialization import history_from_dict, history_to_dict
 from repro.kernel.constraints import HistoryPlane, history_plane
 from repro.spec.parameters import CAUSAL, PO, PO_LOC, PO_SYNC, PPO, SEMI_CAUSAL
 
-__all__ = ["PlaneArena", "encode_plane", "decode_plane"]
+__all__ = ["PlaneArena", "encode_plane", "decode_plane", "plane_key"]
 
 #: Ordering rules whose compiled mask rows travel through the arena,
 #: resolved by name on the worker side (the rule objects are module
 #: singletons, shared by every spec that uses them).
 _RULES = {rule.name: rule for rule in (PO, PO_LOC, PO_SYNC, PPO, CAUSAL, SEMI_CAUSAL)}
+
+
+def plane_key(history: SystemHistory) -> str:
+    """A content key for ``history``: a hash of its canonical wire form.
+
+    The warm engine keys arena segments with this rather than with job
+    keys — job keys are *not* injective across sweep specs (``random``
+    keys omit the history shape, ``space`` keys omit the location set),
+    so two sweeps on one long-lived daemon could collide a key onto two
+    different histories and make workers decode the stale one.  Hashing
+    the wire dict makes collisions impossible in practice and dedupes
+    value-equal histories across sweeps for free.
+    """
+    wire = json.dumps(history_to_dict(history), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(wire.encode()).hexdigest()
 
 
 def encode_plane(history: SystemHistory, plane: HistoryPlane | None = None) -> bytes:
@@ -81,6 +97,7 @@ def encode_plane(history: SystemHistory, plane: HistoryPlane | None = None) -> b
         {
             "history": history_to_dict(history),
             "n": plane.n,
+            "words": len(rows),
             "sections": sections,
         },
         separators=(",", ":"),
@@ -106,7 +123,12 @@ def decode_plane(buf: memoryview | bytes) -> tuple[SystemHistory, HistoryPlane]:
         raise EngineError(
             f"arena payload universe mismatch: header says {n}, history has {plane.n}"
         )
-    words = np.frombuffer(buf, dtype="<u8", offset=8 + head_len)
+    # The header records the exact word count: shared-memory segments may
+    # be rounded up to a page (macOS always does), and frombuffer over the
+    # whole remainder would demand a multiple-of-8 byte count.  An explicit
+    # count ignores any trailing padding.
+    total_words = int(header.get("words", n * len(header["sections"])))
+    words = np.frombuffer(buf, dtype="<u8", offset=8 + head_len, count=total_words)
     for i, section in enumerate(header["sections"]):
         row: list[int] = words[i * n : (i + 1) * n].tolist()
         kind = section["kind"]
@@ -158,9 +180,11 @@ class PlaneArena:
     ) -> str:
         """Ensure ``key``'s payload is resident; returns its segment name.
 
-        The warm engine keys by job key, so a key must always denote the
-        same history for the lifetime of the arena (true of every sweep
-        source; a repeat ``put`` trusts the existing payload).
+        A repeat ``put`` trusts the existing payload, so a key must always
+        denote the same history for the lifetime of the arena.  The warm
+        engine guarantees this by keying with :func:`plane_key` (a content
+        hash of the history), never with job keys, which collide across
+        sweep specs.
         """
         shm = self._segments.get(key)
         if shm is not None:
@@ -175,6 +199,20 @@ class PlaneArena:
             old.close()
             old.unlink()
         return shm.name
+
+    def reserve(self, count: int) -> None:
+        """Grow capacity to at least ``count`` segments (never shrinks).
+
+        The warm engine calls this with the sweep's job count before
+        building payloads: every payload carries a segment *name*, so an
+        eviction between ``put`` and the worker's attach would unlink a
+        segment that is still queued and fail the attach with
+        ``FileNotFoundError``.  Sizing the arena to the sweep up front
+        makes mid-build eviction of this sweep's segments impossible —
+        eviction can then only retire segments older than the sweep.
+        """
+        if count > self.capacity:
+            self.capacity = count
 
     def release(self, key: str) -> None:
         """Unlink one key's segment (a no-op for unknown keys)."""

@@ -6,7 +6,10 @@ which generation parameters — and expands it into a deterministic stream
 of :class:`CheckJob` units.  Keys are stable across runs and processes
 (catalog names, enumeration indices, generator seeds), which is what makes
 the result store resumable: a key present in the store never needs
-re-checking.
+re-checking.  Keys also embed the full generation shape (procs, ops,
+locations, write probability), so a key can never denote two different
+histories across specs — resume skips and shared-store daemons depend on
+that injectivity.
 
 Three history sources:
 
@@ -126,6 +129,17 @@ class SweepSpec:
 
     # -- expansion -------------------------------------------------------------
 
+    def _shape_tag(self) -> str:
+        """The key segment pinning the generated history shape.
+
+        Embedded in ``space`` and ``random`` keys so keys stay injective
+        across specs: without it, ``random:{seed}:{i}`` (say) would name
+        different histories under different shapes, and a shared result
+        store's resume pass — or any cache keyed by job key — would serve
+        one spec's records to another.
+        """
+        return f"{self.procs}x{self.ops_per_proc}:{','.join(self.locations)}"
+
     def jobs(self) -> Iterator[CheckJob]:
         """Expand into :class:`CheckJob` units, deterministically ordered."""
         models = self.resolved_models()
@@ -154,7 +168,7 @@ class SweepSpec:
             ops_per_proc=self.ops_per_proc,
             locations=self.locations,
         )
-        prefix = f"space:{self.procs}x{self.ops_per_proc}"
+        prefix = f"space:{self._shape_tag()}"
         seen: set[tuple] = set()
         index = 0
         for history in enumerate_histories(space):
@@ -179,4 +193,8 @@ class SweepSpec:
                 locations=self.locations,
                 p_write=self.p_write,
             )
-            yield CheckJob(f"random:{self.seed}:{i:06d}", history, models)
+            yield CheckJob(
+                f"random:{self._shape_tag()}:p{self.p_write}:{self.seed}:{i:06d}",
+                history,
+                models,
+            )

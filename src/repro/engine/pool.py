@@ -14,10 +14,11 @@ protocol stable and start-method agnostic (fork and spawn both work).
 A *persistent* engine (``persistent=True``) is the warm-daemon variant the
 serve layer runs on: the worker pool is created once and reused across
 runs, and sweep payloads travel through the shared-memory
-:class:`~repro.engine.arena.PlaneArena` — one segment per job key holding
-the history plus its compiled plane masks — so a repeated sweep re-pickles
-nothing and workers skip recompilation by installing the decoded plane
-into the kernel's plane LRU.
+:class:`~repro.engine.arena.PlaneArena` — one segment per distinct
+history (keyed by :func:`~repro.engine.arena.plane_key` content hash)
+holding the history plus its compiled plane masks — so a repeated sweep
+re-pickles nothing and workers skip recompilation by installing the
+decoded plane into the kernel's plane LRU.
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ from repro.checking.models import MODELS, check, model_names
 from repro.core.errors import EngineError
 from repro.core.history import SystemHistory
 from repro.core.serialization import history_from_dict, history_to_dict, view_to_dict
-from repro.engine.arena import PlaneArena
+from repro.engine.arena import PlaneArena, plane_key
 from repro.engine.cache import RelationCache
 from repro.engine.jobs import SweepSpec
 from repro.engine.metrics import EngineMetrics
@@ -461,10 +462,18 @@ class CheckEngine:
 
         arena = self.arena
         if arena is not None:
-            # Warm path: one shared-memory segment per job key (idempotent
-            # across runs), shipped by name instead of re-pickled per job.
+            # Warm path: one shared-memory segment per distinct history
+            # (content-hash keyed — job keys collide across specs), shipped
+            # by name instead of re-pickled per job.  Reserve before the
+            # puts so eviction can never unlink a segment whose name is
+            # still queued in a payload.
+            arena.reserve(len(todo))
             payloads: list[_Payload] = [
-                (job.key, {"__arena__": arena.put(job.key, job.history)}, job.models)
+                (
+                    job.key,
+                    {"__arena__": arena.put(plane_key(job.history), job.history)},
+                    job.models,
+                )
                 for job in todo
             ]
         else:

@@ -28,6 +28,7 @@ closure; :func:`masks_acyclic` a Kahn peeling test.  Both replace the
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -360,6 +361,15 @@ _PLANE_HITS = 0
 _PLANE_MISSES = 0
 _PLANE_EVICTIONS = 0
 
+#: Guards the cache and its counters: the serve layer runs checks on a
+#: thread-pool executor, so lookups, LRU reordering, inserts, and
+#: evictions interleave across threads.  Without the lock, an eviction
+#: between another thread's ``get`` hit and its ``move_to_end`` raises
+#: ``KeyError``, and the counters drop increments.  Plane *compilation*
+#: stays outside the lock — concurrent misses may compile twice, which
+#: is wasteful but harmless (last insert wins).
+_PLANE_LOCK = threading.Lock()
+
 
 def plane_cache_stats() -> dict[str, int]:
     """Hit/miss/eviction counters and current size of the plane cache.
@@ -367,13 +377,14 @@ def plane_cache_stats() -> dict[str, int]:
     Cumulative for the process (the serve layer folds them into
     ``/stats``); reset with :func:`configure_plane_cache`.
     """
-    return {
-        "hits": _PLANE_HITS,
-        "misses": _PLANE_MISSES,
-        "evictions": _PLANE_EVICTIONS,
-        "size": len(_PLANE_CACHE),
-        "capacity": _PLANE_CAPACITY,
-    }
+    with _PLANE_LOCK:
+        return {
+            "hits": _PLANE_HITS,
+            "misses": _PLANE_MISSES,
+            "evictions": _PLANE_EVICTIONS,
+            "size": len(_PLANE_CACHE),
+            "capacity": _PLANE_CAPACITY,
+        }
 
 
 def configure_plane_cache(capacity: int | None = None) -> None:
@@ -386,21 +397,23 @@ def configure_plane_cache(capacity: int | None = None) -> None:
     default session bound).
     """
     global _PLANE_CAPACITY, _PLANE_HITS, _PLANE_MISSES, _PLANE_EVICTIONS
-    if capacity is not None:
-        if capacity < 1:
-            raise KernelError(f"plane cache capacity must be >= 1, got {capacity}")
-        _PLANE_CAPACITY = capacity
-    _PLANE_CACHE.clear()
-    _PLANE_HITS = _PLANE_MISSES = _PLANE_EVICTIONS = 0
+    if capacity is not None and capacity < 1:
+        raise KernelError(f"plane cache capacity must be >= 1, got {capacity}")
+    with _PLANE_LOCK:
+        if capacity is not None:
+            _PLANE_CAPACITY = capacity
+        _PLANE_CACHE.clear()
+        _PLANE_HITS = _PLANE_MISSES = _PLANE_EVICTIONS = 0
 
 
 def _plane_cache_insert(history: SystemHistory, plane: HistoryPlane) -> None:
     global _PLANE_EVICTIONS
-    _PLANE_CACHE[id(history)] = (history, plane)
-    _PLANE_CACHE.move_to_end(id(history))
-    while len(_PLANE_CACHE) > _PLANE_CAPACITY:
-        _PLANE_CACHE.popitem(last=False)
-        _PLANE_EVICTIONS += 1
+    with _PLANE_LOCK:
+        _PLANE_CACHE[id(history)] = (history, plane)
+        _PLANE_CACHE.move_to_end(id(history))
+        while len(_PLANE_CACHE) > _PLANE_CAPACITY:
+            _PLANE_CACHE.popitem(last=False)
+            _PLANE_EVICTIONS += 1
 
 
 def history_plane(history: SystemHistory) -> HistoryPlane:
@@ -414,12 +427,13 @@ def history_plane(history: SystemHistory) -> HistoryPlane:
     """
     global _PLANE_HITS, _PLANE_MISSES
     key = id(history)
-    entry = _PLANE_CACHE.get(key)
-    if entry is not None and entry[0] is history:
-        _PLANE_HITS += 1
-        _PLANE_CACHE.move_to_end(key)
-        return entry[1]
-    _PLANE_MISSES += 1
+    with _PLANE_LOCK:
+        entry = _PLANE_CACHE.get(key)
+        if entry is not None and entry[0] is history:
+            _PLANE_HITS += 1
+            _PLANE_CACHE.move_to_end(key)
+            return entry[1]
+        _PLANE_MISSES += 1
     plane = HistoryPlane(history)
     _plane_cache_insert(history, plane)
     return plane

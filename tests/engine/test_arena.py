@@ -23,7 +23,7 @@ import pytest
 
 from repro.checking.models import check
 from repro.core.errors import EngineError
-from repro.engine.arena import PlaneArena, decode_plane, encode_plane
+from repro.engine.arena import PlaneArena, decode_plane, encode_plane, plane_key
 from repro.engine.jobs import SweepSpec
 from repro.engine.pool import CheckEngine
 from repro.kernel.constraints import HistoryPlane, history_plane
@@ -71,6 +71,28 @@ def test_round_trip_cold_plane():
     decoded_history, decoded_plane = decode_plane(encode_plane(history))
     assert decoded_history == history
     assert decoded_plane.n == len(history.operations)
+
+
+def test_decode_tolerates_trailing_padding():
+    """Platforms may round segments up to a page; padding must be ignored."""
+    history, plane = _warm_history()
+    data = encode_plane(history, plane)
+    for pad in (1, 7, 13, 4096 - (len(data) % 4096)):
+        decoded_history, decoded_plane = decode_plane(data + b"\x00" * pad)
+        assert decoded_history == history
+        for key, value in plane.masks.items():
+            if isinstance(key, tuple):
+                continue
+            assert decoded_plane.masks[key] == value
+
+
+def test_plane_key_is_content_keyed():
+    a = parse_history("p: w(x)1 r(y)0 | q: w(y)1 r(x)0")
+    b = parse_history("p: w(x)1 r(y)0 | q: w(y)1 r(x)0")
+    c = parse_history("p: w(x)1 r(y)0 | q: w(y)1 r(x)1")
+    assert a is not b
+    assert plane_key(a) == plane_key(b)
+    assert plane_key(a) != plane_key(c)
 
 
 def test_decode_rejects_mismatched_universe():
@@ -151,6 +173,14 @@ def test_capacity_validated():
         PlaneArena(capacity=0)
 
 
+def test_reserve_grows_capacity_never_shrinks():
+    with PlaneArena(capacity=2) as arena:
+        arena.reserve(8)
+        assert arena.capacity == 8
+        arena.reserve(4)
+        assert arena.capacity == 8
+
+
 # -- crash cleanup -------------------------------------------------------------
 
 
@@ -200,6 +230,48 @@ def test_persistent_engine_matches_cold_engine():
         assert len(arena) == segments, "re-runs must reuse segments"
     assert _stripped(first.results) == _stripped(cold.results)
     assert _stripped(second.results) == _stripped(cold.results)
+
+
+def test_sweep_larger_than_arena_capacity():
+    """Pre-building payloads must never evict a still-queued segment.
+
+    The engine reserves the arena to the sweep's size before the put
+    loop; without that, a sweep with more distinct histories than the
+    arena's capacity unlinks segments whose names are still queued and
+    every worker attach fails with ``FileNotFoundError``.
+    """
+    spec = SweepSpec(source="catalog", models=("SC",))
+    cold = CheckEngine(jobs=2).run(spec)
+    assert len(cold.results) > 2
+    with CheckEngine(jobs=2, persistent=True) as warm:
+        warm._arena = PlaneArena(capacity=1)  # far smaller than the sweep
+        report = warm.run(spec)
+        assert warm.arena is not None and warm.arena.capacity >= len(cold.results)
+    assert _stripped(report.results) == _stripped(cold.results)
+
+
+def test_cross_spec_sweeps_never_share_stale_segments():
+    """Two shapes on one warm engine must each decode their own histories.
+
+    Job keys used to collide across specs (``random:{seed}:{i}`` omitted
+    the shape) and the arena trusted an existing key's payload, so the
+    second sweep decoded the first sweep's stale segments.  Two layers
+    now prevent this: job keys embed the full shape, and the arena keys
+    segments by :func:`plane_key` content hash regardless.
+    """
+    base = dict(source="random", models=("SC", "Causal"), seed=7, count=4)
+    first = SweepSpec(procs=2, ops_per_proc=2, **base)
+    second = SweepSpec(procs=3, ops_per_proc=2, **base)
+    first_keys = {j.key for j in first.jobs()}
+    assert first_keys.isdisjoint(j.key for j in second.jobs())
+    assert {plane_key(j.history) for j in first.jobs()}.isdisjoint(
+        plane_key(j.history) for j in second.jobs()
+    )
+    cold = CheckEngine(jobs=2).run(second)
+    with CheckEngine(jobs=2, persistent=True) as warm:
+        warm.run(first)
+        report = warm.run(second)
+    assert _stripped(report.results) == _stripped(cold.results)
 
 
 def test_persistent_engine_numpy_workers_identical():

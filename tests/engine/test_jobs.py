@@ -71,7 +71,7 @@ class TestSpaceJobs:
     def test_stable_indices(self):
         spec = SweepSpec(source="space", models=("SC",))
         first = [j.key for j in spec.jobs()]
-        assert first[0] == "space:2x2:000000"
+        assert first[0] == "space:2x2:x,y:000000"
         assert first == [j.key for j in spec.jobs()]
 
 
@@ -81,8 +81,28 @@ class TestRandomJobs:
         a = list(spec.jobs())
         b = list(spec.jobs())
         assert len(a) == 5
-        assert [j.key for j in a] == [f"random:9:{i:06d}" for i in range(5)]
+        assert [j.key for j in a] == [
+            f"random:2x2:x,y:p0.5:9:{i:06d}" for i in range(5)
+        ]
         assert [j.history for j in a] == [j.history for j in b]
+
+    def test_keys_embed_shape(self):
+        # Keys are injective across specs: different shapes (or write
+        # probabilities) with the same seed must never share a key,
+        # or shared-store resume would serve one spec's records to
+        # another's jobs.
+        base = dict(source="random", models=("SC",), count=3, seed=7)
+        variants = [
+            SweepSpec(procs=2, ops_per_proc=2, **base),
+            SweepSpec(procs=3, ops_per_proc=2, **base),
+            SweepSpec(procs=2, ops_per_proc=3, **base),
+            SweepSpec(procs=2, ops_per_proc=2, locations=("x", "y", "z"), **base),
+            SweepSpec(procs=2, ops_per_proc=2, p_write=0.25, **base),
+        ]
+        key_sets = [{j.key for j in spec.jobs()} for spec in variants]
+        for i, a in enumerate(key_sets):
+            for b in key_sets[i + 1 :]:
+                assert a.isdisjoint(b)
 
     def test_seed_changes_histories(self):
         h0 = [j.history for j in SweepSpec(source="random", count=5, seed=0).jobs()]

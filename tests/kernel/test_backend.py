@@ -232,6 +232,30 @@ def test_configure_plane_cache_validates():
     configure_plane_cache(capacity=64)
 
 
+def test_plane_cache_thread_safe(small_plane_cache):
+    """Concurrent lookups under constant eviction must never raise.
+
+    The serve layer checks on a thread-pool executor; without the cache
+    lock, an eviction between one thread's ``get`` hit and its
+    ``move_to_end`` raises ``KeyError``.  Capacity 2 with four live
+    histories keeps the cache churning at the boundary.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    histories = _histories(4)
+
+    def hammer(_):
+        for _ in range(300):
+            for h in histories:
+                assert history_plane(h).history is h
+        return True
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        assert all(pool.map(hammer, range(8)))
+    stats = plane_cache_stats()
+    assert stats["size"] <= stats["capacity"]
+
+
 # -- the protocol's default batch implementations ------------------------------
 
 
