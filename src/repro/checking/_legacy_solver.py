@@ -302,6 +302,51 @@ def _mutual_candidates(
             yield coherence, coherence_relation(history, coherence)
         return
 
+    if mc is MutualConsistency.PARTITION:
+        from itertools import product
+
+        from repro.spec.parameters import partition_block_map
+
+        assert spec.partition_blocks is not None
+        block = partition_block_map(history, spec.partition_blocks)
+        by_block: list[list[Operation]] = [
+            [] for _ in range(spec.partition_blocks)
+        ]
+        for op in history.writes:
+            by_block[block[op.location]].append(op)
+        per_block: list[list[tuple[Operation, ...]]] = []
+        for b in range(spec.partition_blocks):
+            forced_b: Relation[Operation] = Relation(by_block[b])
+            for proc in history.procs:
+                chain = [
+                    op
+                    for op in history.ops_of(proc)
+                    if op.is_write and block[op.location] == b
+                ]
+                for x, y in zip(chain, chain[1:]):
+                    forced_b.add(x, y)
+            if unambiguous:
+                for loc in history.locations:
+                    if block[loc] != b:
+                        continue
+                    for x, y in forced_coherence_pairs(history, loc, rf).pairs():
+                        forced_b.add(x, y)
+            if not forced_b.is_acyclic():
+                return
+            per_block.append(
+                [tuple(order) for order in forced_b.all_topological_sorts()]
+            )
+        for combo in product(*per_block):
+            rel_p: Relation[Operation] = Relation(history.operations)
+            coherence_p: dict[str, tuple[Operation, ...]] = {}
+            for order in combo:
+                for i, a in enumerate(order):
+                    for b_op in order[i + 1:]:
+                        rel_p.add(a, b_op)
+                coherence_p.update(_split_by_location(list(order)))
+            yield coherence_p, rel_p
+        return
+
     if mc is MutualConsistency.LABELED_TOTAL_ORDER:
         labeled = history.labeled_ops
         forced_l: Relation[Operation] = Relation(labeled)

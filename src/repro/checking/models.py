@@ -29,13 +29,20 @@ from repro.spec.registry import (
     COHERENCE_SPEC,
     COHERENT_CAUSAL_SPEC,
     COHERENT_PRAM_SPEC,
+    MR_SPEC,
+    MW_SPEC,
+    PARTITION2_SPEC,
+    PARTITION3_SPEC,
     PC_SPEC,
     PRAM_SPEC,
     RC_PC_SPEC,
     RC_SC_SPEC,
+    RYW_SPEC,
     SC_SPEC,
+    SESSION_CAUSAL_SPEC,
     SLOW_SPEC,
     TSO_SPEC,
+    WFR_SPEC,
 )
 
 __all__ = ["MemoryModel", "MODELS", "PAPER_MODELS", "check", "classify", "model_names"]
@@ -117,6 +124,29 @@ MODELS: dict[str, MemoryModel] = {
         MemoryModel("TSO-axiomatic", None, _wrap(check_axiomatic_tso)),
     )
 }
+
+# The session-guarantee and Partition Consistency families have no fast
+# paths; the spec-driven kernel is their decision procedure.
+MODELS.update(
+    {
+        spec.name: MemoryModel(
+            spec.name,
+            spec,
+            # Bind per iteration: a bare lambda would close over the loop
+            # variable and every entry would check the last spec.
+            (lambda s: lambda h: check_with_spec(s, h))(spec),
+        )
+        for spec in (
+            RYW_SPEC,
+            MR_SPEC,
+            MW_SPEC,
+            WFR_SPEC,
+            SESSION_CAUSAL_SPEC,
+            PARTITION2_SPEC,
+            PARTITION3_SPEC,
+        )
+    }
+)
 
 #: The memories Figure 5 relates (the paper's core comparison set).
 PAPER_MODELS: tuple[str, ...] = ("SC", "TSO", "PC", "Causal", "PRAM")

@@ -38,7 +38,7 @@ import sys
 from typing import Sequence
 
 from repro import __version__
-from repro.checking import MODELS, check, model_names
+from repro.checking import MODELS, PAPER_MODELS, check, model_names
 from repro.core.errors import ReproError
 from repro.lattice import (
     FIGURE5_EDGES,
@@ -124,11 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_catalog = sub.add_parser("catalog", help="sweep or show litmus catalog entries")
     p_catalog.add_argument("--name", help="show just this entry")
 
-    p_lattice = sub.add_parser("lattice", help="reproduce Figure 5 by enumeration")
+    p_lattice = sub.add_parser(
+        "lattice", help="measure the model lattice by enumeration"
+    )
     p_lattice.add_argument("--procs", type=int, default=2)
     p_lattice.add_argument("--ops", type=int, default=2)
     p_lattice.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_lattice.add_argument(
+        "--models",
+        default="all",
+        help="comma-separated panel, or 'all' (every registered model; "
+        "the default) or 'paper' (Figure 5's five)",
+    )
+    p_lattice.add_argument(
+        "--paper",
+        action="store_true",
+        help="shorthand for --models paper: Figure 5's sub-lattice only",
     )
     p_lattice.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p_lattice.add_argument(
@@ -211,8 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--models",
-        default="paper",
-        help="comma-separated model names, 'paper' (Figure 5 set), or 'all'",
+        default="all",
+        help="comma-separated model names, 'all' (every spec-backed "
+        "registered model, the default), or 'paper' (Figure 5 set)",
     )
     p_fuzz.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
@@ -633,13 +647,32 @@ def _cmd_lattice(args: argparse.Namespace) -> int:
         if key not in seen:
             seen.add(key)
             histories.append(h)
-    models = ("SC", "TSO", "PC", "Causal", "PRAM")
+    # The panel defaults to every registered model and the edge set to
+    # the registry-derived lattice, so newly registered models are
+    # containment-checked without any CLI plumbing; --paper restricts
+    # both to the verdict-locked Figure 5 sub-lattice.
+    from repro.lattice import extended_edges
+
+    selector = "paper" if args.paper else args.models
+    if selector == "paper":
+        models: tuple[str, ...] = PAPER_MODELS
+        edges = FIGURE5_EDGES
+    elif selector == "all":
+        models = model_names()
+        edges = extended_edges(models)
+    else:
+        models = tuple(name.strip() for name in selector.split(","))
+        unknown = [name for name in models if name not in MODELS]
+        if unknown:
+            print(f"unknown model(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        edges = extended_edges(models)
     from repro.engine import CheckEngine
 
     result = classify_histories(histories, models, engine=CheckEngine(jobs=args.jobs))
     print(f"{len(histories)} canonical histories; counts: {result.counts()}")
-    violations = containment_violations(result, FIGURE5_EDGES)
-    print(f"Figure 5 violations: {len(violations)}")
+    violations = containment_violations(result, edges)
+    print(f"lattice violations ({len(edges)} claimed edges): {len(violations)}")
     g = empirical_hasse(result)
     print(lattice_to_dot(g) if args.dot else render_lattice(g))
     if args.report:

@@ -42,7 +42,7 @@ from repro.diff.programs import (
 )
 from repro.diff.shapes import ShapePreset, resolve_shapes
 from repro.diff.shrink import ShrinkResult, shrink_history
-from repro.lattice.classify import FIGURE5_EDGES
+from repro.lattice.classify import extended_edges
 from repro.orders.memo import relation_memo
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine maps panels)
@@ -401,16 +401,19 @@ def run_fuzz(
 
 
 #: Verdict patterns worth pinning as regression fixtures: ``(label,
-#: admitting model, denying model)``.  One per Figure 5 edge — a witness
-#: that *separates* the weaker model from the stronger, proving the
-#: containment is strict — plus the PC/Causal incomparable pair in both
-#: directions.
+#: admitting model, denying model)``.  One per registry-derived lattice
+#: edge — a witness that *separates* the weaker model from the stronger,
+#: proving the containment is strict — plus notable incomparable pairs in
+#: both directions (PC/Causal from Figure 5; the partition arities, whose
+#: round-robin block maps stop nesting on four locations).
 SEPARATOR_PATTERNS: tuple[tuple[str, str, str], ...] = tuple(
     (f"{weaker}-not-{stronger}", weaker, stronger)
-    for stronger, weaker in FIGURE5_EDGES
+    for stronger, weaker in extended_edges()
 ) + (
     ("PC-not-Causal", "PC", "Causal"),
     ("Causal-not-PC", "Causal", "PC"),
+    ("partition-2-not-partition-3", "partition-2", "partition-3"),
+    ("partition-3-not-partition-2", "partition-3", "partition-2"),
 )
 
 

@@ -44,7 +44,7 @@ from repro.checking.models import MODELS
 from repro.core.errors import DiffError
 from repro.core.history import SystemHistory
 from repro.kernel import check_with_spec
-from repro.lattice.classify import FIGURE5_EDGES
+from repro.lattice.classify import extended_edges
 from repro.staticcheck.prepass import prepass_check
 
 __all__ = [
@@ -186,7 +186,7 @@ def find_discrepancies(
     panel: dict[str, dict[str, bool]],
     *,
     machine_model: str | None = None,
-    edges: Sequence[tuple[str, str]] = FIGURE5_EDGES,
+    edges: Sequence[tuple[str, str]] | None = None,
 ) -> list[Discrepancy]:
     """Every contradiction the panel's verdicts contain.
 
@@ -194,9 +194,13 @@ def find_discrepancies(
     the history (if any): such a trace is allowed by construction, so a
     DENY from that model is itself a discrepancy even though the oracles
     agree with each other.  ``edges`` are the containment claims asserted
-    on every history; an edge is only checked when both of its models were
-    consulted.
+    on every history (default: the full registry-derived lattice of
+    :func:`~repro.lattice.classify.extended_edges`, so a model registered
+    without bespoke plumbing here still gets containment-checked); an
+    edge is only checked when both of its models were consulted.
     """
+    if edges is None:
+        edges = extended_edges()
     found: list[Discrepancy] = []
     for name, verdicts in panel.items():
         row = {name: verdicts}
@@ -252,7 +256,7 @@ def find_discrepancies(
                     "lattice-violation",
                     (stronger, weaker),
                     f"{stronger}-admitted but {weaker}-denied "
-                    f"(Figure 5 claims {stronger} ⊆ {weaker})",
+                    f"(the lattice claims {stronger} ⊆ {weaker})",
                     {stronger: panel[stronger], weaker: panel[weaker]},
                 )
             )

@@ -141,6 +141,22 @@ SHAPE_PRESETS: dict[str, ShapePreset] = _presets(
             p_write=0.3,
         ),
         ShapePreset("noisy", procs=2, ops_per_proc=3, values=(97, 98, 99)),
+        # Long per-processor sessions over few locations: the regime where
+        # the session guarantees (ryw/mr/mw/wfr) separate from each other
+        # and from PRAM/Causal — violations need several same-processor
+        # operations in a row.
+        ShapePreset("sessions", procs=2, ops_per_proc=4, p_write=0.4),
+        # Write-heavy histories over four locations: the round-robin block
+        # maps of partition-2 and partition-3 only disagree once a fourth
+        # location exists, so this stratum is where the partition arities
+        # separate from each other and from Coherence.
+        ShapePreset(
+            "blocks",
+            procs=3,
+            ops_per_proc=2,
+            locations=("u", "x", "y", "z"),
+            p_write=0.6,
+        ),
         ShapePreset("machine:sc", machine="sc", procs=2, ops_per_proc=3),
         ShapePreset("machine:tso", machine="tso", procs=2, ops_per_proc=3),
         ShapePreset("machine:pc", machine="pc", procs=2, ops_per_proc=3),
@@ -160,6 +176,8 @@ DEFAULT_SHAPES: tuple[str, ...] = (
     "contended",
     "sparse",
     "noisy",
+    "sessions",
+    "blocks",
     "machine:sc",
     "machine:pram",
     "machine:causal",

@@ -16,6 +16,7 @@ exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from typing import Iterator
 
 from repro.core.errors import CheckerError
@@ -30,12 +31,17 @@ from repro.orders.program_order import in_program_order
 from repro.orders.relation import Relation
 from repro.orders.writes_before import ReadsFrom, unambiguous_reads_from
 from repro.spec.model_spec import MemoryModelSpec
-from repro.spec.parameters import LabeledDiscipline, MutualConsistency
+from repro.spec.parameters import (
+    LabeledDiscipline,
+    MutualConsistency,
+    partition_block_map,
+)
 
 __all__ = [
     "MutualCandidate",
     "LabeledExtra",
     "forced_write_order",
+    "forced_block_orders",
     "iter_mutual_candidates",
     "iter_labeled_extras",
 ]
@@ -92,6 +98,46 @@ def forced_write_order(
     return forced
 
 
+def forced_block_orders(
+    history: SystemHistory, blocks: int, reads_from: ReadsFrom | None
+) -> list[Relation[Operation]]:
+    """Per-block forced write orders of a ``blocks``-way partition.
+
+    One relation per block, in block-index order: program order between a
+    processor's own writes within the block, plus — under an unambiguous
+    ``reads_from`` — the per-location coherence edges it forces (every
+    location lies wholly inside one block).  Every admissible agreed
+    block order extends its block's relation, so this is the shared
+    pruning seed of the kernel's Partition enumeration and the static
+    pre-pass, exactly as :func:`forced_write_order` is for TSO.
+    """
+    block = partition_block_map(history, blocks)
+    by_block: list[list[Operation]] = [[] for _ in range(blocks)]
+    for op in history.writes:
+        by_block[block[op.location]].append(op)
+    out: list[Relation[Operation]] = []
+    for b in range(blocks):
+        forced: Relation[Operation] = Relation(by_block[b])
+        for proc in history.procs:
+            chain = [
+                op
+                for op in history.ops_of(proc)
+                if op.is_write and block[op.location] == b
+            ]
+            for x, y in zip(chain, chain[1:]):
+                forced.add(x, y)
+        if reads_from is not None:
+            for loc in history.locations:
+                if block[loc] != b:
+                    continue
+                for x, y in forced_coherence_pairs(
+                    history, loc, reads_from
+                ).pairs():
+                    forced.add(x, y)
+        out.append(forced)
+    return out
+
+
 def _split_by_location(order: list[Operation]) -> dict[str, tuple[Operation, ...]]:
     chains: dict[str, list[Operation]] = {}
     for op in order:
@@ -136,6 +182,30 @@ def iter_mutual_candidates(
             history, rf if unambiguous else None
         ):
             yield MutualCandidate(coherence, tuple(coherence.values()))
+        return
+
+    if mc is MutualConsistency.PARTITION:
+        # Partition Consistency: one agreed total order of the writes
+        # *within each block*, independently per block — the candidate
+        # space is the product of the per-block linear extensions of the
+        # forced block orders.
+        assert spec.partition_blocks is not None  # spec validation
+        per_block: list[list[tuple[Operation, ...]]] = []
+        for forced in forced_block_orders(
+            history, spec.partition_blocks, rf if unambiguous else None
+        ):
+            if not forced.is_acyclic():
+                return
+            per_block.append(
+                [tuple(order) for order in forced.all_topological_sorts()]
+            )
+        for combo in product(*per_block):
+            coherence: dict[str, tuple[Operation, ...]] = {}
+            for order in combo:
+                coherence.update(_split_by_location(list(order)))
+            yield MutualCandidate(
+                coherence, tuple(order for order in combo if order)
+            )
         return
 
     if mc is MutualConsistency.LABELED_TOTAL_ORDER:

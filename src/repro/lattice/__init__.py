@@ -5,6 +5,7 @@ from repro.lattice.classify import (
     FIGURE5_INCOMPARABLE,
     ClassificationResult,
     classify_histories,
+    extended_edges,
     containment_violations,
     separating_witnesses,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "canonical_key",
     "ClassificationResult",
     "classify_histories",
+    "extended_edges",
     "containment_violations",
     "empirical_hasse",
     "enumerate_histories",

@@ -26,11 +26,14 @@ __all__ = [
     "ClassificationResult",
     "classify_histories",
     "containment_violations",
+    "extended_edges",
     "separating_witnesses",
 ]
 
 #: (stronger, weaker) pairs asserted by the paper's Figure 5: the stronger
-#: memory's history set is strictly contained in the weaker one's.
+#: memory's history set is strictly contained in the weaker one's.  This
+#: is the paper's verdict-locked sub-lattice and never grows; the full
+#: registry-derived lattice is :func:`extended_edges`.
 FIGURE5_EDGES: tuple[tuple[str, str], ...] = (
     ("SC", "TSO"),
     ("TSO", "PC"),
@@ -41,6 +44,90 @@ FIGURE5_EDGES: tuple[tuple[str, str], ...] = (
 
 #: Model pairs Figure 5 shows as incomparable (neither contains the other).
 FIGURE5_INCOMPARABLE: tuple[tuple[str, str], ...] = (("PC", "Causal"),)
+
+#: Structural containments among the non-Figure-5 classical models.  Each
+#: claim follows from parameter comparison alone: same operation set, the
+#: stronger side's mutual-consistency object refines the weaker side's,
+#: and its ordering relation contains the weaker side's — so every view
+#: assignment the stronger model accepts is accepted by the weaker one.
+_CLASSICAL_CLAIMS: tuple[tuple[str, str], ...] = (
+    ("SC", "Coherence"),
+    ("SC", "CoherentCausal"),
+    ("SC", "Hybrid"),
+    ("CoherentCausal", "Causal"),
+    ("CoherentCausal", "PC-G"),
+    ("PC-G", "PRAM"),
+    ("PC-G", "Coherence"),
+    ("PRAM", "Slow"),
+    ("Coherence", "Slow"),
+    ("RC_sc", "RC_pc"),
+)
+
+
+def _session_components(spec) -> tuple[str, ...] | None:
+    """The session-guarantee components of a spec's ordering, or ``None``."""
+    name = spec.ordering.name
+    if not name.startswith("session(") or not name.endswith(")"):
+        return None
+    return tuple(name[len("session(") : -1].split("+"))
+
+
+def extended_edges(
+    models: Sequence[str] | None = None,
+) -> tuple[tuple[str, str], ...]:
+    """The registry-derived lattice: every claimed (stronger, weaker) pair.
+
+    Starts from :data:`FIGURE5_EDGES` and the classical structural claims,
+    then derives the session-guarantee and Partition Consistency family
+    edges from the specs actually registered — registering a new
+    ``partition-k`` or session meet grows the lattice without touching
+    this module:
+
+    * every Partition spec sits strictly between SC and Coherence (the
+      one-block instance *is* SC and the per-location instance *is*
+      Coherence, so each registered arity refines the one and coarsens
+      the other);
+    * Causal contains every session meet (causal order contains all four
+      session edge kinds), PRAM contains the wfr-free meets (program
+      order lacks the cross-processor wfr edges), and a meet contains
+      every meet over a subset of its components.
+
+    Distinct partition arities contribute no edge between each other: the
+    round-robin block maps of different arity stop being refinements of
+    one another on four locations, so the instances are incomparable.
+
+    ``models`` restricts the result to edges with both endpoints in the
+    given panel (default: every registered model).  Only claims whose two
+    models are registered are ever emitted, so an unregistered name in a
+    claim table is inert rather than a crash.
+    """
+    from repro.checking.models import model_names
+    from repro.spec.parameters import MutualConsistency
+    from repro.spec.registry import ALL_SPECS
+
+    panel = set(model_names() if models is None else models)
+    edges: list[tuple[str, str]] = [
+        e for e in FIGURE5_EDGES + _CLASSICAL_CLAIMS if set(e) <= panel
+    ]
+    sessions = {
+        spec.name: set(comps)
+        for spec in ALL_SPECS
+        if (comps := _session_components(spec)) is not None
+    }
+    for spec in ALL_SPECS:
+        if spec.mutual_consistency is MutualConsistency.PARTITION:
+            for edge in (("SC", spec.name), (spec.name, "Coherence")):
+                if set(edge) <= panel:
+                    edges.append(edge)
+    for name, comps in sessions.items():
+        claims = [("Causal", name)]
+        if "wfr" not in comps:
+            claims.append(("PRAM", name))
+        for other, other_comps in sessions.items():
+            if comps < other_comps:
+                claims.append((other, name))
+        edges.extend(e for e in claims if set(e) <= panel)
+    return tuple(dict.fromkeys(edges))
 
 
 @dataclass

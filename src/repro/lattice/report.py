@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from repro.lattice.classify import (
     ClassificationResult,
-    FIGURE5_EDGES,
     containment_violations,
+    extended_edges,
     separating_witnesses,
 )
 from repro.lattice.hasse import empirical_hasse, hasse_levels
@@ -25,9 +25,16 @@ def lattice_report(
     result: ClassificationResult,
     *,
     title: str = "Memory-model lattice survey",
-    edges=FIGURE5_EDGES,
+    edges=None,
 ) -> str:
-    """A markdown report of the classification (see module docstring)."""
+    """A markdown report of the classification (see module docstring).
+
+    ``edges`` defaults to the registry-derived lattice restricted to the
+    models actually classified, so a survey over any panel — not just the
+    paper's five — reports every claim it can check.
+    """
+    if edges is None:
+        edges = extended_edges(result.models)
     total = len(result.histories)
     lines = [f"# {title}", ""]
     lines.append(f"Classified **{total}** histories under {len(result.models)} models.")

@@ -50,6 +50,10 @@ class MemoryModelSpec:
         ordinary writes may arrive at other caches out of order.  When
         ``False`` (TSO, PC, PRAM, causal) the ordering binds every view
         that contains both operations.
+    partition_blocks:
+        Only for Partition Consistency (``MutualConsistency.PARTITION``):
+        how many blocks the location set splits into (round-robin over the
+        sorted locations).  ``None`` for every other mutual consistency.
     description:
         One-paragraph provenance note shown by documentation helpers.
     """
@@ -61,12 +65,24 @@ class MemoryModelSpec:
     labeled_discipline: LabeledDiscipline | None = None
     bracketing: bool = False
     ordering_own_view_only: bool = False
+    partition_blocks: int | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
         if self.bracketing and self.labeled_discipline is None:
             raise SpecError(
                 f"{self.name}: bracketing conditions require a labeled discipline"
+            )
+        if self.mutual_consistency is MutualConsistency.PARTITION:
+            if self.partition_blocks is None or self.partition_blocks < 1:
+                raise SpecError(
+                    f"{self.name}: partition consistency needs a positive "
+                    "partition_blocks count"
+                )
+        elif self.partition_blocks is not None:
+            raise SpecError(
+                f"{self.name}: partition_blocks only applies to "
+                "partition mutual consistency"
             )
         if (
             self.mutual_consistency is MutualConsistency.IDENTICAL
@@ -106,6 +122,7 @@ class MemoryModelSpec:
             self.labeled_discipline.value if self.labeled_discipline else "-",
             "brk" if self.bracketing else "-",
             "own" if self.ordering_own_view_only else "-",
+            str(self.partition_blocks) if self.partition_blocks else "-",
         ]
         return "/".join(parts)
 
@@ -119,4 +136,6 @@ class MemoryModelSpec:
             parts.append(f"labeled={self.labeled_discipline.value}")
         if self.bracketing:
             parts.append("bracketing")
+        if self.partition_blocks is not None:
+            parts.append(f"blocks={self.partition_blocks}")
         return f"{self.name}({', '.join(parts)})"

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache, partial
 from typing import Any, Callable
 
 from repro.core.history import SystemHistory
@@ -28,7 +29,7 @@ from repro.orders.coherence import CoherenceOrder
 from repro.orders.program_order import po_relation, ppo_relation
 from repro.orders.relation import Relation
 from repro.orders.semi_causal import sem_relation
-from repro.orders.writes_before import ReadsFrom
+from repro.orders.writes_before import ReadsFrom, unambiguous_reads_from
 
 __all__ = [
     "OperationSet",
@@ -41,6 +42,11 @@ __all__ = [
     "PPO",
     "CAUSAL",
     "SEMI_CAUSAL",
+    "SESSION_COMPONENTS",
+    "session_rule",
+    "partition_rule",
+    "partition_block_map",
+    "rule_by_name",
 ]
 
 
@@ -88,6 +94,14 @@ class MutualConsistency(enum.Enum):
     #: hybrid consistency's agreement requirement (Attiya & Friedman,
     #: cited by the paper as the strong/weak example of parameter 1).
     LABELED_TOTAL_ORDER = "labeled-total-order"
+
+    #: Locations are split into ``k`` blocks and all views order the
+    #: writes *within each block* identically — Partition Consistency
+    #: (Cheng, Higham & Kawash) as a parameterized family.  The block
+    #: count lives on the spec (``partition_blocks``); one block is
+    #: total-write-order agreement, one block per location degenerates
+    #: to coherence.
+    PARTITION = "partition"
 
 
 class LabeledDiscipline(enum.Enum):
@@ -180,3 +194,141 @@ CAUSAL = OrderingRule("causal", _build_causal)
 
 #: Semi-causality ``(ppo ∪ rwb ∪ rrb)+`` (processor consistency).
 SEMI_CAUSAL = OrderingRule("sem", _build_sem, needs_coherence=True)
+
+
+# -- session guarantees (Terry et al.; Steinke & Nutt's basic orders) ----------
+
+#: The four per-session guarantee components, in canonical order:
+#: read-your-writes (``w →po r``), monotonic reads (``r →po r``),
+#: monotonic writes (``w →po w``) and writes-follow-reads
+#: (``src(r) → w'`` for a read ``r`` program-order-before a write ``w'``).
+SESSION_COMPONENTS = ("ryw", "mr", "mw", "wfr")
+
+
+def _build_session(
+    components: tuple[str, ...],
+    history: SystemHistory,
+    rf: ReadsFrom,
+    co: CoherenceOrder | None,
+):
+    comps = set(components)
+    rel: Relation[Operation] = Relation(history.operations)
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if (
+                    ("mw" in comps and a.is_write and b.is_write)
+                    or ("ryw" in comps and a.is_write and b.is_read)
+                    or ("mr" in comps and a.is_read and b.is_read)
+                ):
+                    rel.add(a, b)
+    if "wfr" in comps:
+        reads = rf if rf is not None else unambiguous_reads_from(history)
+        if reads is not None:
+            for r, src in reads.items():
+                if src is None:
+                    continue
+                for later in history.ops_of(r.proc)[r.index + 1:]:
+                    if later.is_write and later.uid != src.uid:
+                        rel.add(src, later)
+    return rel.transitive_closure()
+
+
+@lru_cache(maxsize=None)
+def session_rule(*components: str) -> OrderingRule:
+    """The ordering rule enforcing a meet of session-guarantee components.
+
+    ``components`` is any non-empty subset of :data:`SESSION_COMPONENTS`;
+    the returned rule is cached so equal component sets share one rule
+    object (the kernel's per-history mask cache keys on rule identity).
+    The full meet ``session_rule(*SESSION_COMPONENTS)`` is Steinke &
+    Nutt's composition recovering a causal-like memory without the
+    ``r →po w`` edges of full program order.
+    """
+    seen = set(components)
+    unknown = seen - set(SESSION_COMPONENTS)
+    if unknown or not seen:
+        raise ValueError(
+            f"session components must be a non-empty subset of "
+            f"{SESSION_COMPONENTS}, got {components!r}"
+        )
+    canon = tuple(c for c in SESSION_COMPONENTS if c in seen)
+    return OrderingRule(
+        f"session({'+'.join(canon)})", partial(_build_session, canon)
+    )
+
+
+# -- Partition Consistency (Cheng, Higham & Kawash) ----------------------------
+
+
+def partition_block_map(history: SystemHistory, blocks: int) -> dict[str, int]:
+    """The location → block assignment of a ``blocks``-way partition.
+
+    Deterministic and history-derived: locations sort lexicographically
+    and take blocks round-robin, so every layer (ordering rule, candidate
+    enumeration, pre-pass) agrees on the partition without carrying it
+    through the wire format.
+    """
+    return {loc: i % blocks for i, loc in enumerate(sorted(history.locations))}
+
+
+def _build_po_block(
+    blocks: int,
+    history: SystemHistory,
+    rf: ReadsFrom,
+    co: CoherenceOrder | None,
+):
+    block = partition_block_map(history, blocks)
+    rel: Relation[Operation] = Relation(history.operations)
+    for proc in history.procs:
+        ops = history.ops_of(proc)
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if block[a.location] == block[b.location]:
+                    rel.add(a, b)
+    return rel
+
+
+@lru_cache(maxsize=None)
+def partition_rule(blocks: int) -> OrderingRule:
+    """Program order restricted to same-block pairs of a ``blocks``-way split.
+
+    The ordering half of Partition Consistency: with one block it is full
+    program order, with one block per location it degenerates to
+    ``po-loc``.  Cached per ``blocks`` so every spec with the same
+    parameter shares one rule object.
+    """
+    if blocks < 1:
+        raise ValueError(f"partition needs at least one block, got {blocks}")
+    return OrderingRule(f"po-block({blocks})", partial(_build_po_block, blocks))
+
+
+_BASE_RULES = {
+    rule.name: rule for rule in (PO, PO_SYNC, PO_LOC, PPO, CAUSAL, SEMI_CAUSAL)
+}
+
+
+def rule_by_name(name: str) -> OrderingRule | None:
+    """Resolve an ordering rule from its stable name, or ``None``.
+
+    Covers the module singletons plus every factory-made session and
+    partition rule (the factories cache, so the resolved object is
+    identical to the one specs hold — callers that key caches on rule
+    identity, like the plane arena, can rely on that).
+    """
+    base = _BASE_RULES.get(name)
+    if base is not None:
+        return base
+    if name.startswith("session(") and name.endswith(")"):
+        parts = tuple(name[len("session("):-1].split("+"))
+        try:
+            return session_rule(*parts)
+        except ValueError:
+            return None
+    if name.startswith("po-block(") and name.endswith(")"):
+        try:
+            return partition_rule(int(name[len("po-block("):-1]))
+        except ValueError:
+            return None
+    return None

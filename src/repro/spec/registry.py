@@ -7,6 +7,8 @@ with the parameter choices the paper gives for that memory, plus two
 
 from __future__ import annotations
 
+import difflib
+
 from repro.core.errors import SpecError
 from repro.spec.model_spec import MemoryModelSpec
 from repro.spec.parameters import (
@@ -19,6 +21,9 @@ from repro.spec.parameters import (
     PO_SYNC,
     PPO,
     SEMI_CAUSAL,
+    SESSION_COMPONENTS,
+    partition_rule,
+    session_rule,
 )
 
 __all__ = [
@@ -34,9 +39,17 @@ __all__ = [
     "SLOW_SPEC",
     "COHERENT_CAUSAL_SPEC",
     "COHERENT_PRAM_SPEC",
+    "RYW_SPEC",
+    "MR_SPEC",
+    "MW_SPEC",
+    "WFR_SPEC",
+    "SESSION_CAUSAL_SPEC",
+    "PARTITION2_SPEC",
+    "PARTITION3_SPEC",
     "ALL_SPECS",
     "get_spec",
     "spec_names",
+    "suggest_names",
 ]
 
 SC_SPEC = MemoryModelSpec(
@@ -200,6 +213,106 @@ COHERENT_PRAM_SPEC = MemoryModelSpec(
     ),
 )
 
+# -- session guarantees and Partition Consistency (ROADMAP growth path) --------
+
+RYW_SPEC = MemoryModelSpec(
+    name="read-your-writes",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=session_rule("ryw"),
+    description=(
+        "The read-your-writes session guarantee (Terry et al. 1994): every "
+        "view orders a processor's writes before its own later reads, so a "
+        "session observes its own updates.  No cross-view agreement; the "
+        "other program-order pairs are free."
+    ),
+)
+
+MR_SPEC = MemoryModelSpec(
+    name="monotonic-reads",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=session_rule("mr"),
+    description=(
+        "The monotonic-reads session guarantee (Terry et al. 1994): a "
+        "session's reads are ordered by program order in its view, so "
+        "later reads observe states at least as new as earlier ones "
+        "(no going back in time within a session)."
+    ),
+)
+
+MW_SPEC = MemoryModelSpec(
+    name="monotonic-writes",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=session_rule("mw"),
+    description=(
+        "The monotonic-writes session guarantee (Terry et al. 1994): every "
+        "view orders each session's writes in program order — writes "
+        "propagate in issue order, but nothing constrains reads.  On "
+        "plain read/write histories this is the weakest registered model."
+    ),
+)
+
+WFR_SPEC = MemoryModelSpec(
+    name="writes-follow-reads",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=session_rule("wfr"),
+    description=(
+        "The writes-follow-reads session guarantee (Terry et al. 1994): "
+        "when a session reads a write and later writes, every view orders "
+        "the observed write before the later one — the causality fragment "
+        "that makes replies follow the messages they answer."
+    ),
+)
+
+SESSION_CAUSAL_SPEC = MemoryModelSpec(
+    name="session-causal",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.NONE,
+    ordering=session_rule(*SESSION_COMPONENTS),
+    description=(
+        "The meet of all four session guarantees (Steinke & Nutt's "
+        "decomposition; Brzezinski et al.'s composition theorem): "
+        "read-your-writes ∧ monotonic-reads ∧ monotonic-writes ∧ "
+        "writes-follow-reads.  Weaker than causal memory (the read→write "
+        "program-order edges of full causality are not enforced) and "
+        "strictly between Causal and each single guarantee."
+    ),
+)
+
+PARTITION2_SPEC = MemoryModelSpec(
+    name="partition-2",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.PARTITION,
+    ordering=partition_rule(2),
+    partition_blocks=2,
+    description=(
+        "Partition Consistency (Cheng, Higham & Kawash) with two blocks: "
+        "locations split round-robin into two groups; views agree on the "
+        "write order within each block and respect program order within "
+        "each block, with no cross-block constraints — strictly between "
+        "SC and plain coherence.  (The one-block instance is expressible "
+        "via partition_rule(1) but is observationally equal to SC, so it "
+        "is not a separate registry node.)"
+    ),
+)
+
+PARTITION3_SPEC = MemoryModelSpec(
+    name="partition-3",
+    operation_set=OperationSet.REMOTE_WRITES,
+    mutual_consistency=MutualConsistency.PARTITION,
+    ordering=partition_rule(3),
+    partition_blocks=3,
+    description=(
+        "Partition Consistency with three blocks.  Strictly between SC "
+        "and coherence, but incomparable with partition-2: the "
+        "round-robin block maps of different arity are not refinements "
+        "of one another once a history touches four locations."
+    ),
+)
+
 ALL_SPECS: tuple[MemoryModelSpec, ...] = (
     SC_SPEC,
     TSO_SPEC,
@@ -213,9 +326,46 @@ ALL_SPECS: tuple[MemoryModelSpec, ...] = (
     SLOW_SPEC,
     COHERENT_CAUSAL_SPEC,
     COHERENT_PRAM_SPEC,
+    RYW_SPEC,
+    MR_SPEC,
+    MW_SPEC,
+    WFR_SPEC,
+    SESSION_CAUSAL_SPEC,
+    PARTITION2_SPEC,
+    PARTITION3_SPEC,
 )
 
 _BY_NAME = {spec.name.lower(): spec for spec in ALL_SPECS}
+
+
+def _initials(name: str) -> str:
+    """The initialism of a hyphenated/underscored name (``read-your-writes``
+    → ``ryw``); single-word names initialize to their first letter only."""
+    parts = [p for p in name.lower().replace("_", "-").split("-") if p]
+    return "".join(p[0] for p in parts)
+
+
+def suggest_names(query: str, limit: int = 3) -> tuple[str, ...]:
+    """Registered model names a mistyped ``query`` probably meant.
+
+    Matches initialisms of hyphenated names (``ryw`` →
+    ``read-your-writes``), substring containment in either direction, and
+    :mod:`difflib` closeness — in registry order, deduplicated, capped at
+    ``limit``.
+    """
+    q = query.lower()
+    names = [spec.name for spec in ALL_SPECS]
+    hits: list[str] = []
+    for name in names:
+        ln = name.lower()
+        if q == _initials(name) or (len(q) >= 2 and (q in ln or ln in q)):
+            hits.append(name)
+    by_lower = {name.lower(): name for name in names}
+    for close in difflib.get_close_matches(q, list(by_lower), n=limit, cutoff=0.6):
+        hits.append(by_lower[close])
+    seen: set[str] = set()
+    unique = [h for h in hits if not (h in seen or seen.add(h))]
+    return tuple(unique[:limit])
 
 
 def get_spec(name: str) -> MemoryModelSpec:
@@ -224,13 +374,21 @@ def get_spec(name: str) -> MemoryModelSpec:
     Raises
     ------
     SpecError
-        If no model of that name is registered.
+        If no model of that name is registered; the error names near
+        misses (``'ryw'`` suggests ``read-your-writes``) plus the full
+        registry.
     """
     try:
         return _BY_NAME[name.lower()]
     except KeyError:
         known = ", ".join(sorted(s.name for s in ALL_SPECS))
-        raise SpecError(f"unknown memory model {name!r}; known: {known}") from None
+        suggestions = suggest_names(name)
+        hint = (
+            f" did you mean {' or '.join(suggestions)}?" if suggestions else ""
+        )
+        raise SpecError(
+            f"unknown memory model {name!r};{hint} known: {known}"
+        ) from None
 
 
 def spec_names() -> tuple[str, ...]:

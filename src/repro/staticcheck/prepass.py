@@ -99,10 +99,14 @@ __all__ = ["PrepassVerdict", "HistoryPrepass", "compile_prepass", "prepass_check
 
 #: Mutual-consistency classes whose views agree on (at least same-location)
 #: write order, making forced write-order edges hold in every view.
+#: Partition agreement spans whole location blocks, hence in particular
+#: each single location, so it belongs here (but not in the total class:
+#: cross-block writes stay unordered).
 _COHERENCE_CLASS = (
     MutualConsistency.COHERENCE,
     MutualConsistency.TOTAL_WRITE_ORDER,
     MutualConsistency.IDENTICAL,
+    MutualConsistency.PARTITION,
 )
 
 #: Classes whose agreement spans *all* writes, not only same-location ones.
@@ -536,6 +540,24 @@ class HistoryPrepass:
                 except ValueError:
                     return None
             chains = tuple(coherence.values())
+        elif mc is MutualConsistency.PARTITION:
+            from repro.kernel.serializations import forced_block_orders
+
+            assert spec.partition_blocks is not None  # spec validation
+            coherence = {}
+            block_chains: list[tuple[Operation, ...]] = []
+            for forced_b in forced_block_orders(
+                history, spec.partition_blocks, rf
+            ):
+                try:
+                    order = forced_b.topological_sort()
+                except ValueError:
+                    return None
+                if order:
+                    block_chains.append(tuple(order))
+                for w in order:
+                    coherence[w.location] = coherence.get(w.location, ()) + (w,)
+            chains = tuple(block_chains)
         elif mc is MutualConsistency.LABELED_TOTAL_ORDER:
             labeled = history.labeled_ops
             if labeled:
@@ -747,6 +769,33 @@ class HistoryPrepass:
             for combo in islice(product(*per_loc), _MAX_AGREED_CANDIDATES):
                 coherence = dict(combo)
                 candidates.append((coherence, tuple(coherence.values())))
+        elif self.spec.mutual_consistency is MutualConsistency.PARTITION:
+            from repro.kernel.serializations import forced_block_orders
+
+            assert self.spec.partition_blocks is not None  # spec validation
+            per_block: list[list[tuple[Operation, ...]]] = []
+            size = 1
+            for forced_b in forced_block_orders(
+                history, self.spec.partition_blocks, rf
+            ):
+                orders, block_complete = _bounded_sorts(
+                    forced_b, _MAX_AGREED_CANDIDATES
+                )
+                complete = complete and block_complete
+                size *= max(len(orders), 1)
+                per_block.append([tuple(o) for o in orders])
+            if size > _MAX_AGREED_CANDIDATES:
+                complete = False
+            for combo in islice(product(*per_block), _MAX_AGREED_CANDIDATES):
+                coherence = {}
+                for order in combo:
+                    for w in order:
+                        coherence[w.location] = coherence.get(
+                            w.location, ()
+                        ) + (w,)
+                candidates.append(
+                    (coherence, tuple(order for order in combo if order))
+                )
         elif self.spec.mutual_consistency is MutualConsistency.LABELED_TOTAL_ORDER:
             labeled = history.labeled_ops
             if labeled:

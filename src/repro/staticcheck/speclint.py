@@ -73,6 +73,42 @@ _LABELED_PROBES: tuple[str, ...] = (
     "p: w*(x)1 r*(y)0 | q: w*(y)1 r*(x)0",  # labeled SB: RC_sc ≠ RC_pc
 )
 
+#: Probes separating the session-guarantee and Partition Consistency
+#: families from each other and from the classical nodes.  The catalog's
+#: two-location litmus tests cannot tell a partition instance from plain
+#: coherence (round-robin blocks over two locations are singletons), nor
+#: one session guarantee from another (each needs a violation of exactly
+#: its own edge kind), so the sweep carries purpose-built texts.
+_FAMILY_PROBES: tuple[str, ...] = (
+    # read-your-writes violation: a session reads stale x after its own
+    # write.  Denies ryw (and everything ordering w→r); admits mr/mw/wfr.
+    "p: w(x)1 r(x)0",
+    # monotonic-reads violation: the value sequence 1,2,1 cannot be
+    # monotone under any agreed or private write order with one w(x)1.
+    # Denies mr; admits ryw/mw/wfr (reads may be placed out of order).
+    "p: w(x)1 w(x)2 | q: r(x)1 r(x)2 r(x)1",
+    # monotonic-writes violation: q observes p's writes in the wrong
+    # order across locations.  Denies mw (w(x)1 → w(y)1 binds every
+    # view); admits ryw/mr/wfr and coherence.
+    "p: w(x)1 w(y)1 | q: r(y)1 r(x)0 r(x)1",
+    # A processor reads its own future write.  Causal's r→w program-order
+    # edge denies this; none of the four session guarantees orders a read
+    # before the same processor's later write, so session-causal admits
+    # it — the witness that the session meet sits strictly below Causal.
+    "p: r(x)2 w(x)2",
+    # Store buffering on the {x, z} block of the two-way round-robin
+    # partition of {x, y, z}.  partition-2 enforces program order and an
+    # agreed write order inside the block, so it denies; coherence and
+    # partition-3 (whose blocks over three locations are singletons)
+    # admit.
+    "p: w(x)1 r(z)0 | q: w(z)1 r(x)0 | s: w(y)1",
+    # The same pattern on the {u, z} block of the three-way partition of
+    # {u, x, y, z}; under partition-2 the blocks are {u, y} and {x, z},
+    # so u and z are unrelated and the probe is admitted — partition-2
+    # and partition-3 separate in both directions.
+    "p: w(u)1 r(z)0 | q: w(z)1 r(u)0 | s: w(x)1 | t: w(y)1",
+)
+
 
 @dataclass(frozen=True)
 class SpecFinding:
@@ -112,6 +148,7 @@ def _default_probes() -> list[SystemHistory]:
 
     probes = [test.history for test in CATALOG.values()]
     probes.extend(_probe_histories(_LABELED_PROBES))
+    probes.extend(_probe_histories(_FAMILY_PROBES))
     return probes
 
 

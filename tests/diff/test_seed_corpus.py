@@ -7,16 +7,10 @@ the whole oracle panel: any drift — a fast path diverging from the kernel,
 the legacy solver diverging from either, a prepass soundness break, a
 Figure 5 lattice violation — fails here before a fuzz campaign ever runs.
 
-Regenerate after an *intended* semantics change with::
-
-    PYTHONPATH=src python - <<'PY'
-    from repro.diff import DiscrepancyCorpus, FuzzConfig, harvest_fixtures
-    cfg = FuzzConfig(seed=0, count=400)
-    with DiscrepancyCorpus("tests/diff/data/seed_corpus.jsonl") as corpus:
-        corpus.append_run_header({**cfg.describe(), "purpose": "seed regression corpus"})
-        for key, h, expected, origin in harvest_fixtures(cfg):
-            corpus.append_litmus(key, h, expected, origin=origin)
-    PY
+Regenerate after an *intended* semantics change with
+``tools/regen_seed_corpus.py`` (which fuzz-harvests a witness per lattice
+edge over the full spec-backed panel and falls back to the speclint
+family probes for the patterns random sampling rarely hits).
 """
 
 from pathlib import Path
@@ -31,8 +25,6 @@ from repro.diff import (
     find_discrepancies,
     panel_verdicts,
 )
-from repro.checking.models import PAPER_MODELS
-
 CORPUS_PATH = Path(__file__).parent / "data" / "seed_corpus.jsonl"
 
 
@@ -52,10 +44,14 @@ class TestSeedCorpus:
         assert keys == {f"separator:{label}" for label, _, _ in SEPARATOR_PATTERNS}
 
     def test_fixtures_replay_clean_with_locked_verdicts(self, corpus):
+        # Each entry replays under the panel its verdicts were locked
+        # over (the keys of ``expected``), so fixtures harvested over the
+        # full registry pin every model they consulted, not just the
+        # paper's five.
         entries = corpus.litmus_entries()
         assert entries
         for key, history, expected in entries:
-            panel = panel_verdicts(history, PAPER_MODELS)
+            panel = panel_verdicts(history, tuple(expected))
             assert find_discrepancies(panel) == [], key
             assert agreed_verdicts(panel) == expected, key
 

@@ -1,0 +1,126 @@
+"""The registry-derived lattice: :func:`extended_edges` and its consumers.
+
+The paper's Figure 5 relates five memories; the registry holds twenty.
+``extended_edges`` derives the full claimed lattice from what is actually
+registered, so these tests pin three things: the derivation's shape (the
+paper's sub-lattice survives verbatim, every family member gets its
+edges, incomparable pairs get none), its soundness on the probe set, and
+the plumbing fix — a model registered *without* bespoke edges anywhere
+still participates in containment checking.
+"""
+
+import pytest
+
+from repro.checking.models import MODELS, model_names
+from repro.lattice import (
+    FIGURE5_EDGES,
+    classify_histories,
+    containment_violations,
+    extended_edges,
+    separating_witnesses,
+)
+from repro.staticcheck.speclint import _default_probes
+
+
+@pytest.fixture(scope="module")
+def probe_result():
+    return classify_histories(_default_probes(), model_names())
+
+
+class TestEdgeDerivation:
+    def test_figure5_sublattice_survives_verbatim(self):
+        edges = extended_edges()
+        for edge in FIGURE5_EDGES:
+            assert edge in edges
+
+    def test_endpoints_are_registered_models(self):
+        registered = set(model_names())
+        for stronger, weaker in extended_edges():
+            assert stronger in registered and weaker in registered
+
+    def test_every_family_member_has_edges(self):
+        covered = {name for edge in extended_edges() for name in edge}
+        for name in (
+            "read-your-writes",
+            "monotonic-reads",
+            "monotonic-writes",
+            "writes-follow-reads",
+            "session-causal",
+            "partition-2",
+            "partition-3",
+        ):
+            assert name in covered, f"{name} missing from the lattice"
+
+    def test_partition_family_edges_are_derived(self):
+        edges = extended_edges()
+        for arity in (2, 3):
+            assert ("SC", f"partition-{arity}") in edges
+            assert (f"partition-{arity}", "Coherence") in edges
+
+    def test_partition_arities_claim_no_mutual_edge(self):
+        # The round-robin block maps of different arity stop nesting on
+        # four locations, so neither direction is sound.
+        edges = extended_edges()
+        assert ("partition-2", "partition-3") not in edges
+        assert ("partition-3", "partition-2") not in edges
+
+    def test_session_meet_sits_between_causal_and_the_guarantees(self):
+        edges = extended_edges()
+        assert ("Causal", "session-causal") in edges
+        for guarantee in (
+            "read-your-writes",
+            "monotonic-reads",
+            "monotonic-writes",
+            "writes-follow-reads",
+        ):
+            assert ("session-causal", guarantee) in edges
+        # PRAM's program order lacks the cross-processor wfr edges.
+        assert ("PRAM", "writes-follow-reads") not in edges
+
+    def test_panel_restriction_filters_both_endpoints(self):
+        panel = ("SC", "TSO", "PRAM")
+        for stronger, weaker in extended_edges(panel):
+            assert stronger in panel and weaker in panel
+        assert ("SC", "TSO") in extended_edges(panel)
+
+    def test_result_is_duplicate_free(self):
+        edges = extended_edges()
+        assert len(edges) == len(set(edges))
+
+
+class TestEdgeSoundness:
+    def test_no_containment_violations_on_probes(self, probe_result):
+        # Every claimed edge must hold on the speclint probe set — the
+        # same histories that certify the registry's specs pairwise
+        # distinct certify the lattice's claims sound.
+        assert containment_violations(probe_result, extended_edges()) == {}
+
+    def test_family_edges_witnessed_strict_on_probes(self, probe_result):
+        wits = separating_witnesses(probe_result, extended_edges())
+        for edge in (
+            ("Causal", "session-causal"),
+            ("SC", "partition-2"),
+            ("SC", "partition-3"),
+            ("partition-2", "Coherence"),
+            ("partition-3", "Coherence"),
+        ):
+            assert wits[edge] is not None, f"no separator for {edge}"
+
+
+class TestEdgelessModelsStillChecked:
+    def test_a_model_without_edges_is_still_classified(self, probe_result):
+        # TSO-axiomatic is registered but appears in no claim table; the
+        # registry-derived default panel must still containment-check it
+        # rather than silently dropping it (the old hard-coded
+        # FIGURE5_EDGES defaults assumed the paper's model list).
+        covered = {name for edge in extended_edges() for name in edge}
+        assert "TSO-axiomatic" in model_names()
+        assert "TSO-axiomatic" not in covered
+        assert "TSO-axiomatic" in probe_result.allowed
+        matrix = probe_result.containment_matrix()
+        assert ("TSO-axiomatic", "SC") in matrix
+
+    def test_registering_without_edges_never_breaks_derivation(self):
+        # extended_edges only emits claims whose two endpoints are
+        # registered, so a panel naming an edge-free model is inert.
+        assert extended_edges(("TSO-axiomatic",)) == ()

@@ -78,6 +78,10 @@ class TestEndpoints:
         status, body = _request(server.port, "GET", "/models")
         assert status == 200
         assert body["models"] == list(model_names())
+        # The endpoint tracks the registry: the session-guarantee and
+        # partition families must be served without serve-layer changes.
+        for name in ("read-your-writes", "session-causal", "partition-3"):
+            assert name in body["models"]
 
     def test_resubmission_is_a_cache_hit(self, server):
         request = {"history": "fig2-pc-not-tso", "models": "SC,PC,TSO"}

@@ -102,3 +102,72 @@ class TestSpecValidation:
             ordering=CAUSAL,
         )
         assert not spec.is_release_consistent
+
+
+class TestModelZoo:
+    """The session-guarantee and Partition Consistency families."""
+
+    def test_zoo_members_present(self):
+        names = set(spec_names())
+        for expected in (
+            "read-your-writes",
+            "monotonic-reads",
+            "monotonic-writes",
+            "writes-follow-reads",
+            "session-causal",
+            "partition-2",
+            "partition-3",
+        ):
+            assert expected in names
+
+    def test_session_specs_have_no_mutual_consistency(self):
+        for name in ("read-your-writes", "session-causal"):
+            spec = get_spec(name)
+            assert spec.mutual_consistency is MutualConsistency.NONE
+            assert spec.ordering.name.startswith("session(")
+
+    def test_partition_specs_carry_their_arity(self):
+        for blocks in (2, 3):
+            spec = get_spec(f"partition-{blocks}")
+            assert spec.mutual_consistency is MutualConsistency.PARTITION
+            assert spec.partition_blocks == blocks
+            assert spec.ordering.name == f"po-block({blocks})"
+
+    def test_cache_keys_pairwise_distinct(self):
+        # Every parameter axis must be embedded in the cache key: two
+        # registered specs sharing a key would silently alias each
+        # other's cached verdicts.
+        keys = {}
+        for spec in ALL_SPECS:
+            key = spec.cache_key
+            assert key not in keys, f"{spec.name} aliases {keys[key]}"
+            keys[key] = spec.name
+
+    def test_cache_key_embeds_partition_arity(self):
+        # partition-2 and partition-3 differ only on the blocks axis.
+        assert get_spec("partition-2").cache_key != get_spec(
+            "partition-3"
+        ).cache_key
+
+    def test_spec_names_ordering_is_stable(self):
+        # spec_names() is the registry's presentation order: the paper's
+        # models first, then Section 7 recombinations, then the zoo
+        # growth — append-only, and deterministic across calls.
+        names = spec_names()
+        assert names == spec_names()
+        assert names == tuple(spec.name for spec in ALL_SPECS)
+        assert names.index("SC") < names.index("CoherentCausal")
+        assert names.index("CoherentCausal") < names.index("read-your-writes")
+        assert names.index("read-your-writes") < names.index("partition-2")
+
+    def test_get_spec_suggests_near_misses(self):
+        from repro.spec import suggest_names
+
+        assert suggest_names("ryw") == ("read-your-writes",)
+        with pytest.raises(SpecError, match="did you mean read-your-writes"):
+            get_spec("ryw")
+        with pytest.raises(SpecError, match="did you mean"):
+            get_spec("monotonic")
+        # Hopeless queries still list the registry without a guess.
+        with pytest.raises(SpecError, match="known: "):
+            get_spec("zzzzqqq")

@@ -106,11 +106,30 @@ class TestCatalog:
 
 
 class TestLattice:
-    def test_default_run(self, capsys):
+    def test_default_run_covers_the_whole_registry(self, capsys):
         rc = main(["lattice"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "Figure 5 violations: 0" in out and "strongest" in out
+        # The default panel is registry-derived: every claimed edge of
+        # the extended lattice is measured, not just Figure 5's five.
+        assert "lattice violations (31 claimed edges): 0" in out
+        assert "strongest" in out
+
+    def test_paper_flag_restricts_to_figure5(self, capsys):
+        rc = main(["lattice", "--paper"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lattice violations (5 claimed edges): 0" in out
+
+    def test_explicit_model_list(self, capsys):
+        rc = main(["lattice", "--models", "SC,TSO,PRAM"])
+        assert rc == 0
+        assert "claimed edges): 0" in capsys.readouterr().out
+
+    def test_unknown_model_exits_two(self, capsys):
+        rc = main(["lattice", "--models", "SC,Bogus"])
+        assert rc == 2
+        assert "Bogus" in capsys.readouterr().err
 
     def test_dot_output(self, capsys):
         rc = main(["lattice", "--dot"])
@@ -118,11 +137,11 @@ class TestLattice:
         assert "digraph" in capsys.readouterr().out
 
     def test_jobs_flag_same_counts(self, capsys):
-        rc = main(["lattice", "--jobs", "2"])
+        rc = main(["lattice", "--jobs", "2", "--paper"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "210 canonical histories" in out
-        assert "Figure 5 violations: 0" in out
+        assert "lattice violations (5 claimed edges): 0" in out
 
 
 class TestVersion:
